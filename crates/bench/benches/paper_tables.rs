@@ -1,0 +1,84 @@
+//! One benchmark per evaluation table/figure (paper Tables III–VI,
+//! Figures 2–6): each group first *asserts the paper's shape* on a
+//! scaled-down configuration (winner and approximate factor), then measures
+//! the simulation cost of regenerating that experiment cell.
+
+use bench::{assert_improvement, small_btmz, small_metbench, small_metbenchvar, small_siesta};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use experiments::{run, ExperimentMode, WorkloadKind};
+use tracefmt::{render_timeline, AsciiOptions};
+
+fn cell(c: &mut Criterion, group: &str, wl: &WorkloadKind, modes: &[ExperimentMode]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for &mode in modes {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| black_box(run(wl, mode, 1).exec_secs))
+        });
+    }
+    g.finish();
+}
+
+fn table3_metbench(c: &mut Criterion) {
+    let wl = small_metbench();
+    // Paper: ~12-13% improvement for static and dynamic.
+    assert_improvement(&wl, ExperimentMode::Static, 6.0..20.0);
+    assert_improvement(&wl, ExperimentMode::Uniform, 6.0..20.0);
+    cell(c, "table3_metbench", &wl, &ExperimentMode::ALL);
+}
+
+fn table4_metbenchvar(c: &mut Criterion) {
+    let wl = small_metbenchvar();
+    // Paper: ~11% for the dynamic heuristics on varying behaviour.
+    assert_improvement(&wl, ExperimentMode::Adaptive, 3.0..20.0);
+    cell(c, "table4_metbenchvar", &wl, &ExperimentMode::ALL);
+}
+
+fn table5_btmz(c: &mut Criterion) {
+    let wl = small_btmz();
+    // Paper: ~16%.
+    assert_improvement(&wl, ExperimentMode::Uniform, 8.0..20.0);
+    cell(c, "table5_btmz", &wl, &ExperimentMode::ALL);
+}
+
+fn table6_siesta(c: &mut Criterion) {
+    let wl = small_siesta();
+    cell(
+        c,
+        "table6_siesta",
+        &wl,
+        &[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive],
+    );
+}
+
+fn figures_trace_rendering(c: &mut Criterion) {
+    // Figures 2–6 are trace renders; measure collection + rendering.
+    let wl = small_metbench();
+    let result = run(&wl, ExperimentMode::Uniform, 1);
+    let mut g = c.benchmark_group("figures_trace");
+    g.bench_function("render_ascii_110cols", |b| {
+        b.iter(|| {
+            black_box(render_timeline(
+                &result.timeline,
+                &AsciiOptions { width: 110, ..Default::default() },
+            ))
+        })
+    });
+    g.bench_function("collect_and_render", |b| {
+        b.iter(|| {
+            let r = run(&wl, ExperimentMode::Uniform, 1);
+            black_box(render_timeline(&r.timeline, &AsciiOptions::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table3_metbench,
+    table4_metbenchvar,
+    table5_btmz,
+    table6_siesta,
+    figures_trace_rendering
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Bench for paper Table I: the decode-slot arbitration path.
+//!
+//! Verifies the Table I ratios during setup, then measures the two
+//! implementations the simulator can use: the closed-form share computation
+//! (hot path of the performance model) and the slot-accurate reference
+//! arbiter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use power5::decode::{decode_share, SlotArbiter};
+use power5::{Chip, HwPriority, PrivilegeLevel, TaskPerfTraits, Topology};
+
+fn prio(v: u8) -> HwPriority {
+    HwPriority::new(v).unwrap()
+}
+
+fn verify_table1() {
+    for (d, r, high, low) in [(0u8, 2u64, 1u64, 1u64), (1, 4, 3, 1), (2, 8, 7, 1)] {
+        let mut arb = SlotArbiter::new(prio(4 + d), prio(4));
+        assert_eq!(arb.window() as u64, r);
+        assert_eq!(arb.run(r), (high, low));
+    }
+}
+
+fn bench_decode(c: &mut Criterion) {
+    verify_table1();
+
+    let mut g = c.benchmark_group("table1_decode");
+
+    g.bench_function("closed_form_share_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in 1..=7u8 {
+                for bb in 1..=7u8 {
+                    acc += decode_share(black_box(prio(a)), black_box(prio(bb))).a;
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_function("slot_arbiter_1k_cycles", |b| {
+        b.iter(|| {
+            let mut arb = SlotArbiter::new(prio(6), prio(4));
+            black_box(arb.run(black_box(1_000)))
+        })
+    });
+
+    g.bench_function("chip_speed_recompute", |b| {
+        let mut chip = Chip::new(Topology::openpower_710());
+        for cpu in chip.topology().cpus().collect::<Vec<_>>() {
+            chip.set_load(cpu, Some(TaskPerfTraits::default()));
+        }
+        chip.set_priority(power5::CpuId(0), prio(6), PrivilegeLevel::Supervisor).unwrap();
+        b.iter(|| black_box(chip.all_speeds()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Criterion measures the *simulator's* wall-clock cost; the paper-shape
+//! verification (who wins, by what factor) is asserted inside the bench
+//! setup so a regression fails loudly rather than silently producing
+//! wrong-but-fast numbers. Benchmarks run scaled-down configurations; the
+//! full-scale reproduction numbers come from `cargo run --release -p
+//! experiments --bin all`.
+
+use experiments::{run, ExperimentMode, WorkloadKind};
+use workloads::btmz::BtMzConfig;
+use workloads::metbench::MetBenchConfig;
+use workloads::metbenchvar::MetBenchVarConfig;
+use workloads::siesta::SiestaConfig;
+
+/// A MetBench scaled to a few hundred milliseconds of simulated time.
+pub fn small_metbench() -> WorkloadKind {
+    WorkloadKind::MetBench(MetBenchConfig {
+        loads: vec![0.02, 0.08, 0.02, 0.08],
+        iterations: 6,
+        ..Default::default()
+    })
+}
+
+/// A MetBenchVar with one swap per six iterations (three periods): enough
+/// balanced iterations per period for the re-balancing to pay off, as in
+/// the paper's k = 15 setup.
+pub fn small_metbenchvar() -> WorkloadKind {
+    WorkloadKind::MetBenchVar(MetBenchVarConfig {
+        base: MetBenchConfig {
+            loads: vec![0.02, 0.08, 0.02, 0.08],
+            iterations: 18,
+            ..Default::default()
+        },
+        k: 6,
+    })
+}
+
+/// A BT-MZ scaled to ~1s of simulated time.
+pub fn small_btmz() -> WorkloadKind {
+    WorkloadKind::BtMz(BtMzConfig {
+        zone_work: vec![0.007, 0.011, 0.025, 0.038],
+        iterations: 20,
+        ..Default::default()
+    })
+}
+
+/// A SIESTA scaled to ~2s of simulated time.
+pub fn small_siesta() -> WorkloadKind {
+    WorkloadKind::Siesta(SiestaConfig {
+        rank_work: vec![0.12, 0.07, 0.036, 0.026],
+        iterations: 4,
+        rounds: 12,
+        ..Default::default()
+    })
+}
+
+/// Run baseline + the given mode once and assert the improvement lies in
+/// `expect` percent — the bench's shape guard.
+pub fn assert_improvement(wl: &WorkloadKind, mode: ExperimentMode, expect: std::ops::Range<f64>) {
+    let base = run(wl, ExperimentMode::Baseline, 1).exec_secs;
+    let ours = run(wl, mode, 1).exec_secs;
+    let imp = 100.0 * (base - ours) / base;
+    assert!(
+        expect.contains(&imp),
+        "{} {:?}: improvement {imp:.1}% outside {expect:?}",
+        wl.name(),
+        mode
+    );
+}

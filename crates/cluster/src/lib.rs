@@ -1,0 +1,30 @@
+//! Cluster-level scheduling over HPCSched nodes.
+//!
+//! The paper's future work (§VI): *"we plan to expand our solution at
+//! cluster level … there is another level of load balancing which consists
+//! of assigning the correct group of tasks to each node (gang scheduling)
+//! considering that the local scheduler (in our case HPCSched) is able to
+//! dynamically assign more or less hardware resource to each task."*
+//!
+//! This crate builds that layer:
+//!
+//! * [`job`] — a gang-scheduled MPI job: per-rank load estimates;
+//! * [`placement`] — gang placement strategies: naive round-robin, classic
+//!   greedy LPT bin-packing, and **SMT-aware** placement that knows the
+//!   local HPCSched can absorb intra-core imbalance up to the capacity of
+//!   the ±2 hardware-priority range;
+//! * [`node`] — per-node execution: each node runs a *real* `schedsim`
+//!   kernel (with or without the HPC class) over its assigned ranks;
+//! * [`sim`] — the cluster run: for barrier-synchronized SPMD jobs, nodes
+//!   execute independently and the job completes when the slowest node
+//!   does (plus an allreduce latency per iteration) — the standard
+//!   bulk-synchronous approximation.
+
+pub mod job;
+pub mod node;
+pub mod placement;
+pub mod sim;
+
+pub use job::JobSpec;
+pub use placement::{place, Placement, PlacementStrategy};
+pub use sim::{run_cluster, ClusterConfig, ClusterResult};

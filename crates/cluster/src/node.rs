@@ -1,0 +1,76 @@
+//! Per-node execution: run one node's assigned ranks on a real simulated
+//! kernel and measure the node's completion time.
+
+use hpcsched::HpcKernelBuilder;
+use mpisim::{Mpi, MpiConfig};
+use power5::CpuId;
+use schedsim::{Kernel, SchedPolicy, SpawnOptions, TaskId};
+use simcore::SimDuration;
+use workloads::synthetic::BarrierGang;
+
+/// Result of one node's run.
+#[derive(Clone, Debug)]
+pub struct NodeRun {
+    pub exec_secs: f64,
+    /// Final hardware priority per slot.
+    pub final_prios: Vec<u8>,
+}
+
+/// Run `loads` (one per CPU slot, in slot order) for `iterations`
+/// barrier-synchronized iterations on a fresh node.
+pub fn run_node(loads: &[f64], iterations: u32, hpc: bool, seed: u64) -> NodeRun {
+    assert!(!loads.is_empty() && loads.len() <= 4, "a node has 4 slots");
+    let builder = HpcKernelBuilder::new().seed(seed);
+    let mut kernel: Kernel =
+        if hpc { builder.build() } else { builder.without_hpc_class().build() };
+    let policy = if hpc { SchedPolicy::Hpc } else { SchedPolicy::Normal };
+    let mpi = Mpi::new(loads.len(), MpiConfig::default());
+    let ids: Vec<TaskId> = loads
+        .iter()
+        .enumerate()
+        .map(|(slot, &load)| {
+            kernel.spawn(
+                format!("slot{slot}"),
+                policy,
+                Box::new(BarrierGang::new(mpi.clone(), slot, load, iterations)),
+                SpawnOptions { affinity: Some(vec![CpuId(slot)]), ..Default::default() },
+            )
+        })
+        .collect();
+    let end = kernel
+        .run_until_exited(&ids, SimDuration::from_secs(36_000))
+        .expect("node run finishes");
+    NodeRun {
+        exec_secs: end.as_secs_f64(),
+        final_prios: ids.iter().map(|&t| kernel.task(t).hw_prio.value()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_node_runs_at_smt_speed() {
+        let r = run_node(&[0.08, 0.08, 0.08, 0.08], 5, true, 1);
+        // 0.08 / 0.8 per iteration × 5.
+        assert!((0.48..0.55).contains(&r.exec_secs), "exec {}", r.exec_secs);
+        assert!(r.final_prios.iter().all(|&p| p == 4), "no boost needed");
+    }
+
+    #[test]
+    fn imbalanced_node_gets_boosted_under_hpc() {
+        let imb = [0.32, 0.08, 0.32, 0.08];
+        let base = run_node(&imb, 5, false, 1);
+        let hpc = run_node(&imb, 5, true, 1);
+        assert!(hpc.exec_secs < base.exec_secs * 0.95, "{} vs {}", hpc.exec_secs, base.exec_secs);
+        assert_eq!(hpc.final_prios[0], 6, "heavy slot boosted: {:?}", hpc.final_prios);
+    }
+
+    #[test]
+    fn partial_node_runs() {
+        let r = run_node(&[0.1, 0.1], 3, true, 1);
+        assert!(r.exec_secs > 0.0);
+        assert_eq!(r.final_prios.len(), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Gang placement strategies.
+//!
+//! A placement assigns each rank of a job to a node slot; within a node,
+//! slot order is CPU order (slots 0,1 share core 0; slots 2,3 share
+//! core 1 on the POWER5 node). The interesting strategy is the SMT-aware
+//! one: it models what the *local* HPCSched can recover, so it deliberately
+//! co-locates a heavy rank with a light one on the same core — the
+//! combination the hardware-priority boost exploits best.
+
+use crate::job::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// Ranks per node (one per logical CPU of the paper's POWER5 node).
+pub const NODE_SLOTS: usize = 4;
+
+/// How to spread a job's ranks over the nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Rank i on node i mod n — what `mpirun` does by default.
+    RoundRobin,
+    /// Greedy longest-processing-time bin packing on total node load
+    /// (classic makespan heuristic, SMT-oblivious).
+    GreedyLpt,
+    /// Greedy placement minimizing *estimated node completion time under
+    /// the local HPCSched*, with heavy/light core pairing inside the node.
+    SmtAware,
+}
+
+/// A computed placement: `nodes[n]` lists rank indices in CPU-slot order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    pub strategy: PlacementStrategy,
+    pub nodes: Vec<Vec<usize>>,
+}
+
+impl Placement {
+    /// Total load assigned to a node.
+    pub fn node_load(&self, job: &JobSpec, node: usize) -> f64 {
+        self.nodes[node].iter().map(|&r| job.rank_loads[r]).sum()
+    }
+
+    /// Every rank appears exactly once (validity check).
+    pub fn is_valid(&self, job: &JobSpec) -> bool {
+        let mut seen = vec![false; job.ranks()];
+        for node in &self.nodes {
+            if node.len() > NODE_SLOTS {
+                return false;
+            }
+            for &r in node {
+                if r >= seen.len() || seen[r] {
+                    return false;
+                }
+                seen[r] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// Estimated per-iteration completion time of one core running loads
+/// `a` and `b` (either may be absent) under the local scheduler.
+///
+/// Speeds mirror the chip calibration for compute-bound code: equal
+/// priority 0.8 each; boosted pair (diff 2) 0.92 / 0.248. The local
+/// scheduler converges to whichever configuration is faster.
+pub fn core_time(a: Option<f64>, b: Option<f64>, hpc: bool) -> f64 {
+    match (a, b) {
+        (None, None) => 0.0,
+        (Some(x), None) | (None, Some(x)) => x / 0.8, // sibling idle-spins
+        (Some(x), Some(y)) => {
+            let (hi, lo) = if x >= y { (x, y) } else { (y, x) };
+            let balanced = hi / 0.8;
+            if !hpc {
+                return balanced;
+            }
+            let boosted = (hi / 0.92).max(lo / 0.248);
+            balanced.min(boosted)
+        }
+    }
+}
+
+/// Estimated per-iteration completion of a node given its slot assignment
+/// (slots 0,1 = core 0; slots 2,3 = core 1).
+pub fn node_time(job: &JobSpec, slots: &[usize], hpc: bool) -> f64 {
+    let load = |i: usize| slots.get(i).map(|&r| job.rank_loads[r]);
+    core_time(load(0), load(1), hpc).max(core_time(load(2), load(3), hpc))
+}
+
+/// Compute a placement of `job` over `num_nodes` nodes.
+///
+/// # Panics
+/// If the job does not fit (`ranks > num_nodes × NODE_SLOTS`) or
+/// `num_nodes == 0`.
+pub fn place(job: &JobSpec, num_nodes: usize, strategy: PlacementStrategy) -> Placement {
+    assert!(num_nodes > 0, "need at least one node");
+    assert!(
+        job.ranks() <= num_nodes * NODE_SLOTS,
+        "job does not fit: {} ranks on {} slots",
+        job.ranks(),
+        num_nodes * NODE_SLOTS
+    );
+    let nodes = match strategy {
+        PlacementStrategy::RoundRobin => {
+            let mut nodes = vec![Vec::new(); num_nodes];
+            for r in 0..job.ranks() {
+                nodes[r % num_nodes].push(r);
+            }
+            nodes
+        }
+        PlacementStrategy::GreedyLpt => {
+            let mut order: Vec<usize> = (0..job.ranks()).collect();
+            order.sort_by(|&a, &b| {
+                job.rank_loads[b].total_cmp(&job.rank_loads[a]).then(a.cmp(&b))
+            });
+            let mut nodes = vec![Vec::new(); num_nodes];
+            let mut loads = vec![0.0f64; num_nodes];
+            for r in order {
+                // Least-loaded node with a free slot; ties to lowest index.
+                let n = (0..num_nodes)
+                    .filter(|&n| nodes[n].len() < NODE_SLOTS)
+                    .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+                    .expect("job fits");
+                nodes[n].push(r);
+                loads[n] += job.rank_loads[r];
+            }
+            nodes
+        }
+        PlacementStrategy::SmtAware => {
+            let mut order: Vec<usize> = (0..job.ranks()).collect();
+            order.sort_by(|&a, &b| {
+                job.rank_loads[b].total_cmp(&job.rank_loads[a]).then(a.cmp(&b))
+            });
+            let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+            for r in order {
+                // Try the rank in every free slot of every node; keep the
+                // assignment with the smallest resulting node time
+                // (estimated under the local HPCSched), breaking ties
+                // toward the emptier node to keep slots available.
+                let mut best: Option<(f64, usize, usize)> = None; // (time, node, len)
+                for (n, slots) in nodes.iter().enumerate() {
+                    if slots.len() >= NODE_SLOTS {
+                        continue;
+                    }
+                    let mut candidate = slots.clone();
+                    candidate.push(r);
+                    // Within a node, order heavy/light alternately so core
+                    // pairs combine a heavy and a light rank.
+                    candidate.sort_by(|&a, &b| job.rank_loads[b].total_cmp(&job.rank_loads[a]));
+                    let paired = pair_heavy_light(&candidate);
+                    let t = node_time(job, &paired, true);
+                    let key = (t, slots.len());
+                    if best.map(|(bt, _, bl)| key < (bt, bl)).unwrap_or(true) {
+                        best = Some((t, n, slots.len()));
+                    }
+                }
+                let (_, n, _) = best.expect("job fits");
+                nodes[n].push(r);
+            }
+            // Final intra-node ordering: heavy/light pairs per core.
+            for slots in &mut nodes {
+                slots.sort_by(|&a, &b| job.rank_loads[b].total_cmp(&job.rank_loads[a]));
+                *slots = pair_heavy_light(slots);
+            }
+            nodes
+        }
+    };
+    Placement { strategy, nodes }
+}
+
+/// Given ranks sorted heaviest-first, order them into CPU slots so each
+/// core gets (heaviest remaining, lightest remaining):
+/// `[h0, l0, h1, l1]` — core 0 gets h0+l0, core 1 gets h1+l1.
+fn pair_heavy_light(sorted: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut lo = 0usize;
+    let mut hi = sorted.len();
+    while lo < hi {
+        out.push(sorted[lo]);
+        lo += 1;
+        if lo < hi {
+            hi -= 1;
+            out.push(sorted[hi]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job4x2() -> JobSpec {
+        // Two heavy, six light ranks over two nodes.
+        JobSpec::new("j", vec![0.4, 0.1, 0.4, 0.1, 0.1, 0.1, 0.1, 0.1], 10)
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_placements() {
+        let job = job4x2();
+        for s in [
+            PlacementStrategy::RoundRobin,
+            PlacementStrategy::GreedyLpt,
+            PlacementStrategy::SmtAware,
+        ] {
+            let p = place(&job, 2, s);
+            assert!(p.is_valid(&job), "{s:?}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let job = job4x2();
+        let p = place(&job, 2, PlacementStrategy::RoundRobin);
+        assert_eq!(p.nodes[0], vec![0, 2, 4, 6]);
+        assert_eq!(p.nodes[1], vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn lpt_balances_total_load() {
+        let job = job4x2();
+        let p = place(&job, 2, PlacementStrategy::GreedyLpt);
+        let l0 = p.node_load(&job, 0);
+        let l1 = p.node_load(&job, 1);
+        assert!((l0 - l1).abs() < 0.11, "node loads {l0} vs {l1}");
+    }
+
+    #[test]
+    fn smt_aware_pairs_heavy_with_light() {
+        let job = job4x2();
+        let p = place(&job, 2, PlacementStrategy::SmtAware);
+        for slots in &p.nodes {
+            // Slot 0 (heavy) and slot 1 (its core sibling) must differ in
+            // load when the node holds both classes.
+            if slots.len() == 4 {
+                let c0 = (job.rank_loads[slots[0]], job.rank_loads[slots[1]]);
+                assert!(c0.0 >= c0.1, "heavy first on core 0: {c0:?}");
+            }
+        }
+        // The two heavy ranks must not share a core.
+        for slots in &p.nodes {
+            for pair in [[0usize, 1], [2, 3]] {
+                if let (Some(&a), Some(&b)) = (slots.get(pair[0]), slots.get(pair[1])) {
+                    assert!(
+                        !(job.rank_loads[a] > 0.3 && job.rank_loads[b] > 0.3),
+                        "two heavy ranks on one core: {slots:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_time_model() {
+        // Sibling idle.
+        assert!((core_time(Some(0.4), None, true) - 0.5).abs() < 1e-12);
+        // Balanced pair is better when loads are equal.
+        let equal = core_time(Some(0.4), Some(0.4), true);
+        assert!((equal - 0.5).abs() < 1e-12);
+        // Boost wins for a 4:1 pair.
+        let imb = core_time(Some(0.4), Some(0.1), true);
+        assert!(imb < 0.5, "boosted {imb}");
+        // Without HPCSched there is no boost option.
+        assert!((core_time(Some(0.4), Some(0.1), false) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overfull_job_rejected() {
+        let job = JobSpec::new("big", vec![0.1; 9], 1);
+        place(&job, 2, PlacementStrategy::GreedyLpt);
+    }
+
+    #[test]
+    fn pair_heavy_light_orders() {
+        assert_eq!(pair_heavy_light(&[10, 20, 30, 40]), vec![10, 40, 20, 30]);
+        assert_eq!(pair_heavy_light(&[1, 2, 3]), vec![1, 3, 2]);
+        assert_eq!(pair_heavy_light(&[7]), vec![7]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Cluster-level simulation: placement × local scheduler → job makespan.
+//!
+//! For a barrier-synchronized SPMD job with constant per-rank loads the
+//! global barrier decomposes: every iteration the job waits for the
+//! slowest node, and the same node is slowest every iteration. The job
+//! time is therefore `max over nodes of (node execution) + iterations ×
+//! inter-node allreduce latency` — each node execution measured by a real
+//! `schedsim` kernel run (node-local barriers included).
+
+use crate::job::JobSpec;
+use crate::node::run_node;
+use crate::placement::{place, Placement, PlacementStrategy};
+use serde::{Deserialize, Serialize};
+
+/// Cluster parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    pub num_nodes: usize,
+    /// Local scheduler: HPCSched (true) or stock CFS (false).
+    pub hpcsched_nodes: bool,
+    /// Inter-node allreduce latency per iteration (seconds) — the network
+    /// component of the global barrier.
+    pub internode_latency: f64,
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_nodes: 4,
+            hpcsched_nodes: true,
+            internode_latency: 20e-6,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    pub placement: Placement,
+    /// Per-node execution seconds.
+    pub node_secs: Vec<f64>,
+    /// Job makespan (slowest node + network barriers).
+    pub makespan: f64,
+}
+
+/// Place and run `job` on the cluster.
+pub fn run_cluster(
+    job: &JobSpec,
+    strategy: PlacementStrategy,
+    cfg: &ClusterConfig,
+) -> ClusterResult {
+    let placement = place(job, cfg.num_nodes, strategy);
+    let node_secs: Vec<f64> = placement
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(n, slots)| {
+            if slots.is_empty() {
+                return 0.0;
+            }
+            let loads: Vec<f64> = slots.iter().map(|&r| job.rank_loads[r]).collect();
+            run_node(&loads, job.iterations, cfg.hpcsched_nodes, cfg.seed ^ n as u64).exec_secs
+        })
+        .collect();
+    let slowest = node_secs.iter().cloned().fold(0.0, f64::max);
+    let makespan = slowest + cfg.internode_latency * job.iterations as f64;
+    ClusterResult { placement, node_secs, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+
+    fn heavy_light_job() -> JobSpec {
+        // 2 heavy + 6 light ranks on a 2-node cluster.
+        JobSpec::new("hl", vec![0.32, 0.32, 0.08, 0.08, 0.08, 0.08, 0.08, 0.08], 5)
+    }
+
+    fn cfg(nodes: usize, hpc: bool) -> ClusterConfig {
+        ClusterConfig { num_nodes: nodes, hpcsched_nodes: hpc, ..Default::default() }
+    }
+
+    #[test]
+    fn smt_aware_beats_round_robin_on_skewed_jobs() {
+        let job = heavy_light_job();
+        let rr = run_cluster(&job, PlacementStrategy::RoundRobin, &cfg(2, true));
+        let smt = run_cluster(&job, PlacementStrategy::SmtAware, &cfg(2, true));
+        assert!(
+            smt.makespan <= rr.makespan * 1.001,
+            "smt {} vs rr {}",
+            smt.makespan,
+            rr.makespan
+        );
+    }
+
+    #[test]
+    fn hpcsched_nodes_beat_cfs_nodes_for_any_placement() {
+        let job = heavy_light_job();
+        for s in [PlacementStrategy::RoundRobin, PlacementStrategy::GreedyLpt, PlacementStrategy::SmtAware] {
+            let cfs = run_cluster(&job, s, &cfg(2, false));
+            let hpc = run_cluster(&job, s, &cfg(2, true));
+            assert!(
+                hpc.makespan <= cfs.makespan * 1.001,
+                "{s:?}: hpc {} vs cfs {}",
+                hpc.makespan,
+                cfs.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_includes_network_component() {
+        let job = JobSpec::new("tiny", vec![0.05; 4], 10);
+        let mut c = cfg(1, true);
+        c.internode_latency = 0.01;
+        let r = run_cluster(&job, PlacementStrategy::GreedyLpt, &c);
+        assert!(r.makespan >= r.node_secs[0] + 0.1 - 1e-9, "10 barriers × 10ms");
+    }
+
+    #[test]
+    fn random_jobs_run_end_to_end() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let job = JobSpec::random("rand", 12, 3, &mut rng);
+        let r = run_cluster(&job, PlacementStrategy::SmtAware, &cfg(3, true));
+        assert!(r.placement.is_valid(&job));
+        assert_eq!(r.node_secs.len(), 3);
+        assert!(r.makespan > 0.0);
+    }
+}

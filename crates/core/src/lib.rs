@@ -1,0 +1,72 @@
+//! **HPCSched** — a dynamic scheduler for balancing HPC applications.
+//!
+//! This crate is the reproduction of the primary contribution of
+//! *Boneti, Gioiosa, Cazorla, Valero — "A Dynamic Scheduler for Balancing
+//! HPC Applications", SC 2008*: a Linux scheduling class (`SCHED_HPC`) that
+//! transparently balances MPI applications on IBM POWER5 machines by
+//! steering the processor's hardware thread prioritization.
+//!
+//! The scheduler is built from the paper's three "mainly independent"
+//! components (§IV):
+//!
+//! * **Scheduling policy** ([`class`]) — the `SCHED_HPC` class, inserted
+//!   between the real-time and CFS classes; FIFO and round-robin policies
+//!   over a simple per-CPU run queue, plus a domain-level workload balancer
+//!   that equalizes HPC task counts at core/chip/system level;
+//! * **Load Imbalance Detector and Heuristics** ([`detector`],
+//!   [`heuristics`]) — per-iteration CPU-utilization tracking
+//!   (`Ui = tR / ti`), an application-level imbalance check, and the two
+//!   heuristics of the paper: *Uniform* (global utilization with hysteresis
+//!   bounds `LOW_UTIL`/`HIGH_UTIL`) and *Adaptive* (recency-weighted
+//!   utilization `Ui = G·Ug(i−1) + L·Ul(i)`);
+//! * **Mechanism** ([`mechanism`]) — the only architecture-dependent part:
+//!   applying a hardware thread priority on dispatch, validated against the
+//!   POWER5 privilege rules (supervisor may set 1–6).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hpcsched::prelude::*;
+//!
+//! // A POWER5 machine (2 cores × 2 SMT) running a kernel with the HPC class.
+//! let mut kernel = HpcKernelBuilder::new().build();
+//!
+//! // An intentionally imbalanced pair on core 0: a long worker and a short
+//! // worker that barrier-waits for it every iteration would normally idle
+//! // ~75% of the time. Under SCHED_HPC the long worker's hardware priority
+//! // rises and the pair converges.
+//! # let _ = &mut kernel;
+//! ```
+//!
+//! See the `workloads` and `experiments` crates for the paper's benchmarks
+//! (MetBench, MetBenchVar, BT-MZ, SIESTA) and the regeneration of every
+//! table and figure.
+
+pub mod balance;
+pub mod class;
+pub mod detector;
+pub mod heuristics;
+pub mod mechanism;
+pub mod runtime;
+pub mod tunables;
+
+pub use class::{HpcClass, HpcPolicyKind};
+pub use detector::{LoadImbalanceDetector, TaskIterStats};
+pub use heuristics::{AdaptiveHeuristic, Heuristic, HeuristicKind, HybridHeuristic, UniformHeuristic};
+pub use mechanism::{NullMechanism, Power5Mechanism, PrioMechanism};
+pub use runtime::{HpcKernelBuilder, HpcSchedConfig, PerfModelChoice};
+pub use tunables::HpcTunables;
+
+/// Common imports for users of the library.
+pub mod prelude {
+    pub use crate::class::{HpcClass, HpcPolicyKind};
+    pub use crate::heuristics::{AdaptiveHeuristic, Heuristic, HeuristicKind, HybridHeuristic, UniformHeuristic};
+    pub use crate::runtime::{HpcKernelBuilder, HpcSchedConfig};
+    pub use crate::tunables::HpcTunables;
+    pub use power5::{Chip, CpuId, HwPriority, Topology};
+    pub use schedsim::{
+        Action, Kernel, KernelApi, KernelConfig, NoiseConfig, Program, SchedPolicy, SpawnOptions,
+        TaskId,
+    };
+    pub use simcore::{SimDuration, SimTime};
+}

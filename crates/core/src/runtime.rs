@@ -1,0 +1,217 @@
+//! Convenience assembly: a simulated POWER5 machine running a kernel with
+//! the HPC scheduling class installed.
+
+use crate::class::{HpcClass, HpcPolicyKind, SharedTunables};
+use crate::heuristics::{make_heuristic, HeuristicKind};
+use crate::mechanism::{NullMechanism, Power5Mechanism, PrioMechanism};
+use crate::tunables::HpcTunables;
+use power5::{AnalyticModel, Chip, TableModel, Topology};
+use schedsim::{Kernel, KernelConfig};
+use simcore::SimDuration;
+use std::sync::{Arc, Mutex};
+
+/// Configuration of the HPC scheduling class.
+#[derive(Clone, Debug)]
+pub struct HpcSchedConfig {
+    pub policy: HpcPolicyKind,
+    /// RR time slice for HPC tasks.
+    pub slice: SimDuration,
+    pub heuristic: HeuristicKind,
+    pub tunables: HpcTunables,
+    /// Use the POWER5 mechanism (true) or the no-op mechanism for
+    /// architectures without hardware prioritization (false).
+    pub power5_mechanism: bool,
+    /// Disable the dynamic heuristic entirely (class placement only).
+    pub policy_only: bool,
+}
+
+impl Default for HpcSchedConfig {
+    fn default() -> Self {
+        HpcSchedConfig {
+            policy: HpcPolicyKind::Rr,
+            slice: SimDuration::from_millis(100),
+            heuristic: HeuristicKind::Uniform,
+            tunables: HpcTunables::default(),
+            power5_mechanism: true,
+            policy_only: false,
+        }
+    }
+}
+
+/// Which SMT performance model the chip uses.
+#[derive(Clone, Copy, Debug)]
+pub enum PerfModelChoice {
+    /// The calibrated table model (default; DESIGN.md §3.2).
+    Table,
+    /// The analytic rational model with concavity `k` (ablations).
+    Analytic { k: f64 },
+}
+
+/// Builds a [`Kernel`] on a simulated POWER5 with (optionally) the HPC
+/// class installed — the standard entry point for examples, tests and
+/// experiments.
+pub struct HpcKernelBuilder {
+    topology: Topology,
+    kernel: KernelConfig,
+    hpc: Option<HpcSchedConfig>,
+    model: PerfModelChoice,
+}
+
+impl Default for HpcKernelBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HpcKernelBuilder {
+    /// Paper defaults: OpenPower 710 topology, Linux-2.6.24-like tunables,
+    /// HPC class with the Uniform heuristic.
+    pub fn new() -> Self {
+        HpcKernelBuilder {
+            topology: Topology::openpower_710(),
+            kernel: KernelConfig::default(),
+            hpc: Some(HpcSchedConfig::default()),
+            model: PerfModelChoice::Table,
+        }
+    }
+
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    pub fn kernel_config(mut self, c: KernelConfig) -> Self {
+        self.kernel = c;
+        self
+    }
+
+    pub fn noise(mut self, n: schedsim::NoiseConfig) -> Self {
+        self.kernel.noise = n;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.kernel.seed = seed;
+        self
+    }
+
+    /// Baseline kernel: no HPC class (the paper's "standard CFS" runs).
+    pub fn without_hpc_class(mut self) -> Self {
+        self.hpc = None;
+        self
+    }
+
+    pub fn hpc_config(mut self, cfg: HpcSchedConfig) -> Self {
+        self.hpc = Some(cfg);
+        self
+    }
+
+    pub fn heuristic(mut self, kind: HeuristicKind) -> Self {
+        if let Some(h) = self.hpc.as_mut() {
+            h.heuristic = kind;
+        }
+        self
+    }
+
+    pub fn perf_model(mut self, m: PerfModelChoice) -> Self {
+        self.model = m;
+        self
+    }
+
+    /// Build the kernel. Returns the kernel and, when the HPC class is
+    /// installed, the shared tunables handle (the "sysfs mount") for
+    /// runtime adjustment.
+    pub fn build_with_tunables(self) -> (Kernel, Option<SharedTunables>) {
+        let chip = match self.model {
+            PerfModelChoice::Table => Chip::new(self.topology.clone()),
+            PerfModelChoice::Analytic { k } => {
+                Chip::with_model(self.topology.clone(), Box::new(AnalyticModel { k }))
+            }
+        };
+        let _ = TableModel::default(); // keep the default model's calibration referenced
+        let mut kernel = Kernel::new(chip, self.kernel);
+        let mut handle = None;
+        if let Some(cfg) = self.hpc {
+            cfg.tunables.validate().expect("invalid HPC tunables");
+            let tunables: SharedTunables = Arc::new(Mutex::new(cfg.tunables));
+            handle = Some(tunables.clone());
+            let mech: Box<dyn PrioMechanism> = if cfg.power5_mechanism {
+                Box::new(Power5Mechanism)
+            } else {
+                Box::new(NullMechanism)
+            };
+            let mut class =
+                HpcClass::new(cfg.policy, cfg.slice, make_heuristic(cfg.heuristic), mech, tunables);
+            if cfg.policy_only {
+                class = class.with_static_priorities();
+            }
+            kernel.install_class_after_rt(Box::new(class));
+        }
+        (kernel, handle)
+    }
+
+    /// Build, discarding the tunables handle.
+    pub fn build(self) -> Kernel {
+        self.build_with_tunables().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedsim::program::ScriptedProgram;
+    use schedsim::{SchedPolicy, SpawnOptions};
+
+    #[test]
+    fn builder_installs_hpc_class() {
+        let mut k = HpcKernelBuilder::new().build();
+        // An HPC task can be spawned only if a class handles SCHED_HPC.
+        let t = k.spawn(
+            "rank0",
+            SchedPolicy::Hpc,
+            Box::new(ScriptedProgram::compute_once(0.01)),
+            SpawnOptions::default(),
+        );
+        assert!(k.run_until_exited(&[t], SimDuration::from_secs(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no class handles")]
+    fn baseline_kernel_rejects_hpc_policy() {
+        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        k.spawn(
+            "rank0",
+            SchedPolicy::Hpc,
+            Box::new(ScriptedProgram::compute_once(0.01)),
+            SpawnOptions::default(),
+        );
+    }
+
+    #[test]
+    fn tunables_handle_is_live() {
+        let (_k, handle) = HpcKernelBuilder::new().build_with_tunables();
+        let handle = handle.expect("hpc installed");
+        handle.lock().unwrap().set("high_util", "90").unwrap();
+        assert_eq!(handle.lock().unwrap().get("high_util").unwrap(), "90");
+    }
+
+    #[test]
+    fn baseline_has_no_tunables() {
+        let (_k, handle) = HpcKernelBuilder::new().without_hpc_class().build_with_tunables();
+        assert!(handle.is_none());
+    }
+
+    #[test]
+    fn analytic_model_builds() {
+        let mut k = HpcKernelBuilder::new()
+            .perf_model(PerfModelChoice::Analytic { k: 3.0 })
+            .build();
+        let t = k.spawn(
+            "t",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.01)),
+            SpawnOptions::default(),
+        );
+        assert!(k.run_until_exited(&[t], SimDuration::from_secs(1)).is_some());
+    }
+}

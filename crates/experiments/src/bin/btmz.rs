@@ -1,0 +1,18 @@
+//! Paper Table V / Figure 5 — BT-MZ.
+
+use experiments::paper::BTMZ;
+use experiments::report::{report, save_outputs};
+use experiments::runner::run_modes;
+use experiments::{ExperimentMode, WorkloadKind};
+
+fn main() {
+    let wl = WorkloadKind::BtMz(Default::default());
+    let results = run_modes(&wl, &ExperimentMode::ALL, 2008);
+    print!("{}", report("Table V / Figure 5 — BT-MZ", BTMZ, &results, true));
+    let dir = std::path::Path::new("experiments_output");
+    if let Err(e) = save_outputs(dir, "btmz", &results) {
+        eprintln!("warning: could not save outputs: {e}");
+    } else {
+        println!("machine-readable outputs in {}", dir.display());
+    }
+}

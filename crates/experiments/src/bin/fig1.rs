@@ -1,0 +1,15 @@
+//! Paper Figure 1: scheduling classes of the standard and modified kernel.
+
+fn main() {
+    println!("Figure 1(a) — standard Linux scheduling classes\n");
+    println!("  [RT class]  ->  [CFS class]   ->  [Idle class]");
+    println!("  SCHED_FIFO      SCHED_NORMAL      SCHED_IDLE");
+    println!("  SCHED_RR        SCHED_BATCH\n");
+    println!("Figure 1(b) — HPCSched scheduling classes\n");
+    println!("  [RT class]  ->  [HPC class]  ->  [CFS class]   ->  [Idle class]");
+    println!("  SCHED_FIFO      SCHED_HPC        SCHED_NORMAL      SCHED_IDLE");
+    println!("  SCHED_RR                         SCHED_BATCH\n");
+    println!("The class walk is strict: no task of a lower class runs while a");
+    println!("higher class has runnable tasks, preserving real-time semantics");
+    println!("and giving HPC processes priority over normal tasks (paper IV).");
+}

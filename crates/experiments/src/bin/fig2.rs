@@ -1,0 +1,22 @@
+//! Paper Figure 2: the iterative run/wait behaviour of one HPC task.
+
+use experiments::{run, ExperimentMode, WorkloadKind};
+use tracefmt::{render_timeline, AsciiOptions};
+use workloads::metbench::MetBenchConfig;
+
+fn main() {
+    let cfg = MetBenchConfig {
+        loads: vec![0.3, 1.2, 0.3, 1.2],
+        iterations: 6,
+        ..Default::default()
+    };
+    let r = run(&WorkloadKind::MetBench(cfg), ExperimentMode::Baseline, 42);
+    println!("Figure 2 — iterative behaviour: compute phase (tR) then wait (tW)\n");
+    let one = r.timeline.filter_tasks(&r.ranks[..1]);
+    print!("{}", render_timeline(&one, &AsciiOptions { width: 110, ..Default::default() }));
+    let tl = &one.tasks[0];
+    println!("\nPer-iteration utilization Ui = tR/ti for {}:", tl.name);
+    for (i, (t, u)) in tl.iterations.iter().enumerate().skip(1) {
+        println!("  iteration {:>2} ended at {:>8.3}s  Ui = {:>5.1}%", i, t.as_secs_f64(), u * 100.0);
+    }
+}

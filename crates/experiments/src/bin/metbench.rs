@@ -1,0 +1,18 @@
+//! Paper Table III / Figure 3 — MetBench.
+
+use experiments::paper::METBENCH;
+use experiments::report::{report, save_outputs};
+use experiments::runner::run_modes;
+use experiments::{ExperimentMode, WorkloadKind};
+
+fn main() {
+    let wl = WorkloadKind::MetBench(Default::default());
+    let results = run_modes(&wl, &ExperimentMode::ALL, 2008);
+    print!("{}", report("Table III / Figure 3 — MetBench", METBENCH, &results, true));
+    let dir = std::path::Path::new("experiments_output");
+    if let Err(e) = save_outputs(dir, "metbench", &results) {
+        eprintln!("warning: could not save outputs: {e}");
+    } else {
+        println!("machine-readable outputs in {}", dir.display());
+    }
+}

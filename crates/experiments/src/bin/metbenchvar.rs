@@ -1,0 +1,18 @@
+//! Paper Table IV / Figure 4 — MetBenchVar.
+
+use experiments::paper::METBENCHVAR;
+use experiments::report::{report, save_outputs};
+use experiments::runner::run_modes;
+use experiments::{ExperimentMode, WorkloadKind};
+
+fn main() {
+    let wl = WorkloadKind::MetBenchVar(Default::default());
+    let results = run_modes(&wl, &ExperimentMode::ALL, 2008);
+    print!("{}", report("Table IV / Figure 4 — MetBenchVar", METBENCHVAR, &results, true));
+    let dir = std::path::Path::new("experiments_output");
+    if let Err(e) = save_outputs(dir, "metbenchvar", &results) {
+        eprintln!("warning: could not save outputs: {e}");
+    } else {
+        println!("machine-readable outputs in {}", dir.display());
+    }
+}

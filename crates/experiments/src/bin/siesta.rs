@@ -1,0 +1,18 @@
+//! Paper Table VI / Figure 6 — SIESTA.
+
+use experiments::paper::SIESTA;
+use experiments::report::{report, save_outputs};
+use experiments::runner::run_modes;
+use experiments::{ExperimentMode, WorkloadKind};
+
+fn main() {
+    let wl = WorkloadKind::Siesta(Default::default());
+    let results = run_modes(&wl, &[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive], 2008);
+    print!("{}", report("Table VI / Figure 6 — SIESTA", SIESTA, &results, true));
+    let dir = std::path::Path::new("experiments_output");
+    if let Err(e) = save_outputs(dir, "siesta", &results) {
+        eprintln!("warning: could not save outputs: {e}");
+    } else {
+        println!("machine-readable outputs in {}", dir.display());
+    }
+}

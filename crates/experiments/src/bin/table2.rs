@@ -1,0 +1,28 @@
+//! Paper Table II: privilege level and or-nop encoding per priority level.
+
+use power5::priority::issue_or_nop;
+use power5::{HwPriority, PrivilegeLevel};
+
+fn main() {
+    println!("Table II — priority levels, privileges and or-nop encodings\n");
+    println!("{:>8}  {:<12} {:<11} {:<12} settable by {{user, supervisor, hypervisor}}", "Priority", "Level", "Privilege", "or-nop");
+    for v in 0..=7u8 {
+        let p = HwPriority::new(v).unwrap();
+        let ornop = p
+            .or_nop_register()
+            .map(|r| format!("or {r},{r},{r}"))
+            .unwrap_or_else(|| "-".to_string());
+        let can = |lvl| issue_or_nop(p, lvl).is_ok();
+        println!(
+            "{:>8}  {:<12} {:<11} {:<12} {{{}, {}, {}}}",
+            v,
+            p.level_name(),
+            format!("{:?}", p.required_privilege()),
+            ornop,
+            can(PrivilegeLevel::User),
+            can(PrivilegeLevel::Supervisor),
+            can(PrivilegeLevel::Hypervisor),
+        );
+    }
+    println!("\nNote: priority 0 (thread off) has no or-nop encoding; the\nhypervisor switches threads off through the thread-control facility.");
+}

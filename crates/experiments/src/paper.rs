@@ -1,0 +1,98 @@
+//! The paper's published numbers (Tables I and III–VI), embedded so every
+//! experiment binary can print a paper-vs-measured comparison.
+
+/// One row of a paper evaluation table.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    pub mode: &'static str,
+    /// `%Comp` per process P1..P4 (NaN = not reported).
+    pub comp: [f64; 4],
+    pub exec_secs: f64,
+}
+
+/// Paper Table III — MetBench.
+pub const METBENCH: &[PaperRow] = &[
+    PaperRow { mode: "Baseline", comp: [25.34, 99.98, 25.32, 99.97], exec_secs: 81.78 },
+    PaperRow { mode: "Static", comp: [99.97, 99.64, 99.95, 99.64], exec_secs: 70.90 },
+    PaperRow { mode: "Uniform", comp: [96.17, 98.57, 90.94, 99.57], exec_secs: 71.74 },
+    PaperRow { mode: "Adaptive", comp: [80.64, 99.52, 87.52, 99.20], exec_secs: 71.65 },
+];
+
+/// Paper Table IV — MetBenchVar.
+pub const METBENCHVAR: &[PaperRow] = &[
+    PaperRow { mode: "Baseline", comp: [50.24, 75.09, 50.22, 75.08], exec_secs: 368.17 },
+    PaperRow { mode: "Static", comp: [99.97, 68.06, 99.94, 68.04], exec_secs: 338.40 },
+    PaperRow { mode: "Uniform", comp: [91.47, 95.55, 91.44, 95.33], exec_secs: 327.17 },
+    PaperRow { mode: "Adaptive", comp: [89.61, 93.08, 89.99, 95.15], exec_secs: 326.41 },
+];
+
+/// Paper Table V — BT-MZ.
+pub const BTMZ: &[PaperRow] = &[
+    PaperRow { mode: "Baseline", comp: [17.63, 29.85, 66.09, 99.85], exec_secs: 94.97 },
+    PaperRow { mode: "Static", comp: [70.64, 42.22, 60.96, 99.85], exec_secs: 79.63 },
+    PaperRow { mode: "Uniform", comp: [70.31, 37.18, 65.29, 99.85], exec_secs: 79.81 },
+    PaperRow { mode: "Adaptive", comp: [70.31, 37.30, 65.30, 99.83], exec_secs: 79.92 },
+];
+
+/// Paper Table VI — SIESTA (no static run in the paper).
+pub const SIESTA: &[PaperRow] = &[
+    PaperRow { mode: "Baseline", comp: [98.90, 52.79, 28.45, 19.99], exec_secs: 81.49 },
+    PaperRow { mode: "Uniform", comp: [98.81, 53.38, 31.41, 21.68], exec_secs: 76.82 },
+    PaperRow { mode: "Adaptive", comp: [98.81, 53.40, 31.47, 21.71], exec_secs: 76.91 },
+];
+
+/// Paper Table I — decode cycles per priority difference.
+pub const TABLE1: &[(u8, u32, u32, u32)] = &[
+    // (difference, R, decode cycles high, decode cycles low)
+    (0, 2, 1, 1),
+    (1, 4, 3, 1),
+    (2, 8, 7, 1),
+    (3, 16, 15, 1),
+    (4, 32, 31, 1),
+    (5, 64, 63, 1),
+];
+
+/// Look up the paper row for a mode label.
+pub fn paper_row(table: &'static [PaperRow], mode: &str) -> Option<&'static PaperRow> {
+    table.iter().find(|r| r.mode == mode)
+}
+
+/// Improvement of a row over its table's baseline, in percent.
+pub fn paper_improvement(table: &'static [PaperRow], mode: &str) -> Option<f64> {
+    let base = paper_row(table, "Baseline")?.exec_secs;
+    let row = paper_row(table, mode)?;
+    Some(100.0 * (base - row.exec_secs) / base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_work() {
+        assert_eq!(paper_row(METBENCH, "Static").unwrap().exec_secs, 70.90);
+        assert!(paper_row(SIESTA, "Static").is_none());
+    }
+
+    #[test]
+    fn improvements_match_the_text() {
+        // §V-A: static ≈13%, dynamic ≈12%.
+        assert!((paper_improvement(METBENCH, "Static").unwrap() - 13.3).abs() < 0.5);
+        assert!((paper_improvement(METBENCH, "Uniform").unwrap() - 12.3).abs() < 0.5);
+        // §V-B: ≈11%.
+        assert!((paper_improvement(METBENCHVAR, "Uniform").unwrap() - 11.1).abs() < 0.5);
+        // §V-C: ≈16%.
+        assert!((paper_improvement(BTMZ, "Uniform").unwrap() - 16.0).abs() < 0.5);
+        // §V-D: ≈6%.
+        assert!((paper_improvement(SIESTA, "Uniform").unwrap() - 5.7).abs() < 0.5);
+    }
+
+    #[test]
+    fn table1_is_the_arbitration_law() {
+        for &(d, r, high, low) in TABLE1 {
+            assert_eq!(r, 2u32 << d, "R = 2^(d+1)");
+            assert_eq!(high + low, r);
+            assert_eq!(low, 1);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared reporting: paper-vs-measured tables and figure rendering.
+
+use crate::paper::{paper_improvement, paper_row, PaperRow};
+use crate::runner::{ExperimentMode, RunResult};
+use std::fmt::Write;
+use tracefmt::{render_timeline, AsciiOptions};
+
+/// Print one experiment: measured table, paper-vs-measured summary, and
+/// (optionally) the ASCII trace figures.
+pub fn report(
+    title: &str,
+    paper_table: &'static [PaperRow],
+    results: &[RunResult],
+    with_figures: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "==== {title} ====\n");
+
+    // Measured table (paper layout).
+    let _ = writeln!(out, "{}", crate::runner::comparison_table(results));
+
+    // Paper vs measured.
+    let base = results.iter().find(|r| r.mode == ExperimentMode::Baseline).map(|r| r.exec_secs);
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "Mode", "paper exec(s)", "ours exec(s)", "paper imp.", "ours imp."
+    );
+    for r in results {
+        let paper = paper_row(paper_table, r.mode.label());
+        let p_exec =
+            paper.map(|p| format!("{:.2}", p.exec_secs)).unwrap_or_else(|| "-".to_string());
+        let p_imp = paper_improvement(paper_table, r.mode.label())
+            .map(|v| format!("{v:+.1}%"))
+            .unwrap_or_else(|| "-".to_string());
+        let o_imp = base
+            .map(|b| format!("{:+.1}%", 100.0 * (b - r.exec_secs) / b))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>14.2} {:>12} {:>12}",
+            r.mode.label(),
+            p_exec,
+            r.exec_secs,
+            p_imp,
+            o_imp
+        );
+    }
+    let _ = writeln!(out);
+
+    if with_figures {
+        for r in results {
+            let _ = writeln!(out, "--- {} / {} trace ---", title, r.mode.label());
+            let _ = write!(
+                out,
+                "{}",
+                render_timeline(&r.timeline, &AsciiOptions { width: 110, ..Default::default() })
+            );
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Persist machine-readable outputs of an experiment under `dir`.
+pub fn save_outputs(
+    dir: &std::path::Path,
+    slug: &str,
+    results: &[RunResult],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for r in results {
+        let base = dir.join(format!("{}_{}", slug, r.mode.label().to_lowercase()));
+        std::fs::write(
+            base.with_extension("stats.csv"),
+            tracefmt::export::stats_to_csv(&r.stats),
+        )?;
+        std::fs::write(
+            base.with_extension("trace.csv"),
+            tracefmt::export::timeline_to_csv(&r.timeline),
+        )?;
+        // Paraver-format trace, loadable in the paper's own tool.
+        std::fs::write(base.with_extension("prv"), tracefmt::prv::to_prv(&r.timeline))?;
+        std::fs::write(base.with_extension("pcf"), tracefmt::prv::to_pcf())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,302 @@
+//! The experiment runner: workload × scheduler-mode → paper-style results.
+
+use hpcsched::{HeuristicKind, HpcKernelBuilder, HpcSchedConfig};
+use schedsim::{Kernel, NoiseConfig, SharedSink, TaskId};
+use simcore::SimDuration;
+use tracefmt::{AppStats, Timeline};
+use workloads::btmz::BtMzConfig;
+use workloads::metbench::MetBenchConfig;
+use workloads::metbenchvar::MetBenchVarConfig;
+use workloads::siesta::SiestaConfig;
+use workloads::SchedulerSetup;
+
+/// Which application to run.
+#[derive(Clone, Debug)]
+pub enum WorkloadKind {
+    MetBench(MetBenchConfig),
+    MetBenchVar(MetBenchVarConfig),
+    BtMz(BtMzConfig),
+    Siesta(SiestaConfig),
+}
+
+impl WorkloadKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::MetBench(_) => "MetBench",
+            WorkloadKind::MetBenchVar(_) => "MetBenchVar",
+            WorkloadKind::BtMz(_) => "BT-MZ",
+            WorkloadKind::Siesta(_) => "SIESTA",
+        }
+    }
+
+    /// OS noise active during the run. SIESTA is evaluated on a "live"
+    /// node (its result depends on competing daemons, §V-D); the
+    /// microbenchmarks run on a quiet one.
+    pub fn noise(&self) -> NoiseConfig {
+        match self {
+            WorkloadKind::Siesta(_) => NoiseConfig::light(),
+            _ => NoiseConfig::off(),
+        }
+    }
+
+    fn static_priorities(&self) -> Vec<power5::HwPriority> {
+        match self {
+            WorkloadKind::MetBench(c) => c.static_priorities(),
+            WorkloadKind::MetBenchVar(c) => c.base.static_priorities(),
+            WorkloadKind::BtMz(c) => c.static_priorities(),
+            // The paper has no static run for SIESTA (its §V-D tables list
+            // baseline/Uniform/Adaptive only); default priorities.
+            WorkloadKind::Siesta(c) => vec![power5::HwPriority::MEDIUM; c.ranks()],
+        }
+    }
+}
+
+/// The paper's experiment axes: the scheduler under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExperimentMode {
+    /// Stock kernel + CFS (the "Baseline 2.6.24" rows).
+    Baseline,
+    /// Stock kernel + hand-tuned fixed hardware priorities.
+    Static,
+    /// HPCSched with the Uniform heuristic.
+    Uniform,
+    /// HPCSched with the Adaptive heuristic.
+    Adaptive,
+    /// HPCSched with this reproduction's Hybrid heuristic (the paper's
+    /// future-work item; not part of the paper's own evaluation).
+    Hybrid,
+}
+
+impl ExperimentMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExperimentMode::Baseline => "Baseline",
+            ExperimentMode::Static => "Static",
+            ExperimentMode::Uniform => "Uniform",
+            ExperimentMode::Adaptive => "Adaptive",
+            ExperimentMode::Hybrid => "Hybrid",
+        }
+    }
+
+    pub const ALL: [ExperimentMode; 4] = [
+        ExperimentMode::Baseline,
+        ExperimentMode::Static,
+        ExperimentMode::Uniform,
+        ExperimentMode::Adaptive,
+    ];
+}
+
+/// Everything a table or figure needs from one run.
+pub struct RunResult {
+    pub workload: &'static str,
+    pub mode: ExperimentMode,
+    /// Application execution time (seconds).
+    pub exec_secs: f64,
+    /// Per-rank statistics (paper's %Comp / Priority columns).
+    pub stats: AppStats,
+    /// Trace for figure rendering (application tasks only).
+    pub timeline: Timeline,
+    /// Application task ids, P1..Pn (without the MetBench master).
+    pub ranks: Vec<TaskId>,
+    /// Mean scheduler wakeup latency across ranks (microseconds).
+    pub mean_latency_us: f64,
+    /// Hardware-priority writes issued during the run.
+    pub priority_writes: u64,
+}
+
+fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Kernel {
+    let mut b = HpcKernelBuilder::new().noise(wl.noise()).seed(seed);
+    b = match mode {
+        ExperimentMode::Baseline | ExperimentMode::Static => b.without_hpc_class(),
+        ExperimentMode::Uniform => b.hpc_config(HpcSchedConfig {
+            heuristic: HeuristicKind::Uniform,
+            ..Default::default()
+        }),
+        ExperimentMode::Adaptive => b.hpc_config(HpcSchedConfig {
+            heuristic: HeuristicKind::Adaptive,
+            ..Default::default()
+        }),
+        ExperimentMode::Hybrid => b.hpc_config(HpcSchedConfig {
+            heuristic: HeuristicKind::Hybrid,
+            ..Default::default()
+        }),
+    };
+    b.build()
+}
+
+fn setup_for(wl: &WorkloadKind, mode: ExperimentMode) -> SchedulerSetup {
+    match mode {
+        ExperimentMode::Baseline => SchedulerSetup::Baseline,
+        ExperimentMode::Static => SchedulerSetup::Static(wl.static_priorities()),
+        ExperimentMode::Uniform | ExperimentMode::Adaptive | ExperimentMode::Hybrid => {
+            SchedulerSetup::Hpc
+        }
+    }
+}
+
+/// Run one experiment cell. `deadline` bounds the simulation (generous; a
+/// run hitting it is a bug and panics).
+pub fn run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> RunResult {
+    let mut kernel = build_kernel(wl, mode, seed);
+    let sink = SharedSink::new();
+    kernel.set_trace(Box::new(sink.clone()));
+    let setup = setup_for(wl, mode);
+
+    let (ranks, all): (Vec<TaskId>, Vec<TaskId>) = match wl {
+        WorkloadKind::MetBench(cfg) => {
+            let (workers, master) = workloads::metbench::spawn(&mut kernel, cfg, &setup);
+            let mut all = workers.clone();
+            all.push(master);
+            (workers, all)
+        }
+        WorkloadKind::MetBenchVar(cfg) => {
+            let (workers, master) = workloads::metbenchvar::spawn(&mut kernel, cfg, &setup);
+            let mut all = workers.clone();
+            all.push(master);
+            (workers, all)
+        }
+        WorkloadKind::BtMz(cfg) => {
+            let ranks = workloads::btmz::spawn(&mut kernel, cfg, &setup);
+            (ranks.clone(), ranks)
+        }
+        WorkloadKind::Siesta(cfg) => {
+            let ranks = workloads::siesta::spawn(&mut kernel, cfg, &setup);
+            (ranks.clone(), ranks)
+        }
+    };
+
+    let deadline = SimDuration::from_secs(3_600);
+    let end = kernel
+        .run_until_exited(&all, deadline)
+        .unwrap_or_else(|| panic!("{} {:?} did not finish", wl.name(), mode));
+
+    let records = sink.snapshot();
+    let timeline = Timeline::from_records(&records).filter_tasks(&ranks);
+    let stats = AppStats::for_tasks(&timeline, &ranks);
+
+    let mean_latency_us = {
+        let (sum, n) = ranks.iter().fold((0.0, 0u64), |(s, n), &r| {
+            let t = kernel.task(r);
+            (s + t.latency_total.as_nanos() as f64 / 1e3, n + t.latency_samples)
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    };
+
+    RunResult {
+        workload: wl.name(),
+        mode,
+        exec_secs: end.as_secs_f64(),
+        stats,
+        timeline,
+        ranks,
+        mean_latency_us,
+        priority_writes: kernel.metrics().priority_writes,
+    }
+}
+
+/// Run several modes concurrently (each run is independent and
+/// deterministic); results return in input order.
+pub fn run_modes(wl: &WorkloadKind, modes: &[ExperimentMode], seed: u64) -> Vec<RunResult> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> =
+            modes.iter().map(|&m| s.spawn(move |_| run(wl, m, seed))).collect();
+        handles.into_iter().map(|h| h.join().expect("experiment thread")).collect()
+    })
+    .expect("scope")
+}
+
+/// Render a paper-style comparison table across modes.
+pub fn comparison_table(results: &[RunResult]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let baseline = results
+        .iter()
+        .find(|r| r.mode == ExperimentMode::Baseline)
+        .map(|r| r.exec_secs);
+    let _ = writeln!(out, "Test       Proc   %Comp    Prio   Exec. Time   Improvement");
+    for r in results {
+        for (i, row) in r.stats.tasks.iter().enumerate() {
+            let prio = row.final_prio.map(|p| p.to_string()).unwrap_or_else(|| "-".into());
+            let (exec, imp) = if i == 0 {
+                let imp = baseline
+                    .map(|b| format!("{:+.1}%", 100.0 * (b - r.exec_secs) / b))
+                    .unwrap_or_default();
+                (format!("{:.2}s", r.exec_secs), imp)
+            } else {
+                (String::new(), String::new())
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:<6} {:>6.2}  {:>5}   {:>10}   {:>10}",
+                if i == 0 { r.mode.label() } else { "" },
+                format!("P{}", i + 1),
+                row.comp_percent,
+                prio,
+                exec,
+                imp
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_metbench() -> WorkloadKind {
+        WorkloadKind::MetBench(MetBenchConfig {
+            loads: vec![0.02, 0.08, 0.02, 0.08],
+            iterations: 4,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn runner_produces_consistent_result() {
+        let r = run(&tiny_metbench(), ExperimentMode::Uniform, 1);
+        assert_eq!(r.workload, "MetBench");
+        assert_eq!(r.ranks.len(), 4);
+        assert_eq!(r.stats.tasks.len(), 4);
+        assert!(r.exec_secs > 0.0);
+        assert!(r.priority_writes > 0);
+    }
+
+    #[test]
+    fn deterministic_across_repeats() {
+        let a = run(&tiny_metbench(), ExperimentMode::Adaptive, 7);
+        let b = run(&tiny_metbench(), ExperimentMode::Adaptive, 7);
+        assert_eq!(a.exec_secs, b.exec_secs);
+        for (x, y) in a.stats.tasks.iter().zip(&b.stats.tasks) {
+            assert_eq!(x.comp_percent, y.comp_percent);
+        }
+    }
+
+    #[test]
+    fn modes_order_preserved_in_parallel_run() {
+        let rs = run_modes(
+            &tiny_metbench(),
+            &[ExperimentMode::Baseline, ExperimentMode::Uniform],
+            3,
+        );
+        assert_eq!(rs[0].mode, ExperimentMode::Baseline);
+        assert_eq!(rs[1].mode, ExperimentMode::Uniform);
+    }
+
+    #[test]
+    fn comparison_table_contains_improvement() {
+        let rs = run_modes(
+            &tiny_metbench(),
+            &[ExperimentMode::Baseline, ExperimentMode::Uniform],
+            3,
+        );
+        let t = comparison_table(&rs);
+        assert!(t.contains("Baseline"));
+        assert!(t.contains("Uniform"));
+        assert!(t.contains('%'));
+    }
+}

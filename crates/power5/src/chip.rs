@@ -1,0 +1,362 @@
+//! The stateful chip: per-context hardware priority registers and the
+//! software interface for reading and writing them.
+//!
+//! The kernel's architecture-dependent "Mechanism" component (paper §IV-C)
+//! talks to this type: it issues `or`-nops at supervisor privilege to set a
+//! context's priority, and reads the registers back. The scheduler core asks
+//! the chip for the current [`crate::SpeedFactors`] of each core so the simulation
+//! can advance task work at the right rate.
+
+use crate::perf::{CtxLoad, PerfModel, TableModel, TaskPerfTraits};
+use crate::priority::{issue_or_nop, HwPriority, PriorityError, PrivilegeLevel};
+use crate::topology::{ContextId, CoreId, CpuId, Topology};
+
+/// The software-visible state of one hardware context.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContextState {
+    /// Current hardware thread priority.
+    pub priority: HwPriority,
+    /// Whether a task is currently dispatched here, and its performance
+    /// traits. `None` = context idle (the kernel's idle loop on POWER5
+    /// drops the thread priority so the sibling gets the core; we model
+    /// idle as ceding all resources).
+    pub load: Option<TaskPerfTraits>,
+}
+
+impl Default for ContextState {
+    fn default() -> Self {
+        ContextState { priority: HwPriority::MEDIUM, load: None }
+    }
+}
+
+impl ContextState {
+    fn as_ctx_load(&self) -> CtxLoad {
+        match self.load {
+            Some(traits) => CtxLoad::Busy { prio: self.priority, traits },
+            None => CtxLoad::Idle,
+        }
+    }
+}
+
+/// What an *idle* hardware context does to its busy sibling.
+///
+/// On the paper's Linux 2.6.24/POWER5 setup the idle loop **spins** on the
+/// context at medium priority, still consuming decode slots — the busy
+/// sibling does *not* get single-thread speed just because its sibling has
+/// nothing to run. (This is precisely why boosting the busy thread's
+/// hardware priority pays off even while its partner waits on a barrier.)
+/// `Snooze` models an idle loop that drops the thread priority to Very low,
+/// ceding the core — kept as an ablation knob.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IdleMode {
+    /// Idle context spins at Medium priority (Linux 2.6.24 default).
+    Spin,
+    /// Idle context cedes the core; the sibling runs at ~ST speed.
+    Snooze,
+}
+
+/// A simulated machine's worth of POWER5 silicon (one or more chips — the
+/// name reflects the paper's single-chip machine, but multi-chip topologies
+/// are supported for the cluster-direction experiments).
+pub struct Chip {
+    topology: Topology,
+    contexts: Vec<ContextState>,
+    model: Box<dyn PerfModel + Send + Sync>,
+    prio_writes: u64,
+    idle_mode: IdleMode,
+}
+
+impl Chip {
+    /// Build a chip with the default calibrated performance model.
+    pub fn new(topology: Topology) -> Self {
+        Chip::with_model(topology, Box::new(TableModel::default()))
+    }
+
+    /// Build a chip with a custom performance model (used by ablations).
+    pub fn with_model(topology: Topology, model: Box<dyn PerfModel + Send + Sync>) -> Self {
+        let n = topology.num_cpus();
+        Chip {
+            topology,
+            contexts: vec![ContextState::default(); n],
+            model,
+            prio_writes: 0,
+            idle_mode: IdleMode::Spin,
+        }
+    }
+
+    /// Change the idle-loop model (ablations).
+    pub fn set_idle_mode(&mut self, mode: IdleMode) {
+        self.idle_mode = mode;
+    }
+
+    pub fn idle_mode(&self) -> IdleMode {
+        self.idle_mode
+    }
+
+    /// How an unloaded context presents to the arbitration model.
+    fn idle_ctx_load(&self) -> CtxLoad {
+        match self.idle_mode {
+            // The spinning idle loop consumes decode slots like a medium-
+            // priority compute thread, but its "speed" is meaningless.
+            IdleMode::Spin => CtxLoad::Busy {
+                prio: HwPriority::MEDIUM,
+                traits: TaskPerfTraits::default(),
+            },
+            IdleMode::Snooze => CtxLoad::Idle,
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current state of a context.
+    pub fn context(&self, cpu: CpuId) -> ContextState {
+        self.contexts[cpu.0]
+    }
+
+    /// Read the hardware priority of a context (always permitted; the PPR
+    /// register is readable at any privilege).
+    pub fn priority_of(&self, cpu: CpuId) -> HwPriority {
+        self.contexts[cpu.0].priority
+    }
+
+    /// Number of priority writes issued so far (mechanism overhead metric).
+    pub fn priority_writes(&self) -> u64 {
+        self.prio_writes
+    }
+
+    /// Issue an `or X,X,X` nop on `cpu` at the given privilege, requesting
+    /// `prio`. Mirrors the real interface: the instruction executes on the
+    /// context whose priority changes.
+    pub fn set_priority(
+        &mut self,
+        cpu: CpuId,
+        prio: HwPriority,
+        level: PrivilegeLevel,
+    ) -> Result<(), PriorityError> {
+        let effective = issue_or_nop(prio, level)?;
+        self.contexts[cpu.0].priority = effective;
+        self.prio_writes += 1;
+        Ok(())
+    }
+
+    /// Hypervisor-only direct register write (used to model thread on/off
+    /// and test setup; bypasses the or-nop encoding restriction).
+    pub fn set_priority_hypervisor(&mut self, cpu: CpuId, prio: HwPriority) {
+        self.contexts[cpu.0].priority = prio;
+        self.prio_writes += 1;
+    }
+
+    /// Dispatch a task (its perf traits) onto a context, or clear it.
+    pub fn set_load(&mut self, cpu: CpuId, load: Option<TaskPerfTraits>) {
+        self.contexts[cpu.0].load = load;
+    }
+
+    /// Reset a context's priority to the boot default (Medium).
+    pub fn reset_priority(&mut self, cpu: CpuId) {
+        self.contexts[cpu.0].priority = HwPriority::MEDIUM;
+    }
+
+    /// Current speed factors of the contexts of `core`, in context order.
+    ///
+    /// For single-thread cores the single context runs at ST speed whenever
+    /// loaded. On SMT cores an *unloaded* context is presented to the model
+    /// according to [`IdleMode`]; an unloaded context's own speed is always
+    /// reported as 0.
+    pub fn core_speeds(&self, core: CoreId) -> Vec<(CpuId, f64)> {
+        let cpus = self.topology.cpus_of_core(core);
+        let present = |cpu: &CpuId| -> CtxLoad {
+            let st = self.contexts[cpu.0];
+            if st.load.is_some() {
+                st.as_ctx_load()
+            } else {
+                self.idle_ctx_load()
+            }
+        };
+        match cpus.as_slice() {
+            [only] => {
+                let s = self.model.speeds(self.contexts[only.0].as_ctx_load(), CtxLoad::Idle);
+                vec![(*only, s.a)]
+            }
+            [a, b] => {
+                let s = self.model.speeds(present(a), present(b));
+                let speed_a = if self.contexts[a.0].load.is_some() { s.a } else { 0.0 };
+                let speed_b = if self.contexts[b.0].load.is_some() { s.b } else { 0.0 };
+                vec![(*a, speed_a), (*b, speed_b)]
+            }
+            _ => unreachable!("topology is at most 2-way SMT"),
+        }
+    }
+
+    /// Speed factor of one CPU right now.
+    pub fn speed_of(&self, cpu: CpuId) -> f64 {
+        let core = self.topology.core_of(cpu);
+        self.core_speeds(core)
+            .into_iter()
+            .find(|(c, _)| *c == cpu)
+            .map(|(_, s)| s)
+            .expect("cpu belongs to its core")
+    }
+
+    /// Speed factors of every CPU, indexed by CPU id.
+    pub fn all_speeds(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.topology.num_cpus()];
+        for core in self.topology.cores() {
+            for (cpu, s) in self.core_speeds(core) {
+                out[cpu.0] = s;
+            }
+        }
+        out
+    }
+
+    /// The context slot of `cpu` (exposed for diagnostics).
+    pub fn context_slot(&self, cpu: CpuId) -> ContextId {
+        self.topology.context_of(cpu)
+    }
+}
+
+impl std::fmt::Debug for Chip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chip")
+            .field("topology", &self.topology)
+            .field("contexts", &self.contexts)
+            .field("prio_writes", &self.prio_writes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> Chip {
+        Chip::new(Topology::openpower_710())
+    }
+
+    fn p(v: u8) -> HwPriority {
+        HwPriority::new(v).unwrap()
+    }
+
+    #[test]
+    fn boot_state_is_medium_idle() {
+        let c = chip();
+        for cpu in c.topology().cpus() {
+            assert_eq!(c.priority_of(cpu), HwPriority::MEDIUM);
+            assert_eq!(c.context(cpu).load, None);
+            assert_eq!(c.speed_of(cpu), 0.0, "idle context has no speed");
+        }
+    }
+
+    #[test]
+    fn supervisor_sets_high_priority() {
+        let mut c = chip();
+        c.set_priority(CpuId(0), p(6), PrivilegeLevel::Supervisor).unwrap();
+        assert_eq!(c.priority_of(CpuId(0)), p(6));
+        assert_eq!(c.priority_writes(), 1);
+    }
+
+    #[test]
+    fn user_cannot_set_high_priority() {
+        let mut c = chip();
+        let err = c.set_priority(CpuId(0), p(6), PrivilegeLevel::User).unwrap_err();
+        assert!(matches!(err, PriorityError::InsufficientPrivilege { .. }));
+        assert_eq!(c.priority_of(CpuId(0)), HwPriority::MEDIUM, "state unchanged");
+    }
+
+    #[test]
+    fn speeds_follow_priorities() {
+        let mut c = chip();
+        let t = TaskPerfTraits::default();
+        c.set_load(CpuId(0), Some(t));
+        c.set_load(CpuId(1), Some(t));
+        // Equal priorities.
+        let s0 = c.speed_of(CpuId(0));
+        let s1 = c.speed_of(CpuId(1));
+        assert!((s0 - 0.8).abs() < 1e-12);
+        assert!((s1 - 0.8).abs() < 1e-12);
+        // Favour cpu0 by 2.
+        c.set_priority(CpuId(0), p(6), PrivilegeLevel::Supervisor).unwrap();
+        assert!(c.speed_of(CpuId(0)) > 0.9);
+        assert!(c.speed_of(CpuId(1)) < 0.3);
+    }
+
+    #[test]
+    fn spinning_idle_sibling_keeps_smt_speed() {
+        // Default (Spin): the idle loop occupies the sibling context at
+        // Medium priority, so the busy thread stays at equal-SMT speed.
+        let mut c = chip();
+        c.set_load(CpuId(2), Some(TaskPerfTraits::default()));
+        assert!((c.speed_of(CpuId(2)) - 0.8).abs() < 1e-12);
+        assert_eq!(c.speed_of(CpuId(3)), 0.0);
+    }
+
+    #[test]
+    fn prioritized_thread_beats_spinning_idle_loop() {
+        // A High-priority thread outruns the Medium-priority idle spin —
+        // the effect the paper's balancing relies on during wait phases.
+        let mut c = chip();
+        c.set_load(CpuId(2), Some(TaskPerfTraits::default()));
+        c.set_priority(CpuId(2), p(6), PrivilegeLevel::Supervisor).unwrap();
+        assert!((c.speed_of(CpuId(2)) - 0.8 * 1.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snoozing_idle_sibling_means_st_speed() {
+        let mut c = chip();
+        c.set_idle_mode(IdleMode::Snooze);
+        assert_eq!(c.idle_mode(), IdleMode::Snooze);
+        c.set_load(CpuId(2), Some(TaskPerfTraits::default()));
+        assert!((c.speed_of(CpuId(2)) - 1.0).abs() < 1e-12);
+        assert_eq!(c.speed_of(CpuId(3)), 0.0);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut c = chip();
+        let t = TaskPerfTraits::default();
+        for cpu in c.topology().cpus() {
+            c.set_load(cpu, Some(t));
+        }
+        c.set_priority(CpuId(0), p(6), PrivilegeLevel::Supervisor).unwrap();
+        // Core 1 (cpus 2,3) is untouched.
+        assert!((c.speed_of(CpuId(2)) - 0.8).abs() < 1e-12);
+        assert!((c.speed_of(CpuId(3)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_speeds_indexes_by_cpu() {
+        let mut c = chip();
+        c.set_load(CpuId(1), Some(TaskPerfTraits::default()));
+        let v = c.all_speeds();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0], 0.0, "unloaded context reports no speed");
+        assert!((v[1] - 0.8).abs() < 1e-12, "busy thread vs spinning idle");
+    }
+
+    #[test]
+    fn reset_priority_restores_medium() {
+        let mut c = chip();
+        c.set_priority(CpuId(0), p(5), PrivilegeLevel::Supervisor).unwrap();
+        c.reset_priority(CpuId(0));
+        assert_eq!(c.priority_of(CpuId(0)), HwPriority::MEDIUM);
+    }
+
+    #[test]
+    fn hypervisor_write_can_switch_thread_off() {
+        let mut c = chip();
+        let t = TaskPerfTraits::default();
+        c.set_load(CpuId(0), Some(t));
+        c.set_load(CpuId(1), Some(t));
+        c.set_priority_hypervisor(CpuId(1), HwPriority::OFF);
+        assert!((c.speed_of(CpuId(0)) - 1.0).abs() < 1e-12, "sibling owns the core");
+        assert_eq!(c.speed_of(CpuId(1)), 0.0);
+    }
+
+    #[test]
+    fn single_thread_topology_speeds() {
+        let mut c = Chip::new(Topology::single_core_st());
+        c.set_load(CpuId(0), Some(TaskPerfTraits::default()));
+        assert!((c.speed_of(CpuId(0)) - 1.0).abs() < 1e-12);
+    }
+}

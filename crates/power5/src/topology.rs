@@ -1,0 +1,244 @@
+//! Processor topology: chips → cores → hardware contexts.
+//!
+//! Linux sees each hardware context (SMT thread) as one CPU. The paper's
+//! evaluation machine is an IBM OpenPower 710 with a single POWER5: one chip,
+//! two cores, two contexts per core — four logical CPUs. The scheduler's
+//! load balancer works over a three-level domain hierarchy (paper §IV-A):
+//! context level, core level, chip level.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a chip in the machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ChipId(pub usize);
+
+/// Global index of a core (across all chips).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+/// Index of a context *within its core* (0 or 1 on POWER5).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ContextId(pub usize);
+
+/// A logical CPU: what the OS schedules on. One per hardware context.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CpuId(pub usize);
+
+impl fmt::Debug for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Levels of the scheduling-domain hierarchy, smallest first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum DomainLevel {
+    /// A single hardware context (one logical CPU).
+    Context,
+    /// The two sibling contexts of one core.
+    Core,
+    /// All contexts of one chip.
+    Chip,
+    /// The whole machine.
+    System,
+}
+
+impl DomainLevel {
+    /// Domain levels from the innermost outwards, as the balancer walks them.
+    pub const ASCENDING: [DomainLevel; 4] =
+        [DomainLevel::Context, DomainLevel::Core, DomainLevel::Chip, DomainLevel::System];
+}
+
+/// Static machine topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    chips: usize,
+    cores_per_chip: usize,
+    threads_per_core: usize,
+}
+
+impl Topology {
+    /// A generic SMP/SMT topology.
+    ///
+    /// # Panics
+    /// If any dimension is zero or `threads_per_core > 2` (the POWER5 decode
+    /// arbitration model is defined for 2-way SMT).
+    pub fn new(chips: usize, cores_per_chip: usize, threads_per_core: usize) -> Self {
+        assert!(chips > 0 && cores_per_chip > 0 && threads_per_core > 0, "empty topology");
+        assert!(threads_per_core <= 2, "POWER5 model supports at most 2-way SMT");
+        Topology { chips, cores_per_chip, threads_per_core }
+    }
+
+    /// The paper's evaluation machine: one POWER5 chip, 2 cores × 2 SMT.
+    pub fn openpower_710() -> Self {
+        Topology::new(1, 2, 2)
+    }
+
+    /// A single core in single-thread mode (useful in unit tests).
+    pub fn single_core_st() -> Self {
+        Topology::new(1, 1, 1)
+    }
+
+    pub fn num_chips(&self) -> usize {
+        self.chips
+    }
+
+    pub fn cores_per_chip(&self) -> usize {
+        self.cores_per_chip
+    }
+
+    pub fn threads_per_core(&self) -> usize {
+        self.threads_per_core
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.chips * self.cores_per_chip
+    }
+
+    /// Total logical CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.num_cores() * self.threads_per_core
+    }
+
+    /// All CPU ids in the machine.
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.num_cpus()).map(CpuId)
+    }
+
+    /// All core ids in the machine.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.num_cores()).map(CoreId)
+    }
+
+    /// The core a CPU belongs to.
+    pub fn core_of(&self, cpu: CpuId) -> CoreId {
+        assert!(cpu.0 < self.num_cpus(), "cpu {cpu} out of range");
+        CoreId(cpu.0 / self.threads_per_core)
+    }
+
+    /// The chip a CPU belongs to.
+    pub fn chip_of(&self, cpu: CpuId) -> ChipId {
+        ChipId(self.core_of(cpu).0 / self.cores_per_chip)
+    }
+
+    /// Position of a CPU within its core (the hardware context slot).
+    pub fn context_of(&self, cpu: CpuId) -> ContextId {
+        assert!(cpu.0 < self.num_cpus(), "cpu {cpu} out of range");
+        ContextId(cpu.0 % self.threads_per_core)
+    }
+
+    /// The CPUs of a core, in context order.
+    pub fn cpus_of_core(&self, core: CoreId) -> Vec<CpuId> {
+        assert!(core.0 < self.num_cores(), "core out of range");
+        let base = core.0 * self.threads_per_core;
+        (base..base + self.threads_per_core).map(CpuId).collect()
+    }
+
+    /// The SMT sibling of a CPU, if its core has one.
+    pub fn sibling_of(&self, cpu: CpuId) -> Option<CpuId> {
+        if self.threads_per_core < 2 {
+            return None;
+        }
+        let core = self.core_of(cpu);
+        self.cpus_of_core(core).into_iter().find(|&c| c != cpu)
+    }
+
+    /// All CPUs sharing the given domain with `cpu` (including `cpu`).
+    pub fn domain_cpus(&self, cpu: CpuId, level: DomainLevel) -> Vec<CpuId> {
+        match level {
+            DomainLevel::Context => vec![cpu],
+            DomainLevel::Core => self.cpus_of_core(self.core_of(cpu)),
+            DomainLevel::Chip => {
+                let chip = self.chip_of(cpu);
+                self.cpus()
+                    .filter(|&c| self.chip_of(c) == chip)
+                    .collect()
+            }
+            DomainLevel::System => self.cpus().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openpower_710_shape() {
+        let t = Topology::openpower_710();
+        assert_eq!(t.num_chips(), 1);
+        assert_eq!(t.num_cores(), 2);
+        assert_eq!(t.num_cpus(), 4);
+    }
+
+    #[test]
+    fn cpu_to_core_mapping() {
+        let t = Topology::openpower_710();
+        assert_eq!(t.core_of(CpuId(0)), CoreId(0));
+        assert_eq!(t.core_of(CpuId(1)), CoreId(0));
+        assert_eq!(t.core_of(CpuId(2)), CoreId(1));
+        assert_eq!(t.core_of(CpuId(3)), CoreId(1));
+    }
+
+    #[test]
+    fn context_slots() {
+        let t = Topology::openpower_710();
+        assert_eq!(t.context_of(CpuId(0)), ContextId(0));
+        assert_eq!(t.context_of(CpuId(1)), ContextId(1));
+        assert_eq!(t.context_of(CpuId(2)), ContextId(0));
+    }
+
+    #[test]
+    fn siblings() {
+        let t = Topology::openpower_710();
+        assert_eq!(t.sibling_of(CpuId(0)), Some(CpuId(1)));
+        assert_eq!(t.sibling_of(CpuId(1)), Some(CpuId(0)));
+        assert_eq!(t.sibling_of(CpuId(3)), Some(CpuId(2)));
+        assert_eq!(Topology::single_core_st().sibling_of(CpuId(0)), None);
+    }
+
+    #[test]
+    fn core_cpu_lists() {
+        let t = Topology::openpower_710();
+        assert_eq!(t.cpus_of_core(CoreId(0)), vec![CpuId(0), CpuId(1)]);
+        assert_eq!(t.cpus_of_core(CoreId(1)), vec![CpuId(2), CpuId(3)]);
+    }
+
+    #[test]
+    fn domain_membership() {
+        let t = Topology::openpower_710();
+        assert_eq!(t.domain_cpus(CpuId(0), DomainLevel::Context), vec![CpuId(0)]);
+        assert_eq!(t.domain_cpus(CpuId(0), DomainLevel::Core), vec![CpuId(0), CpuId(1)]);
+        assert_eq!(t.domain_cpus(CpuId(0), DomainLevel::Chip).len(), 4);
+        assert_eq!(t.domain_cpus(CpuId(3), DomainLevel::System).len(), 4);
+    }
+
+    #[test]
+    fn multi_chip_topology() {
+        let t = Topology::new(2, 2, 2);
+        assert_eq!(t.num_cpus(), 8);
+        assert_eq!(t.chip_of(CpuId(3)), ChipId(0));
+        assert_eq!(t.chip_of(CpuId(4)), ChipId(1));
+        assert_eq!(t.domain_cpus(CpuId(5), DomainLevel::Chip).len(), 4);
+        assert_eq!(t.domain_cpus(CpuId(5), DomainLevel::System).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2-way SMT")]
+    fn rejects_4way_smt() {
+        Topology::new(1, 1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_cpu() {
+        Topology::openpower_710().core_of(CpuId(4));
+    }
+}

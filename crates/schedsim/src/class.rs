@@ -1,0 +1,140 @@
+//! The Scheduling Class abstraction (paper §III, Figure 1).
+//!
+//! The Scheduler Core treats classes as objects and walks them in priority
+//! order; each class owns its own per-CPU run queues and algorithms. This
+//! trait is the seam the paper exploits: the `hpcsched` crate implements it
+//! and installs itself between the real-time and CFS classes without
+//! touching the core (`Kernel`).
+
+use crate::task::{Task, TaskId};
+use power5::{CpuId, Topology};
+use simcore::{SimDuration, SimTime};
+
+/// A migration decided by a class's load balancer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Migration {
+    pub task: TaskId,
+    pub from: CpuId,
+    pub to: CpuId,
+}
+
+/// Why a task is being enqueued; placement policies differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueKind {
+    /// Freshly spawned.
+    New,
+    /// Woken from sleep.
+    Wakeup,
+    /// Migrated from another CPU by load balancing.
+    Migration,
+}
+
+/// Mutable kernel state a class may touch while handling a callback.
+pub struct ClassCtx<'a> {
+    pub now: SimTime,
+    pub tasks: &'a mut Vec<Task>,
+    pub topology: &'a Topology,
+    /// The task currently dispatched on each CPU (indexed by CPU id).
+    /// Needed by balancers that equalize *total* task counts per domain.
+    pub running: Vec<Option<TaskId>>,
+}
+
+impl<'a> ClassCtx<'a> {
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.0]
+    }
+}
+
+/// A scheduling class: policy container + per-CPU run queues + algorithms.
+///
+/// Invariant maintained by the kernel: a task is *queued* in its class only
+/// while `Runnable`; the task currently running on a CPU is not in any
+/// queue (the kernel calls [`SchedClass::put_prev`] to give it back).
+pub trait SchedClass: Send {
+    fn name(&self) -> &'static str;
+
+    /// Which policies this class services.
+    fn handles(&self, policy: crate::policy::SchedPolicy) -> bool;
+
+    /// Called once with the machine's CPU count before any other callback.
+    fn init_cpus(&mut self, num_cpus: usize);
+
+    /// Add a runnable task to this class's queue on `cpu`.
+    fn enqueue(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId, kind: EnqueueKind);
+
+    /// Remove a queued task (migration, policy change, exit while queued).
+    fn dequeue(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId);
+
+    /// Choose and remove the next task to run on `cpu`, if any.
+    fn pick_next(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId) -> Option<TaskId>;
+
+    /// Return a preempted-but-still-runnable task to the queue.
+    fn put_prev(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId);
+
+    /// The running task voluntarily yields; default: same as `put_prev`.
+    fn on_yield(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId) {
+        self.put_prev(ctx, cpu, task);
+    }
+
+    /// Account `delta` of CPU time to the running `task`. Called on every
+    /// accounting sync (not just ticks), so vruntime/slice bookkeeping is
+    /// exact.
+    fn charge(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId, delta: SimDuration);
+
+    /// Scheduler tick while `task` runs on `cpu`. Return `true` to request
+    /// a reschedule.
+    fn task_tick(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId) -> bool;
+
+    /// Should `woken` preempt `curr`? Both belong to this class.
+    fn wakeup_preempt(&self, ctx: &ClassCtx<'_>, curr: TaskId, woken: TaskId) -> bool;
+
+    /// The running task blocked. (The task is not queued at this point.)
+    fn task_slept(&mut self, _ctx: &mut ClassCtx<'_>, _cpu: CpuId, _task: TaskId) {}
+
+    /// A task of this class woke after an actual sleep, completing one
+    /// iteration (compute `iter_run` + wait `iter_wait`). Called *before*
+    /// the task is enqueued, so the class may adjust `Task::hw_prio` and
+    /// have it applied on next dispatch — this is the hook the paper's Load
+    /// Imbalance Detector lives behind.
+    fn task_woken(
+        &mut self,
+        _ctx: &mut ClassCtx<'_>,
+        _task: TaskId,
+        _iter_run: SimDuration,
+        _iter_wait: SimDuration,
+    ) {
+    }
+
+    /// A task of this class exited; drop any per-task state.
+    fn task_exited(&mut self, _ctx: &mut ClassCtx<'_>, _task: TaskId) {}
+
+    /// Load balancing opportunity on `cpu` (`idle` = the CPU ran out of
+    /// work). Return migrations of *queued* tasks; the kernel applies them.
+    fn load_balance(
+        &mut self,
+        _ctx: &mut ClassCtx<'_>,
+        _cpu: CpuId,
+        _idle: bool,
+    ) -> Vec<Migration> {
+        Vec::new()
+    }
+
+    /// Number of queued (runnable, not running) tasks on `cpu`.
+    fn nr_runnable(&self, cpu: CpuId) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_is_plain_data() {
+        let m = Migration { task: TaskId(1), from: CpuId(0), to: CpuId(2) };
+        assert_eq!(m, m);
+        assert_ne!(m, Migration { task: TaskId(2), from: CpuId(0), to: CpuId(2) });
+    }
+}

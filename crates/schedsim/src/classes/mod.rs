@@ -1,0 +1,10 @@
+//! The three standard scheduling classes of the Linux 2.6.2x framework
+//! (paper Figure 1(a)): real-time, CFS (fair), and idle.
+
+pub mod fair;
+pub mod idle;
+pub mod rt;
+
+pub use fair::FairClass;
+pub use idle::IdleClass;
+pub use rt::RtClass;

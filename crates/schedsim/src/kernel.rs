@@ -1,0 +1,1198 @@
+//! The Scheduler Core (paper §III): per-CPU state, the class chain walk,
+//! dispatch, wakeups, ticks, load balancing — driven by a discrete-event
+//! loop over simulated time, with task speeds supplied by the POWER5 chip
+//! model.
+
+use crate::class::{ClassCtx, EnqueueKind, Migration, SchedClass};
+use crate::classes::{FairClass, IdleClass, RtClass};
+use crate::config::KernelConfig;
+use crate::policy::SchedPolicy;
+use crate::program::{Action, KernelApi, Program, TokenTable, WaitToken};
+use crate::task::{Task, TaskId, TaskState};
+use crate::trace::{TraceEvent, TraceRecord, TraceSink};
+use power5::{Chip, CpuId, HwPriority, PrivilegeLevel, TaskPerfTraits, Topology};
+use simcore::{EventId, EventQueue, Histogram, SimDuration, SimRng, SimTime};
+
+/// Kernel events.
+#[derive(Clone, Copy, Debug)]
+enum KEvent {
+    /// Periodic scheduler tick on a CPU.
+    Tick(CpuId),
+    /// The running task on a CPU finished its current compute segment.
+    WorkDone(CpuId),
+    /// A timed token signal fired (timer, message delivery).
+    Signal(WaitToken),
+}
+
+struct CpuState {
+    current: Option<TaskId>,
+    /// Cached speed factor of the running task (from the chip model).
+    speed: f64,
+    /// Accounting synced up to this instant.
+    last_sync: SimTime,
+    /// Context-switch penalty: no work accrues before this instant.
+    switch_until: SimTime,
+    workdone_ev: EventId,
+    need_resched: bool,
+    ticks: u64,
+}
+
+impl CpuState {
+    fn new() -> Self {
+        CpuState {
+            current: None,
+            speed: 0.0,
+            last_sync: SimTime::ZERO,
+            switch_until: SimTime::ZERO,
+            workdone_ev: EventId::NONE,
+            need_resched: false,
+            ticks: 0,
+        }
+    }
+}
+
+/// Options for [`Kernel::spawn`].
+#[derive(Default)]
+pub struct SpawnOptions {
+    pub nice: i32,
+    pub rt_priority: u8,
+    pub affinity: Option<Vec<CpuId>>,
+    pub perf: Option<TaskPerfTraits>,
+    /// Fixed hardware priority (the *static* prioritization of the paper's
+    /// earlier work); defaults to Medium (4).
+    pub hw_prio: Option<HwPriority>,
+}
+
+/// Whole-run scheduler metrics.
+#[derive(Debug, Clone)]
+pub struct KernelMetrics {
+    pub ticks: u64,
+    pub context_switches: u64,
+    pub priority_writes: u64,
+    /// Wakeup→dispatch latency distribution, microseconds.
+    pub latency_us: Histogram,
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    chip: Chip,
+    config: KernelConfig,
+    now: SimTime,
+    tasks: Vec<Task>,
+    classes: Vec<Box<dyn SchedClass>>,
+    events: EventQueue<KEvent>,
+    cpus: Vec<CpuState>,
+    tokens: TokenTable,
+    trace: Option<Box<dyn TraceSink>>,
+    rng: SimRng,
+    context_switches: u64,
+    total_ticks: u64,
+    latency_us: Histogram,
+    transition_guard: u32,
+}
+
+impl Kernel {
+    /// Build a kernel with the standard class chain (RT → CFS → Idle) on the
+    /// given chip. Install additional classes (e.g. the HPC class) with
+    /// [`Kernel::install_class_after_rt`] *before* spawning tasks.
+    pub fn new(chip: Chip, config: KernelConfig) -> Self {
+        let ncpus = chip.topology().num_cpus();
+        let mut classes: Vec<Box<dyn SchedClass>> = vec![
+            Box::new(RtClass::new(config.rt_rr_slice)),
+            Box::new(FairClass::new(config.cfs)),
+            Box::new(IdleClass::new()),
+        ];
+        for c in &mut classes {
+            c.init_cpus(ncpus);
+        }
+        let mut events = EventQueue::new();
+        for cpu in 0..ncpus {
+            events.schedule(SimTime::ZERO + config.tick, KEvent::Tick(CpuId(cpu)));
+        }
+        let rng = SimRng::seed_from_u64(config.seed);
+        let mut kernel = Kernel {
+            chip,
+            config,
+            now: SimTime::ZERO,
+            tasks: Vec::new(),
+            classes,
+            events,
+            cpus: (0..ncpus).map(|_| CpuState::new()).collect(),
+            tokens: TokenTable::default(),
+            trace: None,
+            rng,
+            context_switches: 0,
+            total_ticks: 0,
+            latency_us: Histogram::new(0.0, 20_000.0, 200),
+            transition_guard: 0,
+        };
+        kernel.spawn_noise_daemons();
+        kernel
+    }
+
+    /// Insert a scheduling class between the real-time class and CFS —
+    /// exactly where the paper puts `SCHED_HPC` (Figure 1(b)).
+    ///
+    /// # Panics
+    /// If tasks have already been spawned (class sets must be fixed first).
+    pub fn install_class_after_rt(&mut self, mut class: Box<dyn SchedClass>) {
+        assert!(
+            self.tasks.iter().all(|t| t.policy == SchedPolicy::Normal),
+            "install classes before spawning application tasks"
+        );
+        class.init_cpus(self.cpus.len());
+        self.classes.insert(1, class);
+    }
+
+    /// Attach a trace sink.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detach and return the trace sink.
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn topology(&self) -> &Topology {
+        self.chip.topology()
+    }
+
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Run-wide metrics snapshot.
+    pub fn metrics(&self) -> KernelMetrics {
+        KernelMetrics {
+            ticks: self.total_ticks,
+            context_switches: self.context_switches,
+            priority_writes: self.chip.priority_writes(),
+            latency_us: self.latency_us.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Spawning
+    // ------------------------------------------------------------------
+
+    /// Create a task and make it runnable. Placement: the allowed CPU with
+    /// the fewest runnable tasks (ties to the lowest CPU id), mirroring
+    /// fork balancing.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        policy: SchedPolicy,
+        program: Box<dyn Program>,
+        opts: SpawnOptions,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        let mut task = Task::new(id, name.into(), policy, program, self.now);
+        task.nice = opts.nice;
+        task.rt_priority = opts.rt_priority;
+        task.affinity = opts.affinity;
+        if let Some(p) = opts.perf {
+            task.perf = p;
+        }
+        if let Some(hp) = opts.hw_prio {
+            task.hw_prio = hp;
+        }
+        self.emit(id, TraceEvent::Spawn { name: self.tasks_name(&task) });
+        let cpu = self.least_loaded_cpu(&task);
+        task.cpu = Some(cpu);
+        self.tasks.push(task);
+
+        let class = self.class_of_policy(policy);
+        self.with_ctx(class, |class, ctx| class.enqueue(ctx, cpu, id, EnqueueKind::New));
+        self.tasks[id.0].last_state_change = self.now;
+        self.emit(id, TraceEvent::State { state: TaskState::Runnable, cpu: Some(cpu) });
+        self.check_preempt(cpu, id);
+        self.settle();
+        id
+    }
+
+    fn tasks_name(&self, t: &Task) -> String {
+        t.name.clone()
+    }
+
+    fn least_loaded_cpu(&self, task: &Task) -> CpuId {
+        // Count *live tasks homed on each CPU* (running, queued or
+        // sleeping): fork-time balancing must spread tasks that block
+        // immediately after starting (every MPI rank does).
+        let mut homed = vec![0usize; self.cpus.len()];
+        for t in &self.tasks {
+            if t.is_live() {
+                if let Some(c) = t.cpu {
+                    homed[c.0] += 1;
+                }
+            }
+        }
+        let mut best: Option<(usize, CpuId)> = None;
+        for cpu in self.chip.topology().cpus() {
+            if !task.allowed_on(cpu) {
+                continue;
+            }
+            match best {
+                Some((b, _)) if homed[cpu.0] >= b => {}
+                _ => best = Some((homed[cpu.0], cpu)),
+            }
+        }
+        best.map(|(_, c)| c).expect("task affinity excludes every CPU")
+    }
+
+    fn spawn_noise_daemons(&mut self) {
+        let noise = self.config.noise;
+        if noise.is_off() {
+            return;
+        }
+        let cpus: Vec<CpuId> = self.chip.topology().cpus().collect();
+        for cpu in cpus {
+            for d in 0..noise.daemons_per_cpu {
+                let rng = self.rng.fork((cpu.0 as u64) << 8 | d as u64);
+                let prog = crate::noise::NoiseDaemon::new(noise, rng);
+                self.spawn(
+                    format!("kdaemon-{}/{}", cpu.0, d),
+                    SchedPolicy::Normal,
+                    Box::new(prog),
+                    SpawnOptions { affinity: Some(vec![cpu]), ..Default::default() },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Process one event. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.events.pop() else { return false };
+        debug_assert!(ev.time >= self.now);
+        self.sync_to(ev.time);
+        match ev.payload {
+            KEvent::Tick(cpu) => self.handle_tick(cpu),
+            KEvent::WorkDone(cpu) => {
+                // Stale WorkDone events are cancelled on re-arm, so an event
+                // that fires is authoritative.
+                self.cpus[cpu.0].workdone_ev = EventId::NONE;
+                self.handle_workdone(cpu);
+            }
+            KEvent::Signal(tok) => self.tokens.signal(tok),
+        }
+        self.settle();
+        true
+    }
+
+    /// Run until every task in `until_exited` has exited, or `deadline`
+    /// simulated time passes. Returns the exit time of the last task, or
+    /// `None` on deadline.
+    pub fn run_until_exited(
+        &mut self,
+        until_exited: &[TaskId],
+        deadline: SimDuration,
+    ) -> Option<SimTime> {
+        let deadline = self.now.saturating_add(deadline);
+        loop {
+            if until_exited.iter().all(|&t| self.tasks[t.0].state == TaskState::Exited) {
+                let end = until_exited
+                    .iter()
+                    .filter_map(|&t| self.tasks[t.0].exited_at)
+                    .max()
+                    .unwrap_or(self.now);
+                return Some(end);
+            }
+            if self.now >= deadline || !self.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Run for a fixed span of simulated time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let end = self.now + span;
+        while self.now < end {
+            match self.events.peek_time() {
+                Some(t) if t <= end => {
+                    self.step();
+                }
+                _ => {
+                    self.sync_to(end);
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Advance accounting on every CPU to `t` and set the kernel clock.
+    fn sync_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now);
+        for cpu in 0..self.cpus.len() {
+            self.sync_cpu(CpuId(cpu), t);
+        }
+        self.now = t;
+    }
+
+    fn sync_cpu(&mut self, cpu: CpuId, t: SimTime) {
+        let cs = &mut self.cpus[cpu.0];
+        let start = cs.last_sync.max(cs.switch_until).min(t);
+        cs.last_sync = t;
+        let Some(tid) = cs.current else { return };
+        let delta = t.saturating_since(start);
+        if delta.is_zero() {
+            return;
+        }
+        let speed = cs.speed;
+        let policy = {
+            let task = &mut self.tasks[tid.0];
+            debug_assert_eq!(task.state, TaskState::Running);
+            task.exec_total += delta;
+            task.iter.run_in_iter += delta;
+            let work = delta.as_secs_f64() * speed;
+            task.remaining_work = (task.remaining_work - work).max(0.0);
+            task.policy
+        };
+        let class = self.class_of_policy(policy);
+        self.with_ctx(class, |class, ctx| class.charge(ctx, cpu, tid, delta));
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_tick(&mut self, cpu: CpuId) {
+        self.total_ticks += 1;
+        self.cpus[cpu.0].ticks += 1;
+        let next = self.now + self.config.tick;
+        self.events.schedule(next, KEvent::Tick(cpu));
+
+        if let Some(tid) = self.cpus[cpu.0].current {
+            let class = self.class_of_policy(self.tasks[tid.0].policy);
+            let resched = self.with_ctx(class, |class, ctx| class.task_tick(ctx, cpu, tid));
+            if resched {
+                self.cpus[cpu.0].need_resched = true;
+            }
+        }
+
+        // Periodic load balancing.
+        let interval = self.config.balance_interval_ticks;
+        if interval > 0 && self.cpus[cpu.0].ticks.is_multiple_of(interval as u64) {
+            self.balance(cpu, false);
+        }
+    }
+
+    fn handle_workdone(&mut self, cpu: CpuId) {
+        let Some(tid) = self.cpus[cpu.0].current else { return };
+        // Guard against float dust: the segment is done when the event
+        // fires (sync_to already subtracted the work).
+        if self.tasks[tid.0].remaining_work > 1e-12 {
+            // Speed changed since the event was armed and re-arm missed it;
+            // simply re-arm from current state.
+            self.cpus[cpu.0].need_resched = false;
+            return;
+        }
+        self.tasks[tid.0].remaining_work = 0.0;
+        self.run_transitions(tid);
+    }
+
+    // ------------------------------------------------------------------
+    // Program transitions
+    // ------------------------------------------------------------------
+
+    /// Drive `tid`'s program forward until it computes, sleeps, or exits.
+    /// The task must be `Running` on its CPU.
+    fn run_transitions(&mut self, tid: TaskId) {
+        self.transition_guard = 0;
+        loop {
+            self.transition_guard += 1;
+            assert!(
+                self.transition_guard < 100_000,
+                "program transition livelock on {:?}",
+                tid
+            );
+            let mut program = self.tasks[tid.0].program.take().expect("task has a program");
+            let mut deferred: Vec<(SimTime, WaitToken)> = Vec::new();
+            let mut policy_change = None;
+            let action = {
+                let mut api = KernelApi {
+                    now: self.now,
+                    caller: tid,
+                    tokens: &mut self.tokens,
+                    deferred_signals: &mut deferred,
+                    policy_change: &mut policy_change,
+                };
+                program.next_action(&mut api)
+            };
+            self.tasks[tid.0].program = Some(program);
+            for (at, tok) in deferred {
+                self.events.schedule(at.max(self.now), KEvent::Signal(tok));
+            }
+            if let Some(policy) = policy_change {
+                self.apply_policy_change(tid, policy);
+            }
+            match action {
+                Action::Compute(w) => {
+                    assert!(w.is_finite() && w >= 0.0, "invalid work amount {w}");
+                    self.tasks[tid.0].remaining_work = w;
+                    break;
+                }
+                Action::Block(tok) => {
+                    if self.tokens.block(tok, tid) {
+                        // Already signalled: continue without sleeping.
+                        continue;
+                    }
+                    self.block_current(tid);
+                    break;
+                }
+                Action::Yield => {
+                    self.yield_current(tid);
+                    break;
+                }
+                Action::Exit => {
+                    self.exit_current(tid);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn apply_policy_change(&mut self, tid: TaskId, policy: SchedPolicy) {
+        let task = &mut self.tasks[tid.0];
+        debug_assert_eq!(
+            task.state,
+            TaskState::Running,
+            "policy change only from the running task itself"
+        );
+        task.policy = policy;
+    }
+
+    fn block_current(&mut self, tid: TaskId) {
+        let cpu = self.tasks[tid.0].cpu.expect("running task has a cpu");
+        debug_assert_eq!(self.cpus[cpu.0].current, Some(tid));
+        let class = self.class_of_policy(self.tasks[tid.0].policy);
+        self.with_ctx(class, |class, ctx| class.task_slept(ctx, cpu, tid));
+        let task = &mut self.tasks[tid.0];
+        task.state = TaskState::Sleeping;
+        task.last_state_change = self.now;
+        task.last_sleep_start = Some(self.now);
+        self.cpus[cpu.0].current = None;
+        self.emit(tid, TraceEvent::State { state: TaskState::Sleeping, cpu: Some(cpu) });
+        self.cpus[cpu.0].need_resched = true;
+    }
+
+    fn yield_current(&mut self, tid: TaskId) {
+        let cpu = self.tasks[tid.0].cpu.expect("running task has a cpu");
+        debug_assert_eq!(self.cpus[cpu.0].current, Some(tid));
+        let class = self.class_of_policy(self.tasks[tid.0].policy);
+        self.cpus[cpu.0].current = None;
+        let task = &mut self.tasks[tid.0];
+        task.state = TaskState::Runnable;
+        task.last_state_change = self.now;
+        self.with_ctx(class, |class, ctx| class.on_yield(ctx, cpu, tid));
+        self.emit(tid, TraceEvent::State { state: TaskState::Runnable, cpu: Some(cpu) });
+        self.cpus[cpu.0].need_resched = true;
+    }
+
+    fn exit_current(&mut self, tid: TaskId) {
+        let cpu = self.tasks[tid.0].cpu.expect("running task has a cpu");
+        debug_assert_eq!(self.cpus[cpu.0].current, Some(tid));
+        let task = &mut self.tasks[tid.0];
+        task.state = TaskState::Exited;
+        task.exited_at = Some(self.now);
+        task.last_state_change = self.now;
+        self.cpus[cpu.0].current = None;
+        let class = self.class_of_policy(self.tasks[tid.0].policy);
+        self.with_ctx(class, |class, ctx| class.task_exited(ctx, tid));
+        self.emit(tid, TraceEvent::Exit);
+        self.cpus[cpu.0].need_resched = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Wakeups
+    // ------------------------------------------------------------------
+
+    fn wake_task(&mut self, tid: TaskId) {
+        let task = &self.tasks[tid.0];
+        if task.state != TaskState::Sleeping {
+            // Signal raced with something else (e.g. task exited); ignore.
+            return;
+        }
+        let slept_at = task.last_sleep_start.expect("sleeping task has sleep start");
+        let iter_wall = self.now.saturating_since(task.iter.iter_started);
+        let iter_run = task.iter.run_in_iter;
+        let iterations = task.iter.iterations;
+        let prio_before = task.hw_prio;
+        let policy = task.policy;
+
+        {
+            let task = &mut self.tasks[tid.0];
+            task.sleep_total += self.now.saturating_since(slept_at);
+            task.state = TaskState::Runnable;
+            task.last_state_change = self.now;
+            task.last_wakeup = Some(self.now);
+            task.iter.iterations += 1;
+            task.iter.run_in_iter = SimDuration::ZERO;
+            task.iter.iter_started = self.now;
+        }
+
+        // Iteration hook: the class may adjust hw_prio before re-dispatch.
+        let class = self.class_of_policy(policy);
+        self.with_ctx(class, |class, ctx| class.task_woken(ctx, tid, iter_run, iter_wall));
+        let util = if iter_wall.is_zero() {
+            1.0
+        } else {
+            iter_run.as_nanos() as f64 / iter_wall.as_nanos() as f64
+        };
+        self.emit(tid, TraceEvent::IterationEnd { index: iterations, utilization: util.min(1.0) });
+        if self.tasks[tid.0].hw_prio != prio_before {
+            self.emit(tid, TraceEvent::HwPrio { prio: self.tasks[tid.0].hw_prio });
+        }
+
+        let cpu = self.select_cpu(tid);
+        self.tasks[tid.0].cpu = Some(cpu);
+        self.with_ctx(class, |class, ctx| class.enqueue(ctx, cpu, tid, EnqueueKind::Wakeup));
+        self.emit(tid, TraceEvent::State { state: TaskState::Runnable, cpu: Some(cpu) });
+        self.check_preempt(cpu, tid);
+    }
+
+    /// Placement of a waking task, mirroring the era's `wake_idle`: return
+    /// to the previous CPU if it is free, otherwise look for an idle
+    /// allowed CPU (SMT sibling first, for cache affinity), otherwise fall
+    /// back to the previous CPU.
+    fn select_cpu(&self, tid: TaskId) -> CpuId {
+        let task = &self.tasks[tid.0];
+        let my_class = self.class_of_policy(task.policy);
+        // A CPU is "idle" *for this task* when nothing of its class or a
+        // higher class runs or queues there — lower-class work (e.g. a CFS
+        // noise daemon under an HPC task) is preempted immediately, so it
+        // must not push the woken task off its cache-hot CPU.
+        let idle = |c: CpuId| {
+            let cur_busy = self.cpus[c.0]
+                .current
+                .map(|t| self.class_of_policy(self.tasks[t.0].policy) <= my_class)
+                .unwrap_or(false);
+            !cur_busy
+                && self
+                    .classes
+                    .iter()
+                    .take(my_class + 1)
+                    .all(|cl| cl.nr_runnable(c) == 0)
+        };
+        if let Some(prev) = task.cpu {
+            if task.allowed_on(prev) {
+                if idle(prev) {
+                    return prev;
+                }
+                if let Some(sib) = self.chip.topology().sibling_of(prev) {
+                    if task.allowed_on(sib) && idle(sib) {
+                        return sib;
+                    }
+                }
+                if let Some(c) = self.chip.topology().cpus().find(|&c| task.allowed_on(c) && idle(c))
+                {
+                    return c;
+                }
+                return prev;
+            }
+        }
+        self.chip
+            .topology()
+            .cpus()
+            .find(|&c| task.allowed_on(c))
+            .expect("task affinity excludes every CPU")
+    }
+
+    /// Decide whether the newly runnable `tid` (queued on `cpu`) preempts.
+    fn check_preempt(&mut self, cpu: CpuId, tid: TaskId) {
+        match self.cpus[cpu.0].current {
+            None => self.cpus[cpu.0].need_resched = true,
+            Some(curr) => {
+                let curr_class = self.class_of_policy(self.tasks[curr.0].policy);
+                let new_class = self.class_of_policy(self.tasks[tid.0].policy);
+                if new_class < curr_class {
+                    self.cpus[cpu.0].need_resched = true;
+                } else if new_class == curr_class {
+                    let preempt = {
+                        let running = self.cpus.iter().map(|c| c.current).collect();
+                        let ctx = ClassCtx {
+                            now: self.now,
+                            tasks: &mut self.tasks,
+                            topology: self.chip.topology(),
+                            running,
+                        };
+                        self.classes[new_class].wakeup_preempt(&ctx, curr, tid)
+                    };
+                    if preempt {
+                        self.cpus[cpu.0].need_resched = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Drain pending wakeups and reschedule requests until quiescent, then
+    /// refresh hardware state and re-arm completion events.
+    fn settle(&mut self) {
+        loop {
+            let wakes = self.tokens.take_wakes();
+            if wakes.is_empty() && !self.cpus.iter().any(|c| c.need_resched) {
+                break;
+            }
+            for t in wakes {
+                self.wake_task(t);
+            }
+            for cpu in 0..self.cpus.len() {
+                if self.cpus[cpu].need_resched {
+                    self.cpus[cpu].need_resched = false;
+                    self.reschedule(CpuId(cpu));
+                }
+            }
+        }
+        self.refresh_hw();
+    }
+
+    /// Pick and dispatch the next task on `cpu`.
+    fn reschedule(&mut self, cpu: CpuId) {
+        let prev = self.cpus[cpu.0].current;
+        // Put a still-running previous task back on its queue.
+        if let Some(p) = prev {
+            if self.tasks[p.0].state == TaskState::Running {
+                let class = self.class_of_policy(self.tasks[p.0].policy);
+                self.cpus[cpu.0].current = None;
+                let task = &mut self.tasks[p.0];
+                task.state = TaskState::Runnable;
+                task.last_state_change = self.now;
+                self.with_ctx(class, |class, ctx| class.put_prev(ctx, cpu, p));
+                self.emit(p, TraceEvent::State { state: TaskState::Runnable, cpu: Some(cpu) });
+            }
+        }
+
+        loop {
+            let mut next = None;
+            for class in 0..self.classes.len() {
+                next = self.with_ctx(class, |class, ctx| class.pick_next(ctx, cpu));
+                if next.is_some() {
+                    break;
+                }
+            }
+            let Some(tid) = next else {
+                // Nothing runnable: try an idle pull, then give up.
+                if self.balance(cpu, true) {
+                    continue;
+                }
+                self.cpus[cpu.0].current = None;
+                return;
+            };
+            self.dispatch(cpu, tid, prev);
+            // The dispatched task may need its next action; it can sleep or
+            // exit right here, in which case pick again.
+            if self.cpus[cpu.0].current == Some(tid) && self.tasks[tid.0].remaining_work == 0.0 {
+                self.run_transitions(tid);
+            }
+            if self.cpus[cpu.0].current.is_some() {
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, cpu: CpuId, tid: TaskId, prev: Option<TaskId>) {
+        {
+            let task = &mut self.tasks[tid.0];
+            debug_assert_eq!(task.state, TaskState::Runnable);
+            // Runnable→Running: account runqueue wait and wakeup latency.
+            let waited = self.now.saturating_since(task.last_state_change);
+            task.wait_rq_total += waited;
+            task.state = TaskState::Running;
+            task.cpu = Some(cpu);
+            task.last_state_change = self.now;
+            if let Some(woke) = task.last_wakeup.take() {
+                let lat = self.now.saturating_since(woke);
+                task.latency_total += lat;
+                task.latency_samples += 1;
+                self.latency_us.record(lat.as_nanos() as f64 / 1_000.0);
+            }
+        }
+        self.cpus[cpu.0].current = Some(tid);
+        if prev != Some(tid) {
+            self.context_switches += 1;
+            self.tasks[tid.0].nr_switches += 1;
+            if !self.config.ctx_switch_cost.is_zero() {
+                self.cpus[cpu.0].switch_until = self.now + self.config.ctx_switch_cost;
+            }
+        }
+        self.emit(tid, TraceEvent::State { state: TaskState::Running, cpu: Some(cpu) });
+    }
+
+    /// Refresh chip load/priority registers from dispatch state, re-cache
+    /// speeds, and re-arm per-CPU work completion events.
+    fn refresh_hw(&mut self) {
+        for cpu in 0..self.cpus.len() {
+            match self.cpus[cpu].current {
+                Some(tid) => {
+                    let task = &self.tasks[tid.0];
+                    self.chip.set_load(CpuId(cpu), Some(task.perf));
+                    if self.chip.priority_of(CpuId(cpu)) != task.hw_prio {
+                        // The kernel runs at supervisor privilege; the
+                        // heuristics keep priorities within the supervisor
+                        // range, so this cannot fail.
+                        self.chip
+                            .set_priority(CpuId(cpu), task.hw_prio, PrivilegeLevel::Supervisor)
+                            .expect("scheduler priorities stay in supervisor range");
+                    }
+                }
+                None => {
+                    self.chip.set_load(CpuId(cpu), None);
+                }
+            }
+        }
+        let speeds = self.chip.all_speeds();
+        for (cpu, &speed) in speeds.iter().enumerate().take(self.cpus.len()) {
+            self.cpus[cpu].speed = speed;
+            self.rearm_workdone(CpuId(cpu));
+        }
+    }
+
+    fn rearm_workdone(&mut self, cpu: CpuId) {
+        let cs = &mut self.cpus[cpu.0];
+        let old = cs.workdone_ev;
+        cs.workdone_ev = EventId::NONE;
+        if old != EventId::NONE {
+            self.events.cancel(old);
+        }
+        let Some(tid) = self.cpus[cpu.0].current else { return };
+        let remaining = self.tasks[tid.0].remaining_work;
+        let speed = self.cpus[cpu.0].speed;
+        if remaining <= 0.0 {
+            // The segment completed during a sync driven by some other
+            // CPU's event (the old completion event may just have been
+            // cancelled above): fire completion immediately.
+            self.cpus[cpu.0].workdone_ev =
+                self.events.schedule(self.now, KEvent::WorkDone(cpu));
+            return;
+        }
+        if speed <= 0.0 {
+            // Stalled (e.g. hardware priority 0 on the context): no event;
+            // a later state change re-arms.
+            return;
+        }
+        let start = self.now.max(self.cpus[cpu.0].switch_until);
+        let dur = SimDuration::from_secs_f64(remaining / speed);
+        // Guarantee forward progress even when the duration rounds to zero.
+        let dur = if dur.is_zero() { SimDuration::from_nanos(1) } else { dur };
+        let at = start + dur;
+        self.cpus[cpu.0].workdone_ev = self.events.schedule(at, KEvent::WorkDone(cpu));
+    }
+
+    // ------------------------------------------------------------------
+    // Load balancing
+    // ------------------------------------------------------------------
+
+    /// Run per-class load balancing for `cpu`; returns whether any task
+    /// migrated *to* this CPU.
+    fn balance(&mut self, cpu: CpuId, idle: bool) -> bool {
+        let mut pulled = false;
+        for class in 0..self.classes.len() {
+            let migs = self.with_ctx(class, |c, ctx| c.load_balance(ctx, cpu, idle));
+            for Migration { task, from, to } in migs {
+                if self.tasks[task.0].state != TaskState::Runnable {
+                    continue;
+                }
+                self.with_ctx(class, |c, ctx| c.dequeue(ctx, from, task));
+                self.tasks[task.0].cpu = Some(to);
+                self.with_ctx(class, |c, ctx| c.enqueue(ctx, to, task, EnqueueKind::Migration));
+                self.emit(
+                    task,
+                    TraceEvent::State { state: TaskState::Runnable, cpu: Some(to) },
+                );
+                if to == cpu {
+                    pulled = true;
+                } else {
+                    self.check_preempt(to, task);
+                }
+            }
+        }
+        pulled
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn class_of_policy(&self, policy: SchedPolicy) -> usize {
+        self.classes
+            .iter()
+            .position(|c| c.handles(policy))
+            .unwrap_or_else(|| panic!("no class handles {policy:?}"))
+    }
+
+    /// Call a class method with a [`ClassCtx`] over the kernel's state.
+    fn with_ctx<R>(
+        &mut self,
+        class: usize,
+        f: impl FnOnce(&mut dyn SchedClass, &mut ClassCtx<'_>) -> R,
+    ) -> R {
+        let running = self.cpus.iter().map(|c| c.current).collect();
+        let mut ctx = ClassCtx {
+            now: self.now,
+            tasks: &mut self.tasks,
+            topology: self.chip.topology(),
+            running,
+        };
+        f(self.classes[class].as_mut(), &mut ctx)
+    }
+
+    fn emit(&mut self, task: TaskId, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(TraceRecord { time: self.now, task, event });
+        }
+    }
+
+    /// Diagnostic: the task currently on `cpu`.
+    pub fn current_on(&self, cpu: CpuId) -> Option<TaskId> {
+        self.cpus[cpu.0].current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Action, FnProgram, ScriptedProgram};
+    use power5::Topology;
+
+    fn kernel() -> Kernel {
+        let chip = Chip::new(Topology::openpower_710());
+        Kernel::new(chip, KernelConfig::default())
+    }
+
+    fn kernel_1cpu() -> Kernel {
+        let chip = Chip::new(Topology::single_core_st());
+        Kernel::new(chip, KernelConfig::default())
+    }
+
+    #[test]
+    fn single_task_computes_and_exits() {
+        let mut k = kernel_1cpu();
+        let t = k.spawn(
+            "worker",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.5)),
+            SpawnOptions::default(),
+        );
+        let end = k.run_until_exited(&[t], SimDuration::from_secs(10)).expect("finishes");
+        // 0.5 work units at ST speed 1.0 → ~0.5s (plus switch cost).
+        let secs = end.as_secs_f64();
+        assert!((0.5..0.51).contains(&secs), "end {secs}");
+        assert_eq!(k.task(t).state, TaskState::Exited);
+        assert!(k.task(t).exec_total >= SimDuration::from_millis(499));
+    }
+
+    #[test]
+    fn two_tasks_on_one_cpu_share_time() {
+        let mut k = kernel_1cpu();
+        let a = k.spawn(
+            "a",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.2)),
+            SpawnOptions::default(),
+        );
+        let b = k.spawn(
+            "b",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.2)),
+            SpawnOptions::default(),
+        );
+        let end = k.run_until_exited(&[a, b], SimDuration::from_secs(10)).expect("finishes");
+        // Serialized on one CPU: ~0.4s total.
+        assert!((0.39..0.45).contains(&end.as_secs_f64()), "end {end}");
+        // Both made progress interleaved: context switches happened.
+        assert!(k.metrics().context_switches >= 2);
+    }
+
+    #[test]
+    fn smt_pair_runs_slower_than_solo() {
+        let mut k = kernel();
+        // Two tasks pinned to the two contexts of core 0.
+        let a = k.spawn(
+            "a",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(1.0)),
+            SpawnOptions { affinity: Some(vec![CpuId(0)]), ..Default::default() },
+        );
+        let b = k.spawn(
+            "b",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(1.0)),
+            SpawnOptions { affinity: Some(vec![CpuId(1)]), ..Default::default() },
+        );
+        let end = k.run_until_exited(&[a, b], SimDuration::from_secs(10)).expect("finishes");
+        // Equal-priority SMT: each runs at 0.8 → 1.25s, not 1.0s.
+        assert!((1.2..1.3).contains(&end.as_secs_f64()), "end {end}");
+    }
+
+    #[test]
+    fn hw_priority_speeds_up_favoured_task() {
+        let mut k = kernel();
+        let fast = k.spawn(
+            "fast",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(1.0)),
+            SpawnOptions {
+                affinity: Some(vec![CpuId(0)]),
+                hw_prio: Some(HwPriority::HIGH),
+                ..Default::default()
+            },
+        );
+        let slow = k.spawn(
+            "slow",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(1.0)),
+            SpawnOptions { affinity: Some(vec![CpuId(1)]), ..Default::default() },
+        );
+        k.run_until_exited(&[fast, slow], SimDuration::from_secs(30)).expect("finishes");
+        let t_fast = k.task(fast).exited_at.unwrap();
+        let t_slow = k.task(slow).exited_at.unwrap();
+        assert!(t_fast < t_slow, "prio 6 task finishes first");
+        // diff 2 speeds: 0.92 vs ~0.25 while co-running.
+        assert!((1.0..1.2).contains(&t_fast.as_secs_f64()), "fast {t_fast}");
+        assert!(t_slow.as_secs_f64() > 1.5, "slow {t_slow}");
+    }
+
+    #[test]
+    fn block_and_timed_signal() {
+        let mut k = kernel_1cpu();
+        let mut armed = false;
+        let t = k.spawn(
+            "sleeper",
+            SchedPolicy::Normal,
+            Box::new(FnProgram(move |api: &mut KernelApi<'_>| {
+                if !armed {
+                    armed = true;
+                    let tok = api.new_token();
+                    api.signal_after(SimDuration::from_millis(50), tok);
+                    Action::Block(tok)
+                } else {
+                    Action::Exit
+                }
+            })),
+            SpawnOptions::default(),
+        );
+        let end = k.run_until_exited(&[t], SimDuration::from_secs(5)).expect("finishes");
+        assert!(end.as_secs_f64() >= 0.050);
+        assert!(k.task(t).sleep_total >= SimDuration::from_millis(49));
+        assert_eq!(k.task(t).iter.iterations, 1, "one sleep = one iteration");
+    }
+
+    #[test]
+    fn pre_signalled_token_does_not_sleep() {
+        let mut k = kernel_1cpu();
+        let mut step = 0;
+        let t = k.spawn(
+            "nosleep",
+            SchedPolicy::Normal,
+            Box::new(FnProgram(move |api: &mut KernelApi<'_>| {
+                step += 1;
+                match step {
+                    1 => {
+                        let tok = api.new_token();
+                        api.signal(tok);
+                        Action::Block(tok)
+                    }
+                    _ => Action::Exit,
+                }
+            })),
+            SpawnOptions::default(),
+        );
+        k.run_until_exited(&[t], SimDuration::from_secs(1)).expect("finishes");
+        assert_eq!(k.task(t).sleep_total, SimDuration::ZERO);
+        assert_eq!(k.task(t).iter.iterations, 0);
+    }
+
+    #[test]
+    fn rt_task_preempts_normal() {
+        let mut k = kernel_1cpu();
+        let normal = k.spawn(
+            "normal",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(1.0)),
+            SpawnOptions::default(),
+        );
+        // RT task arrives by waking after 100ms.
+        let mut step = 0;
+        let rt = k.spawn(
+            "rt",
+            SchedPolicy::Fifo,
+            Box::new(FnProgram(move |api: &mut KernelApi<'_>| {
+                step += 1;
+                match step {
+                    1 => {
+                        let tok = api.new_token();
+                        api.signal_after(SimDuration::from_millis(100), tok);
+                        Action::Block(tok)
+                    }
+                    2 => Action::Compute(0.3),
+                    _ => Action::Exit,
+                }
+            })),
+            SpawnOptions { rt_priority: 10, ..Default::default() },
+        );
+        k.run_until_exited(&[normal, rt], SimDuration::from_secs(10)).expect("finishes");
+        // RT work (0.3s) ran in preference to normal once it woke: RT exits
+        // at ~0.4s, normal at ~1.3s.
+        let rt_end = k.task(rt).exited_at.unwrap().as_secs_f64();
+        let n_end = k.task(normal).exited_at.unwrap().as_secs_f64();
+        assert!(rt_end < 0.45, "rt end {rt_end}");
+        assert!(n_end > 1.25, "normal end {n_end}");
+        // RT wakeup latency is tiny (immediate class preemption).
+        assert!(k.task(rt).mean_latency() < SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn spawn_places_on_least_loaded_cpu() {
+        let mut k = kernel();
+        let ids: Vec<TaskId> = (0..4)
+            .map(|i| {
+                k.spawn(
+                    format!("t{i}"),
+                    SchedPolicy::Normal,
+                    Box::new(ScriptedProgram::compute_once(0.1)),
+                    SpawnOptions::default(),
+                )
+            })
+            .collect();
+        let cpus: Vec<CpuId> = ids.iter().map(|&t| k.task(t).cpu.unwrap()).collect();
+        let mut sorted = cpus.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "tasks spread across all CPUs: {cpus:?}");
+    }
+
+    #[test]
+    fn exited_tasks_free_the_cpu() {
+        let mut k = kernel_1cpu();
+        let t = k.spawn(
+            "t",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.01)),
+            SpawnOptions::default(),
+        );
+        k.run_until_exited(&[t], SimDuration::from_secs(1)).unwrap();
+        assert_eq!(k.current_on(CpuId(0)), None);
+    }
+
+    #[test]
+    fn run_for_advances_clock() {
+        let mut k = kernel_1cpu();
+        k.run_for(SimDuration::from_millis(500));
+        assert!(k.now() >= SimTime::ZERO + SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn noise_daemons_consume_cpu() {
+        let chip = Chip::new(Topology::single_core_st());
+        let cfg = KernelConfig {
+            noise: crate::config::NoiseConfig::heavy(),
+            ..KernelConfig::default()
+        };
+        let mut k = Kernel::new(chip, cfg);
+        k.run_for(SimDuration::from_secs(2));
+        let noise_exec: SimDuration = k.tasks().iter().map(|t| t.exec_total).sum();
+        assert!(
+            noise_exec > SimDuration::from_millis(10),
+            "daemons should have run: {noise_exec}"
+        );
+    }
+
+    #[test]
+    fn deadline_returns_none() {
+        let mut k = kernel_1cpu();
+        let t = k.spawn(
+            "long",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(100.0)),
+            SpawnOptions::default(),
+        );
+        assert!(k.run_until_exited(&[t], SimDuration::from_millis(100)).is_none());
+    }
+
+    #[test]
+    fn yield_rotates_between_tasks() {
+        let mut k = kernel_1cpu();
+        let mk = |n: u32| {
+            let mut left = n;
+            FnProgram(move |_api: &mut KernelApi<'_>| {
+                if left == 0 {
+                    Action::Exit
+                } else {
+                    left -= 1;
+                    Action::Yield
+                }
+            })
+        };
+        let a = k.spawn("a", SchedPolicy::Normal, Box::new(mk(5)), SpawnOptions::default());
+        let b = k.spawn("b", SchedPolicy::Normal, Box::new(mk(5)), SpawnOptions::default());
+        k.run_until_exited(&[a, b], SimDuration::from_secs(1)).expect("finishes");
+    }
+
+    #[test]
+    fn set_scheduler_moves_task_to_new_policy() {
+        let mut k = kernel_1cpu();
+        let mut step = 0;
+        let t = k.spawn(
+            "switcher",
+            SchedPolicy::Normal,
+            Box::new(FnProgram(move |api: &mut KernelApi<'_>| {
+                step += 1;
+                match step {
+                    1 => {
+                        api.set_scheduler(SchedPolicy::Batch);
+                        Action::Compute(0.01)
+                    }
+                    _ => Action::Exit,
+                }
+            })),
+            SpawnOptions::default(),
+        );
+        k.run_until_exited(&[t], SimDuration::from_secs(1)).unwrap();
+        assert_eq!(k.task(t).policy, SchedPolicy::Batch);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let mut k = kernel_1cpu();
+        let sink = crate::trace::SharedSink::new();
+        k.set_trace(Box::new(sink.clone()));
+        let t = k.spawn(
+            "traced",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.01)),
+            SpawnOptions::default(),
+        );
+        k.run_until_exited(&[t], SimDuration::from_secs(1)).unwrap();
+        let records = sink.snapshot();
+        let kinds: Vec<&TraceEvent> = records.iter().map(|r| &r.event).collect();
+        assert!(matches!(kinds.first(), Some(TraceEvent::Spawn { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::State { state: TaskState::Running, .. })));
+        assert!(matches!(kinds.last(), Some(TraceEvent::Exit)));
+    }
+}

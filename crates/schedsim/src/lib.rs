@@ -1,0 +1,47 @@
+//! Discrete-event simulation of the Linux 2.6.2x scheduler framework
+//! (paper §III), hosting simulated tasks on a simulated POWER5 chip.
+//!
+//! The framework mirrors the structure the paper builds on:
+//!
+//! * a **Scheduler Core** ([`Kernel`]) that owns per-CPU state and walks an
+//!   ordered chain of **Scheduling Classes** to pick the next task — no task
+//!   from a lower class runs while a higher class has runnable work;
+//! * a **real-time class** ([`classes::RtClass`]) with per-priority
+//!   round-robin queues (the old O(1)-style design);
+//! * the **CFS class** ([`classes::FairClass`]) with a hand-written
+//!   red-black tree ([`rbtree`]) ordered by virtual runtime;
+//! * an **idle class** ([`classes::IdleClass`]) that always has something to
+//!   run;
+//! * scheduling-domain aware **load balancing** hooks, wakeup preemption,
+//!   per-task accounting (exec / wait / sleep, per-iteration run+sleep), and
+//!   scheduler-latency measurement;
+//! * an **OS noise** model ([`noise`]) of per-CPU background daemons.
+//!
+//! The paper's own class (`SCHED_HPC`) is *not* in this crate: it plugs in
+//! through the [`class::SchedClass`] trait from the `hpcsched` crate,
+//! exactly as the paper inserts its class between the real-time and CFS
+//! classes (Figure 1(b)).
+//!
+//! Simulated tasks execute [`program::Program`]s: state machines yielding
+//! compute segments, blocking waits and exits. Blocking and waking is how
+//! the kernel observes the *iterations* (compute phase + wait phase) that
+//! drive the paper's Load Imbalance Detector.
+
+pub mod class;
+pub mod classes;
+pub mod config;
+pub mod kernel;
+pub mod noise;
+pub mod policy;
+pub mod program;
+pub mod rbtree;
+pub mod task;
+pub mod trace;
+
+pub use class::{ClassCtx, SchedClass};
+pub use config::{CfsTunables, KernelConfig, NoiseConfig};
+pub use kernel::{Kernel, KernelMetrics, SpawnOptions};
+pub use policy::SchedPolicy;
+pub use program::{Action, KernelApi, Program, WaitToken, Work};
+pub use task::{Task, TaskId, TaskState};
+pub use trace::{SharedSink, TraceEvent, TraceRecord, TraceSink};

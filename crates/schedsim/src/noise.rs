@@ -1,0 +1,102 @@
+//! OS-noise model: per-CPU background daemons.
+//!
+//! The OS is a major *extrinsic* source of load imbalance in HPC
+//! applications (paper §I, citing Petrini et al. and Tsafrir et al.);
+//! the paper's SIESTA result (§V-D) depends on SCHED_HPC tasks preempting
+//! such background work immediately instead of competing with it inside
+//! CFS. Each daemon sleeps for an exponentially distributed interval, then
+//! burns a small exponentially distributed burst of CPU — a standard
+//! Poisson-process noise model.
+
+use crate::config::NoiseConfig;
+use crate::program::{Action, KernelApi, Program};
+use simcore::{SimDuration, SimRng};
+
+/// A background daemon program.
+pub struct NoiseDaemon {
+    cfg: NoiseConfig,
+    rng: SimRng,
+    sleeping: bool,
+}
+
+impl NoiseDaemon {
+    pub fn new(cfg: NoiseConfig, rng: SimRng) -> Self {
+        NoiseDaemon { cfg, rng, sleeping: false }
+    }
+}
+
+impl Program for NoiseDaemon {
+    fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.sleeping {
+            // Just woke: burn a burst.
+            self.sleeping = false;
+            let work = self.rng.exponential(self.cfg.mean_burst_work).min(
+                // Cap a single burst at 20× the mean so an unlucky draw
+                // cannot freeze a CPU for a macroscopic chunk of the run.
+                self.cfg.mean_burst_work * 20.0,
+            );
+            Action::Compute(work)
+        } else {
+            let mean_s = self.cfg.mean_interval.as_secs_f64();
+            let delay = SimDuration::from_secs_f64(self.rng.exponential(mean_s));
+            let delay = delay.max(SimDuration::from_micros(10));
+            let tok = api.new_token();
+            api.signal_after(delay, tok);
+            self.sleeping = true;
+            Action::Block(tok)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TokenTable;
+    use crate::task::TaskId;
+    use simcore::SimTime;
+
+    #[test]
+    fn daemon_alternates_sleep_and_burst() {
+        let mut d = NoiseDaemon::new(NoiseConfig::light(), SimRng::seed_from_u64(1));
+        let mut tokens = TokenTable::default();
+        let mut sigs = Vec::new();
+        let mut pol = None;
+        let mut api = KernelApi {
+            now: SimTime::ZERO,
+            caller: TaskId(0),
+            tokens: &mut tokens,
+            deferred_signals: &mut sigs,
+            policy_change: &mut pol,
+        };
+        assert!(matches!(d.next_action(&mut api), Action::Block(_)));
+        assert_eq!(api.deferred_signals.len(), 1, "armed a timer");
+        match d.next_action(&mut api) {
+            Action::Compute(w) => assert!(w > 0.0 && w < 1.0),
+            _ => panic!("expected a burst after waking"),
+        }
+        assert!(matches!(d.next_action(&mut api), Action::Block(_)));
+    }
+
+    #[test]
+    fn bursts_are_bounded() {
+        let cfg = NoiseConfig::light();
+        let mut d = NoiseDaemon::new(cfg, SimRng::seed_from_u64(2));
+        let mut tokens = TokenTable::default();
+        let mut sigs = Vec::new();
+        let mut pol = None;
+        let mut api = KernelApi {
+            now: SimTime::ZERO,
+            caller: TaskId(0),
+            tokens: &mut tokens,
+            deferred_signals: &mut sigs,
+            policy_change: &mut pol,
+        };
+        for _ in 0..200 {
+            let _ = d.next_action(&mut api); // block
+            match d.next_action(&mut api) {
+                Action::Compute(w) => assert!(w <= cfg.mean_burst_work * 20.0),
+                _ => panic!("expected burst"),
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Scheduling policies, mirroring the Linux uapi constants the paper uses.
+
+use serde::{Deserialize, Serialize};
+
+/// A task's scheduling policy. Policies map onto scheduling classes:
+/// `Fifo`/`Rr` → real-time class, `Hpc` → the paper's HPC class (when
+/// installed), `Normal`/`Batch` → CFS, `Idle` → idle class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// `SCHED_FIFO`: real-time, runs until it yields or blocks.
+    Fifo,
+    /// `SCHED_RR`: real-time round-robin with a time slice.
+    Rr,
+    /// `SCHED_HPC`: the paper's new policy for HPC (MPI) processes.
+    Hpc,
+    /// `SCHED_NORMAL` (née `SCHED_OTHER`): ordinary CFS time-sharing.
+    Normal,
+    /// `SCHED_BATCH`: CFS, but never treated as interactive.
+    Batch,
+    /// `SCHED_IDLE`: only runs when nothing else is runnable.
+    Idle,
+}
+
+impl SchedPolicy {
+    /// True for the real-time policies whose semantics the class order
+    /// must preserve (paper §III).
+    pub const fn is_realtime(self) -> bool {
+        matches!(self, SchedPolicy::Fifo | SchedPolicy::Rr)
+    }
+
+    /// True for policies handled by the CFS class.
+    pub const fn is_fair(self) -> bool {
+        matches!(self, SchedPolicy::Normal | SchedPolicy::Batch)
+    }
+
+    /// Kernel-style name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "SCHED_FIFO",
+            SchedPolicy::Rr => "SCHED_RR",
+            SchedPolicy::Hpc => "SCHED_HPC",
+            SchedPolicy::Normal => "SCHED_NORMAL",
+            SchedPolicy::Batch => "SCHED_BATCH",
+            SchedPolicy::Idle => "SCHED_IDLE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(SchedPolicy::Fifo.is_realtime());
+        assert!(SchedPolicy::Rr.is_realtime());
+        assert!(!SchedPolicy::Hpc.is_realtime());
+        assert!(SchedPolicy::Normal.is_fair());
+        assert!(SchedPolicy::Batch.is_fair());
+        assert!(!SchedPolicy::Hpc.is_fair());
+        assert!(!SchedPolicy::Idle.is_fair());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SchedPolicy::Hpc.name(), "SCHED_HPC");
+        assert_eq!(SchedPolicy::Normal.name(), "SCHED_NORMAL");
+    }
+}

@@ -1,0 +1,608 @@
+//! An arena-backed red-black tree.
+//!
+//! The CFS class keeps its runnable tasks in a red-black tree ordered by
+//! virtual runtime (paper §III); this is that tree, written from scratch
+//! (CLRS-style insert/delete with fixups) rather than borrowed from a
+//! collection library, because the experiments benchmark it and the
+//! property-test suite checks its invariants directly.
+//!
+//! Keys must be unique; CFS guarantees that by keying on
+//! `(vruntime, task id)`. The leftmost node is cached so `min()` — the
+//! scheduler's hot query — is O(1).
+
+use std::cmp::Ordering;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Color {
+    Red,
+    Black,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K> {
+    key: K,
+    parent: usize,
+    left: usize,
+    right: usize,
+    color: Color,
+}
+
+/// Red-black tree over unique, copyable keys.
+#[derive(Clone, Debug)]
+pub struct RbTree<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    root: usize,
+    leftmost: usize,
+    len: usize,
+}
+
+impl<K: Ord + Copy> Default for RbTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy> RbTree<K> {
+    pub fn new() -> Self {
+        RbTree { nodes: Vec::new(), free: Vec::new(), root: NIL, leftmost: NIL, len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The smallest key, if any. O(1).
+    pub fn min(&self) -> Option<K> {
+        if self.leftmost == NIL {
+            None
+        } else {
+            Some(self.nodes[self.leftmost].key)
+        }
+    }
+
+    /// Remove and return the smallest key.
+    pub fn pop_min(&mut self) -> Option<K> {
+        let k = self.min()?;
+        self.remove(&k);
+        Some(k)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.find(key) != NIL
+    }
+
+    /// Insert a key. Returns `false` (and changes nothing) if already
+    /// present.
+    pub fn insert(&mut self, key: K) -> bool {
+        // BST descent.
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            match key.cmp(&self.nodes[cur].key) {
+                Ordering::Less => cur = self.nodes[cur].left,
+                Ordering::Greater => cur = self.nodes[cur].right,
+                Ordering::Equal => return false,
+            }
+        }
+        let n = self.alloc(Node { key, parent, left: NIL, right: NIL, color: Color::Red });
+        if parent == NIL {
+            self.root = n;
+        } else if key < self.nodes[parent].key {
+            self.nodes[parent].left = n;
+        } else {
+            self.nodes[parent].right = n;
+        }
+        // Maintain the leftmost cache.
+        if self.leftmost == NIL || key < self.nodes[self.leftmost].key {
+            self.leftmost = n;
+        }
+        self.len += 1;
+        self.insert_fixup(n);
+        true
+    }
+
+    /// Remove a key. Returns `false` if absent.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let z = self.find(key);
+        if z == NIL {
+            return false;
+        }
+        if z == self.leftmost {
+            self.leftmost = self.successor(z);
+        }
+        self.delete_node(z);
+        self.len -= 1;
+        true
+    }
+
+    /// In-order iteration (ascending keys). O(n) total.
+    pub fn iter(&self) -> RbIter<'_, K> {
+        RbIter { tree: self, next: self.leftmost }
+    }
+
+    // ---- internals ----
+
+    fn alloc(&mut self, node: Node<K>) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn find(&self, key: &K) -> usize {
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(&self.nodes[cur].key) {
+                Ordering::Less => cur = self.nodes[cur].left,
+                Ordering::Greater => cur = self.nodes[cur].right,
+                Ordering::Equal => return cur,
+            }
+        }
+        NIL
+    }
+
+    fn successor(&self, mut x: usize) -> usize {
+        if self.nodes[x].right != NIL {
+            let mut c = self.nodes[x].right;
+            while self.nodes[c].left != NIL {
+                c = self.nodes[c].left;
+            }
+            return c;
+        }
+        let mut p = self.nodes[x].parent;
+        while p != NIL && x == self.nodes[p].right {
+            x = p;
+            p = self.nodes[p].parent;
+        }
+        p
+    }
+
+    fn rotate_left(&mut self, x: usize) {
+        let y = self.nodes[x].right;
+        debug_assert_ne!(y, NIL);
+        self.nodes[x].right = self.nodes[y].left;
+        if self.nodes[y].left != NIL {
+            let yl = self.nodes[y].left;
+            self.nodes[yl].parent = x;
+        }
+        self.nodes[y].parent = self.nodes[x].parent;
+        let xp = self.nodes[x].parent;
+        if xp == NIL {
+            self.root = y;
+        } else if x == self.nodes[xp].left {
+            self.nodes[xp].left = y;
+        } else {
+            self.nodes[xp].right = y;
+        }
+        self.nodes[y].left = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn rotate_right(&mut self, x: usize) {
+        let y = self.nodes[x].left;
+        debug_assert_ne!(y, NIL);
+        self.nodes[x].left = self.nodes[y].right;
+        if self.nodes[y].right != NIL {
+            let yr = self.nodes[y].right;
+            self.nodes[yr].parent = x;
+        }
+        self.nodes[y].parent = self.nodes[x].parent;
+        let xp = self.nodes[x].parent;
+        if xp == NIL {
+            self.root = y;
+        } else if x == self.nodes[xp].right {
+            self.nodes[xp].right = y;
+        } else {
+            self.nodes[xp].left = y;
+        }
+        self.nodes[y].right = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: usize) {
+        while self.nodes[z].parent != NIL && self.color(self.nodes[z].parent) == Color::Red {
+            let p = self.nodes[z].parent;
+            let g = self.nodes[p].parent;
+            debug_assert_ne!(g, NIL, "red root parent");
+            if p == self.nodes[g].left {
+                let u = self.nodes[g].right;
+                if self.color(u) == Color::Red {
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[u].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    z = g;
+                } else {
+                    if z == self.nodes[p].right {
+                        z = p;
+                        self.rotate_left(z);
+                    }
+                    let p = self.nodes[z].parent;
+                    let g = self.nodes[p].parent;
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    self.rotate_right(g);
+                }
+            } else {
+                let u = self.nodes[g].left;
+                if self.color(u) == Color::Red {
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[u].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    z = g;
+                } else {
+                    if z == self.nodes[p].left {
+                        z = p;
+                        self.rotate_right(z);
+                    }
+                    let p = self.nodes[z].parent;
+                    let g = self.nodes[p].parent;
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    self.rotate_left(g);
+                }
+            }
+        }
+        let r = self.root;
+        self.nodes[r].color = Color::Black;
+    }
+
+    fn color(&self, n: usize) -> Color {
+        if n == NIL {
+            Color::Black
+        } else {
+            self.nodes[n].color
+        }
+    }
+
+    fn transplant(&mut self, u: usize, v: usize) {
+        let up = self.nodes[u].parent;
+        if up == NIL {
+            self.root = v;
+        } else if u == self.nodes[up].left {
+            self.nodes[up].left = v;
+        } else {
+            self.nodes[up].right = v;
+        }
+        if v != NIL {
+            self.nodes[v].parent = up;
+        }
+    }
+
+    fn delete_node(&mut self, z: usize) {
+        let mut y = z;
+        let mut y_color = self.nodes[y].color;
+        let x;
+        let x_parent;
+        if self.nodes[z].left == NIL {
+            x = self.nodes[z].right;
+            x_parent = self.nodes[z].parent;
+            self.transplant(z, x);
+        } else if self.nodes[z].right == NIL {
+            x = self.nodes[z].left;
+            x_parent = self.nodes[z].parent;
+            self.transplant(z, x);
+        } else {
+            // y = minimum of right subtree.
+            y = self.nodes[z].right;
+            while self.nodes[y].left != NIL {
+                y = self.nodes[y].left;
+            }
+            y_color = self.nodes[y].color;
+            x = self.nodes[y].right;
+            if self.nodes[y].parent == z {
+                x_parent = y;
+            } else {
+                x_parent = self.nodes[y].parent;
+                self.transplant(y, x);
+                self.nodes[y].right = self.nodes[z].right;
+                let yr = self.nodes[y].right;
+                self.nodes[yr].parent = y;
+            }
+            self.transplant(z, y);
+            self.nodes[y].left = self.nodes[z].left;
+            let yl = self.nodes[y].left;
+            self.nodes[yl].parent = y;
+            self.nodes[y].color = self.nodes[z].color;
+        }
+        if y_color == Color::Black {
+            self.delete_fixup(x, x_parent);
+        }
+        self.free.push(z);
+    }
+
+    /// CLRS delete-fixup, tracking the parent explicitly because `x` may be
+    /// NIL (we have no sentinel node).
+    fn delete_fixup(&mut self, mut x: usize, mut parent: usize) {
+        while x != self.root && self.color(x) == Color::Black {
+            if parent == NIL {
+                break;
+            }
+            if x == self.nodes[parent].left {
+                let mut w = self.nodes[parent].right;
+                if self.color(w) == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[parent].color = Color::Red;
+                    self.rotate_left(parent);
+                    w = self.nodes[parent].right;
+                }
+                if self.color(self.node_left(w)) == Color::Black
+                    && self.color(self.node_right(w)) == Color::Black
+                {
+                    if w != NIL {
+                        self.nodes[w].color = Color::Red;
+                    }
+                    x = parent;
+                    parent = self.nodes[x].parent;
+                } else {
+                    if self.color(self.node_right(w)) == Color::Black {
+                        let wl = self.node_left(w);
+                        if wl != NIL {
+                            self.nodes[wl].color = Color::Black;
+                        }
+                        self.nodes[w].color = Color::Red;
+                        self.rotate_right(w);
+                        w = self.nodes[parent].right;
+                    }
+                    self.nodes[w].color = self.nodes[parent].color;
+                    self.nodes[parent].color = Color::Black;
+                    let wr = self.node_right(w);
+                    if wr != NIL {
+                        self.nodes[wr].color = Color::Black;
+                    }
+                    self.rotate_left(parent);
+                    x = self.root;
+                    break;
+                }
+            } else {
+                let mut w = self.nodes[parent].left;
+                if self.color(w) == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[parent].color = Color::Red;
+                    self.rotate_right(parent);
+                    w = self.nodes[parent].left;
+                }
+                if self.color(self.node_left(w)) == Color::Black
+                    && self.color(self.node_right(w)) == Color::Black
+                {
+                    if w != NIL {
+                        self.nodes[w].color = Color::Red;
+                    }
+                    x = parent;
+                    parent = self.nodes[x].parent;
+                } else {
+                    if self.color(self.node_left(w)) == Color::Black {
+                        let wr = self.node_right(w);
+                        if wr != NIL {
+                            self.nodes[wr].color = Color::Black;
+                        }
+                        self.nodes[w].color = Color::Red;
+                        self.rotate_left(w);
+                        w = self.nodes[parent].left;
+                    }
+                    self.nodes[w].color = self.nodes[parent].color;
+                    self.nodes[parent].color = Color::Black;
+                    let wl = self.node_left(w);
+                    if wl != NIL {
+                        self.nodes[wl].color = Color::Black;
+                    }
+                    self.rotate_right(parent);
+                    x = self.root;
+                    break;
+                }
+            }
+        }
+        if x != NIL {
+            self.nodes[x].color = Color::Black;
+        }
+    }
+
+    fn node_left(&self, n: usize) -> usize {
+        if n == NIL {
+            NIL
+        } else {
+            self.nodes[n].left
+        }
+    }
+
+    fn node_right(&self, n: usize) -> usize {
+        if n == NIL {
+            NIL
+        } else {
+            self.nodes[n].right
+        }
+    }
+
+    /// Validate every red-black invariant. Test/diagnostic use; panics with
+    /// a description on violation.
+    pub fn assert_invariants(&self) {
+        if self.root == NIL {
+            assert_eq!(self.len, 0, "empty tree with non-zero len");
+            assert_eq!(self.leftmost, NIL);
+            return;
+        }
+        assert_eq!(self.color(self.root), Color::Black, "root must be black");
+        assert_eq!(self.nodes[self.root].parent, NIL, "root has a parent");
+        let (count, _) = self.check_subtree(self.root, None, None);
+        assert_eq!(count, self.len, "len mismatch");
+        // Leftmost cache correctness.
+        let mut m = self.root;
+        while self.nodes[m].left != NIL {
+            m = self.nodes[m].left;
+        }
+        assert_eq!(self.leftmost, m, "leftmost cache stale");
+    }
+
+    fn check_subtree(&self, n: usize, lo: Option<K>, hi: Option<K>) -> (usize, usize) {
+        if n == NIL {
+            return (0, 1); // black-height of NIL = 1
+        }
+        let node = &self.nodes[n];
+        if let Some(lo) = lo {
+            assert!(node.key > lo, "BST order violated (left bound)");
+        }
+        if let Some(hi) = hi {
+            assert!(node.key < hi, "BST order violated (right bound)");
+        }
+        if node.color == Color::Red {
+            assert_eq!(self.color(node.left), Color::Black, "red node with red left child");
+            assert_eq!(self.color(node.right), Color::Black, "red node with red right child");
+        }
+        if node.left != NIL {
+            assert_eq!(self.nodes[node.left].parent, n, "broken parent link (left)");
+        }
+        if node.right != NIL {
+            assert_eq!(self.nodes[node.right].parent, n, "broken parent link (right)");
+        }
+        let (lc, lbh) = self.check_subtree(node.left, lo, Some(node.key));
+        let (rc, rbh) = self.check_subtree(node.right, Some(node.key), hi);
+        assert_eq!(lbh, rbh, "black-height mismatch");
+        let bh = lbh + if node.color == Color::Black { 1 } else { 0 };
+        (lc + rc + 1, bh)
+    }
+}
+
+/// Ascending in-order iterator.
+pub struct RbIter<'a, K> {
+    tree: &'a RbTree<K>,
+    next: usize,
+}
+
+impl<'a, K: Ord + Copy> Iterator for RbIter<'a, K> {
+    type Item = K;
+
+    fn next(&mut self) -> Option<K> {
+        if self.next == NIL {
+            return None;
+        }
+        let k = self.tree.nodes[self.next].key;
+        self.next = self.tree.successor(self.next);
+        Some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: RbTree<u64> = RbTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.min(), None);
+        assert!(!t.contains(&3));
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn insert_and_min() {
+        let mut t = RbTree::new();
+        for k in [5u64, 3, 8, 1, 9, 7] {
+            assert!(t.insert(k));
+            t.assert_invariants();
+        }
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.min(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = RbTree::new();
+        assert!(t.insert(4u64));
+        assert!(!t.insert(4));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_maintains_invariants() {
+        let mut t = RbTree::new();
+        for k in 0..64u64 {
+            t.insert(k);
+        }
+        for k in (0..64u64).step_by(3) {
+            assert!(t.remove(&k));
+            t.assert_invariants();
+        }
+        assert!(!t.remove(&0), "already removed");
+        assert_eq!(t.len(), 64 - 22);
+    }
+
+    #[test]
+    fn pop_min_drains_in_order() {
+        let mut t = RbTree::new();
+        let mut keys: Vec<u64> = (0..100).map(|i| (i * 37) % 101).collect();
+        for &k in &keys {
+            t.insert(k);
+        }
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        while let Some(k) = t.pop_min() {
+            t.assert_invariants();
+            out.push(k);
+        }
+        assert_eq!(out, keys);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut t = RbTree::new();
+        for k in [9u64, 2, 7, 4, 0, 5] {
+            t.insert(k);
+        }
+        let v: Vec<u64> = t.iter().collect();
+        assert_eq!(v, vec![0, 2, 4, 5, 7, 9]);
+    }
+
+    #[test]
+    fn node_reuse_via_free_list() {
+        let mut t = RbTree::new();
+        for k in 0..10u64 {
+            t.insert(k);
+        }
+        for k in 0..10u64 {
+            t.remove(&k);
+        }
+        let cap_before = t.nodes.len();
+        for k in 10..20u64 {
+            t.insert(k);
+        }
+        assert_eq!(t.nodes.len(), cap_before, "freed slots reused");
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn tuple_keys_mirror_cfs_usage() {
+        // CFS keys: (vruntime, task id) — duplicates in vruntime allowed.
+        let mut t = RbTree::new();
+        t.insert((100u64, 1usize));
+        t.insert((100u64, 2usize));
+        t.insert((50u64, 3usize));
+        assert_eq!(t.min(), Some((50, 3)));
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn descending_and_ascending_insert_patterns() {
+        for order in [true, false] {
+            let mut t = RbTree::new();
+            let keys: Vec<u64> =
+                if order { (0..200).collect() } else { (0..200).rev().collect() };
+            for k in keys {
+                t.insert(k);
+                t.assert_invariants();
+            }
+            assert_eq!(t.min(), Some(0));
+        }
+    }
+}

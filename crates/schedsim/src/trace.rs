@@ -1,0 +1,101 @@
+//! Kernel trace hooks.
+//!
+//! The kernel emits a [`TraceRecord`] on every scheduler-visible transition.
+//! Collectors (the `tracefmt` crate) implement [`TraceSink`]; the kernel
+//! stays agnostic of storage and rendering — the same role PARAVER's
+//! instrumentation plays in the paper's evaluation.
+
+use crate::task::{TaskId, TaskState};
+use power5::{CpuId, HwPriority};
+use simcore::SimTime;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Task created.
+    Spawn { name: String },
+    /// Task changed scheduler-visible state.
+    State { state: TaskState, cpu: Option<CpuId> },
+    /// The hardware priority applied for this task changed.
+    HwPrio { prio: HwPriority },
+    /// An iteration (compute + wait phase) completed, with its utilization
+    /// in `[0,1]`.
+    IterationEnd { index: u64, utilization: f64 },
+    /// Task exited.
+    Exit,
+}
+
+/// A timestamped, task-attributed trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    pub task: TaskId,
+    pub event: TraceEvent,
+}
+
+/// Receives trace records as the simulation runs.
+pub trait TraceSink: Send {
+    fn record(&mut self, rec: TraceRecord);
+}
+
+/// A sink that stores everything in memory.
+#[derive(Default)]
+pub struct VecSink {
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+}
+
+/// A sink writing into a shared buffer, so callers keep access to the
+/// records while the kernel owns the sink.
+#[derive(Clone, Default)]
+pub struct SharedSink {
+    records: std::sync::Arc<std::sync::Mutex<Vec<TraceRecord>>>,
+}
+
+impl SharedSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the records collected so far.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.lock().expect("trace sink poisoned").push(rec);
+    }
+}
+
+/// A sink that discards everything (the default).
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_accumulates() {
+        let mut s = VecSink::default();
+        s.record(TraceRecord { time: SimTime::ZERO, task: TaskId(1), event: TraceEvent::Exit });
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].task, TaskId(1));
+    }
+
+    #[test]
+    fn null_sink_ignores() {
+        let mut s = NullSink;
+        s.record(TraceRecord { time: SimTime::ZERO, task: TaskId(0), event: TraceEvent::Exit });
+    }
+}

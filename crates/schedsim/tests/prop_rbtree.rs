@@ -1,0 +1,84 @@
+//! Model-based property tests for the CFS red-black tree: every operation
+//! sequence must behave like an ordered set, and every intermediate state
+//! must satisfy the red-black invariants.
+
+use proptest::prelude::*;
+use schedsim::rbtree::RbTree;
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    PopMin,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..200).prop_map(Op::Insert),
+        (0u16..200).prop_map(Op::Remove),
+        Just(Op::PopMin),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn behaves_like_an_ordered_set(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut tree = RbTree::new();
+        let mut model = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    prop_assert_eq!(tree.insert(k), model.insert(k));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                Op::PopMin => {
+                    prop_assert_eq!(tree.pop_min(), model.pop_first());
+                }
+            }
+            tree.assert_invariants();
+            prop_assert_eq!(tree.len(), model.len());
+            prop_assert_eq!(tree.min(), model.first().copied());
+        }
+        // Full in-order drain agrees with the model.
+        let drained: Vec<u16> = tree.iter().collect();
+        let expected: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn contains_agrees_with_model(keys in proptest::collection::vec(0u16..100, 0..60)) {
+        let mut tree = RbTree::new();
+        let mut model = BTreeSet::new();
+        for k in &keys {
+            tree.insert(*k);
+            model.insert(*k);
+        }
+        for probe in 0..100u16 {
+            prop_assert_eq!(tree.contains(&probe), model.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn cfs_shaped_churn(seq in proptest::collection::vec((0u64..1_000_000, 0usize..32), 1..300)) {
+        // Keys shaped like CFS usage: (vruntime, task id).
+        let mut tree = RbTree::new();
+        let mut live: BTreeSet<(u64, usize)> = BTreeSet::new();
+        for (vr, id) in seq {
+            let key = (vr, id);
+            if live.contains(&key) {
+                prop_assert!(tree.remove(&key));
+                live.remove(&key);
+            } else {
+                prop_assert!(tree.insert(key));
+                live.insert(key);
+            }
+            tree.assert_invariants();
+            prop_assert_eq!(tree.min(), live.first().copied());
+        }
+    }
+}

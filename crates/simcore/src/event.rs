@@ -1,0 +1,277 @@
+//! Deterministic, cancellable event queue.
+//!
+//! A classic discrete-event-simulation future-event list. Two properties
+//! matter for this workspace:
+//!
+//! 1. **Determinism** — events scheduled for the same timestamp pop in the
+//!    order they were scheduled (FIFO tie-break via a sequence counter), so a
+//!    simulation never depends on binary-heap internals.
+//! 2. **Cancellation** — timers (scheduler ticks, RR time slices, message
+//!    deliveries) are frequently re-armed; [`EventQueue::cancel`] is O(1)
+//!    (lazy deletion: cancelled entries are skipped at pop time).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// A handle that never corresponds to a live event. Useful as an
+    /// initializer for "no timer armed" fields.
+    pub const NONE: EventId = EventId(u64::MAX);
+}
+
+/// An event popped from the queue: when it fires and its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    pub time: SimTime,
+    pub id: EventId,
+    pub payload: E,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. `seq` is unique, giving a total order.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Future-event list with lazy cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Pending-but-cancelled sequence numbers, skipped lazily at pop time.
+    cancelled: std::collections::HashSet<u64>,
+    /// Sequence numbers that already fired; cancelling one is a no-op and
+    /// must report `false`, which a heap alone cannot tell apart from a
+    /// pending id without scanning.
+    fired: std::collections::HashSet<u64>,
+    live: usize,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            fired: std::collections::HashSet::new(),
+            live: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `time` is before the last popped event —
+    /// scheduling into the past is always a simulation bug.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        debug_assert!(
+            time >= self.last_popped,
+            "scheduling into the past: {time:?} < {:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. this call prevented it from firing).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id == EventId::NONE || id.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.contains(&id.0) || self.fired.contains(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        self.live = self.live.saturating_sub(1);
+        true
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next live event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.skim();
+        let entry = self.heap.pop()?;
+        self.live -= 1;
+        self.last_popped = entry.time;
+        self.fired.insert(entry.seq);
+        Some(ScheduledEvent { time: entry.time, id: EventId(entry.seq), payload: entry.payload })
+    }
+
+    /// Discard cancelled entries sitting at the top of the heap.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Test/diagnostic helper: true if `id` has already fired.
+    pub fn has_fired(&self, id: EventId) -> bool {
+        self.fired.contains(&id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_pops_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_and_cancel_after_fire_return_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+
+        let b = q.schedule(t(20), "b");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(!q.cancel(b));
+        assert!(q.has_fired(b));
+    }
+
+    #[test]
+    fn cancel_none_is_noop() {
+        let mut q = EventQueue::<()>::new();
+        assert!(!q.cancel(EventId::NONE));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "a");
+        q.pop();
+        q.schedule(t(5), "late");
+    }
+}

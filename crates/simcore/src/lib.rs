@@ -1,0 +1,32 @@
+//! Discrete-event simulation core shared by every crate in the HPCSched
+//! reproduction stack.
+//!
+//! The whole reproduction is a *simulation*: the paper's scheduler runs inside
+//! a Linux kernel on a real POWER5 machine, while ours runs inside a
+//! deterministic discrete-event model of both. This crate provides the three
+//! primitives everything else is built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`EventQueue`] — a cancellable, deterministically-ordered event queue,
+//! * [`SimRng`] — a seeded RNG with the distribution helpers the workload and
+//!   OS-noise models need,
+//!
+//! plus small online-statistics utilities ([`stats`]) used by the scheduler
+//! metrics and by the experiment harness.
+//!
+//! # Determinism
+//!
+//! Every simulation run in this workspace is a pure function of its
+//! configuration and a `u64` seed. The event queue breaks timestamp ties with
+//! a monotonically increasing sequence number so iteration order never depends
+//! on heap internals, and [`SimRng`] is an explicitly-seeded `SmallRng`.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, UtilizationTracker};
+pub use time::{SimDuration, SimTime};

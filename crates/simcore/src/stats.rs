@@ -1,0 +1,320 @@
+//! Small online statistics used by scheduler metrics and the harness.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Welford's online mean/variance accumulator.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (Chan's parallel algorithm).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bucket histogram over `[lo, hi)` with overflow/underflow buckets.
+/// Used for scheduler-latency distributions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// # Panics
+    /// If `hi <= lo` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo && buckets > 0, "invalid histogram bounds");
+        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile (inverse CDF) from bucket midpoints.
+    /// Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target && self.underflow > 0 {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// Tracks the busy/total ratio of a resource over simulated time.
+///
+/// This is exactly the metric the paper's Load Imbalance Detector uses:
+/// `U = Σ tR / Σ ti` where `tR` is running time and `ti` is iteration
+/// (running + waiting) time.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UtilizationTracker {
+    busy: SimDuration,
+    total: SimDuration,
+}
+
+impl UtilizationTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_busy(&mut self, d: SimDuration) {
+        self.busy += d;
+        self.total += d;
+    }
+
+    pub fn add_idle(&mut self, d: SimDuration) {
+        self.total += d;
+    }
+
+    pub fn busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    pub fn total(&self) -> SimDuration {
+        self.total
+    }
+
+    /// Utilization in `[0, 1]`; `0` when nothing has been recorded.
+    pub fn utilization(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.busy.as_nanos() as f64 / self.total.as_nanos() as f64
+        }
+    }
+
+    /// Utilization as the percentage the paper's tables report.
+    pub fn percent(&self) -> f64 {
+        self.utilization() * 100.0
+    }
+
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Convenience for measuring a span of simulated wall-clock time.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: SimTime,
+}
+
+impl Stopwatch {
+    pub fn start_at(t: SimTime) -> Self {
+        Stopwatch { start: t }
+    }
+
+    pub fn elapsed(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        xs[..37].iter().for_each(|&x| left.push(x));
+        xs[37..].iter().for_each(|&x| right.push(x));
+        left.merge(&right);
+
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.5);
+        h.record(9.5);
+        h.record(25.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[9], 1);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 2.0, "median {median}");
+        assert!(h.quantile(0.0).is_some());
+        assert!(Histogram::new(0.0, 1.0, 4).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn utilization_tracker_matches_paper_metric() {
+        let mut u = UtilizationTracker::new();
+        u.add_busy(SimDuration::from_millis(25));
+        u.add_idle(SimDuration::from_millis(75));
+        assert!((u.utilization() - 0.25).abs() < 1e-12);
+        assert!((u.percent() - 25.0).abs() < 1e-9);
+        u.reset();
+        assert_eq!(u.utilization(), 0.0);
+    }
+
+    #[test]
+    fn stopwatch_elapsed() {
+        let t0 = SimTime::ZERO + SimDuration::from_millis(5);
+        let w = Stopwatch::start_at(t0);
+        assert_eq!(w.elapsed(t0 + SimDuration::from_millis(7)), SimDuration::from_millis(7));
+        assert_eq!(w.elapsed(SimTime::ZERO), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the discrete-event core.
+
+use proptest::prelude::*;
+use simcore::{EventQueue, OnlineStats, SimDuration, SimTime};
+
+proptest! {
+    /// Events pop in (time, insertion-order) order regardless of insertion
+    /// pattern.
+    #[test]
+    fn queue_pops_in_time_then_fifo_order(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push((ev.time.as_nanos(), ev.payload));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO within a timestamp");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset suppresses exactly those events.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate().map(|(i, &t)| q.schedule(SimTime(t), i)).collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            let cancel = *cancel_mask.get(i).unwrap_or(&false);
+            if cancel {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev.payload);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Welford statistics agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..400)) {
+        let mut s = OnlineStats::new();
+        xs.iter().for_each(|&x| s.push(x));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Merging split accumulators equals accumulating the whole sequence.
+    #[test]
+    fn stats_merge_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..200),
+        split in 1usize..100,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..split].iter().for_each(|&x| a.push(x));
+        xs[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+    }
+
+    /// Duration arithmetic: mul/div round-trips within rounding error.
+    #[test]
+    fn duration_scale_roundtrip(ns in 1u64..1_000_000_000_000, factor in 0.001f64..1000.0) {
+        let d = SimDuration::from_nanos(ns);
+        let scaled = d.mul_f64(factor).div_f64(factor);
+        let err = scaled.as_nanos().abs_diff(ns);
+        // One ns of rounding per operation, amplified by 1/factor.
+        let tolerance = (2.0 / factor).ceil() as u64 + 2;
+        prop_assert!(err <= tolerance, "err {err} tolerance {tolerance}");
+    }
+}

@@ -1,0 +1,185 @@
+//! ASCII rendering of timelines — the reproduction of the paper's
+//! PARAVER figures (Figures 2–6).
+//!
+//! One row per process; simulated time maps onto a fixed-width column grid.
+//! `#` is computing (the figures' dark gray), `.` is waiting (light gray),
+//! `:` is runnable-but-not-running, and a digit marks a hardware-priority
+//! change to that level within the column.
+
+use crate::timeline::{Timeline, TraceState};
+use simcore::SimTime;
+use std::fmt::Write;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct AsciiOptions {
+    /// Character columns of the time axis.
+    pub width: usize,
+    /// Mark hardware-priority changes with the new priority digit.
+    pub mark_prio_changes: bool,
+    /// Render only up to this time (default: whole trace).
+    pub until: Option<SimTime>,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions { width: 100, mark_prio_changes: true, until: None }
+    }
+}
+
+/// Render the timeline as a multi-line string.
+pub fn render_timeline(tl: &Timeline, opts: &AsciiOptions) -> String {
+    let end = opts.until.unwrap_or(tl.end).max(SimTime(1));
+    let width = opts.width.max(10);
+    let col_of = |t: SimTime| -> usize {
+        ((t.as_nanos() as u128 * width as u128) / end.as_nanos().max(1) as u128) as usize
+    };
+
+    let name_w = tl.tasks.iter().map(|t| t.name.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    // Header: time axis.
+    let _ = writeln!(
+        out,
+        "{:name_w$} 0{}{:.2}s",
+        "",
+        "-".repeat(width.saturating_sub(2)),
+        end.as_secs_f64(),
+        name_w = name_w
+    );
+    for task in &tl.tasks {
+        // Accumulate the time each state occupies within each cell, then
+        // colour the cell by its majority state — a coarse view of a
+        // fine-grained trace stays faithful (a 50%-waiting process renders
+        // half-dark, like the PARAVER figures).
+        let mut weights = vec![[0u64; 3]; width]; // [Compute, Wait, Ready]
+        for iv in &task.intervals {
+            if iv.start >= end {
+                break;
+            }
+            let s = iv.start;
+            let e = iv.end.min(end);
+            let idx = match iv.state {
+                TraceState::Compute => 0,
+                TraceState::Wait => 1,
+                TraceState::Ready => 2,
+            };
+            let a = col_of(s).min(width - 1);
+            let b = col_of(e).min(width - 1).max(a);
+            let col_span_ns = (end.as_nanos() / width as u64).max(1);
+            for (c, w) in weights.iter_mut().enumerate().take(b + 1).skip(a) {
+                let cell_start = c as u64 * col_span_ns;
+                let cell_end = cell_start + col_span_ns;
+                let overlap = e.as_nanos().min(cell_end).saturating_sub(s.as_nanos().max(cell_start));
+                w[idx] += overlap;
+            }
+        }
+        let mut row: Vec<char> = weights
+            .iter()
+            .map(|w| {
+                if w[0] == 0 && w[1] == 0 && w[2] == 0 {
+                    ' '
+                } else if w[0] >= w[1] && w[0] >= w[2] {
+                    '#'
+                } else if w[1] >= w[2] {
+                    '.'
+                } else {
+                    ':'
+                }
+            })
+            .collect();
+        if opts.mark_prio_changes {
+            for (t, prio) in &task.prio_changes {
+                if *t < end {
+                    let c = col_of(*t).min(width - 1);
+                    row[c] = char::from_digit(prio.value() as u32, 10).unwrap_or('?');
+                }
+            }
+        }
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "{:name_w$} {}", task.name, line, name_w = name_w);
+    }
+    let _ = writeln!(
+        out,
+        "{:name_w$} [#]=compute  [.]=wait  [:]=ready  [digit]=hw prio change",
+        "",
+        name_w = name_w
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{Interval, TaskTimeline};
+    use power5::HwPriority;
+    use schedsim::TaskId;
+    use simcore::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn sample() -> Timeline {
+        Timeline {
+            tasks: vec![TaskTimeline {
+                task: TaskId(0),
+                name: "P1".into(),
+                spawned: t(0),
+                exited: Some(t(100)),
+                intervals: vec![
+                    Interval { start: t(0), end: t(50), state: TraceState::Compute },
+                    Interval { start: t(50), end: t(100), state: TraceState::Wait },
+                ],
+                prio_changes: vec![(t(50), HwPriority::HIGH)],
+                iterations: vec![],
+            }],
+            end: t(100),
+        }
+    }
+
+    #[test]
+    fn renders_compute_and_wait_halves() {
+        let s = render_timeline(&sample(), &AsciiOptions { width: 40, ..Default::default() });
+        let row = s.lines().nth(1).unwrap();
+        let body: String = row.chars().skip(3).collect();
+        let hashes = body.chars().filter(|&c| c == '#').count();
+        let dots = body.chars().filter(|&c| c == '.').count();
+        assert!((15..=25).contains(&hashes), "hashes {hashes} in {body:?}");
+        assert!((15..=25).contains(&dots), "dots {dots} in {body:?}");
+    }
+
+    #[test]
+    fn prio_change_marker_appears() {
+        let s = render_timeline(&sample(), &AsciiOptions { width: 40, ..Default::default() });
+        assert!(s.contains('6'), "priority digit rendered: {s}");
+        let off = render_timeline(
+            &sample(),
+            &AsciiOptions { width: 40, mark_prio_changes: false, ..Default::default() },
+        );
+        assert!(!off.lines().nth(1).unwrap().contains('6'));
+    }
+
+    #[test]
+    fn until_truncates() {
+        let s = render_timeline(
+            &sample(),
+            &AsciiOptions { width: 40, until: Some(t(50)), ..Default::default() },
+        );
+        let row = s.lines().nth(1).unwrap();
+        assert!(!row.contains('.'), "wait phase excluded: {row}");
+    }
+
+    #[test]
+    fn header_and_legend_present() {
+        let s = render_timeline(&sample(), &AsciiOptions::default());
+        assert!(s.contains("0.10s"), "end time in header: {s}");
+        assert!(s.contains("compute"));
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        let tl = Timeline::default();
+        let s = render_timeline(&tl, &AsciiOptions::default());
+        assert!(s.contains("compute"), "legend still there");
+    }
+}

@@ -1,0 +1,81 @@
+//! Spawning MPI ranks under the paper's three scheduling setups.
+
+use power5::HwPriority;
+use schedsim::{Kernel, Program, SchedPolicy, SpawnOptions, TaskId};
+
+/// How the application's processes are scheduled — the paper's experiment
+/// axes (§V).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedulerSetup {
+    /// Standard kernel, `SCHED_NORMAL`, default hardware priorities.
+    Baseline,
+    /// Standard kernel, `SCHED_NORMAL`, hand-tuned fixed hardware
+    /// priorities per rank (the static solution of the authors' IPDPS'08
+    /// work).
+    Static(Vec<HwPriority>),
+    /// The paper's contribution: processes in the `SCHED_HPC` class; the
+    /// kernel must have the HPC class installed (heuristic configured
+    /// there).
+    Hpc,
+}
+
+impl SchedulerSetup {
+    fn policy(&self) -> SchedPolicy {
+        match self {
+            SchedulerSetup::Baseline | SchedulerSetup::Static(_) => SchedPolicy::Normal,
+            SchedulerSetup::Hpc => SchedPolicy::Hpc,
+        }
+    }
+
+    fn prio_for(&self, rank: usize) -> Option<HwPriority> {
+        match self {
+            SchedulerSetup::Static(prios) => prios.get(rank).copied(),
+            _ => None,
+        }
+    }
+}
+
+/// Spawn one task per program, in order (rank r lands on CPU r for the
+/// canonical one-process-per-CPU deployment), with the given SMT
+/// performance traits.
+pub fn spawn_ranks(
+    kernel: &mut Kernel,
+    name: &str,
+    programs: Vec<Box<dyn Program>>,
+    setup: &SchedulerSetup,
+    perf: power5::TaskPerfTraits,
+) -> Vec<TaskId> {
+    let policy = setup.policy();
+    programs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, prog)| {
+            kernel.spawn(
+                format!("{name}-P{}", rank + 1),
+                policy,
+                prog,
+                SpawnOptions {
+                    perf: Some(perf),
+                    hw_prio: setup.prio_for(rank),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_policies() {
+        assert_eq!(SchedulerSetup::Baseline.policy(), SchedPolicy::Normal);
+        assert_eq!(SchedulerSetup::Hpc.policy(), SchedPolicy::Hpc);
+        let s = SchedulerSetup::Static(vec![HwPriority::MEDIUM, HwPriority::HIGH]);
+        assert_eq!(s.policy(), SchedPolicy::Normal);
+        assert_eq!(s.prio_for(1), Some(HwPriority::HIGH));
+        assert_eq!(s.prio_for(5), None);
+        assert_eq!(SchedulerSetup::Baseline.prio_for(0), None);
+    }
+}

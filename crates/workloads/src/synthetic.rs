@@ -1,0 +1,103 @@
+//! Generic synthetic SPMD building blocks.
+//!
+//! The paper's benchmarks share one skeleton: compute a load, synchronize,
+//! repeat. [`BarrierGang`] is that skeleton as a reusable program — the
+//! quickest way to put a custom imbalance shape in front of the scheduler
+//! (used by the cluster layer and the examples).
+
+use crate::spawn::{spawn_ranks, SchedulerSetup};
+use mpisim::{Mpi, MpiConfig};
+use schedsim::{Action, Kernel, KernelApi, Program, TaskId};
+
+/// One rank of a barrier-synchronized gang: `iterations` × (compute
+/// `load`; barrier over all ranks).
+pub struct BarrierGang {
+    mpi: Mpi,
+    rank: usize,
+    load: f64,
+    iterations: u32,
+    done: u32,
+    computing: bool,
+}
+
+impl BarrierGang {
+    pub fn new(mpi: Mpi, rank: usize, load: f64, iterations: u32) -> Self {
+        BarrierGang { mpi, rank, load, iterations, done: 0, computing: true }
+    }
+}
+
+impl Program for BarrierGang {
+    fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.done >= self.iterations {
+            return Action::Exit;
+        }
+        if self.computing {
+            self.computing = false;
+            Action::Compute(self.load)
+        } else {
+            self.done += 1;
+            self.computing = true;
+            Action::Block(self.mpi.barrier(api, self.rank))
+        }
+    }
+}
+
+/// Spawn a barrier gang with one rank per load, under the given setup.
+pub fn spawn_gang(
+    kernel: &mut Kernel,
+    name: &str,
+    loads: &[f64],
+    iterations: u32,
+    setup: &SchedulerSetup,
+) -> Vec<TaskId> {
+    assert!(!loads.is_empty(), "empty gang");
+    let mpi = Mpi::new(loads.len(), MpiConfig::default());
+    let programs: Vec<Box<dyn Program>> = loads
+        .iter()
+        .enumerate()
+        .map(|(rank, &load)| {
+            Box::new(BarrierGang::new(mpi.clone(), rank, load, iterations)) as Box<dyn Program>
+        })
+        .collect();
+    spawn_ranks(kernel, name, programs, setup, power5::TaskPerfTraits::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcsched::HpcKernelBuilder;
+    use simcore::SimDuration;
+
+    #[test]
+    fn gang_computes_exactly_iterations_times() {
+        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        let ids = spawn_gang(&mut k, "g", &[0.05, 0.05, 0.05, 0.05], 4, &SchedulerSetup::Baseline);
+        let end = k.run_until_exited(&ids, SimDuration::from_secs(10)).expect("finishes");
+        // 4 iterations × 0.05/0.8 = 0.25 s, plus barrier costs.
+        assert!((0.24..0.27).contains(&end.as_secs_f64()), "end {end}");
+        for &t in &ids {
+            let exec = k.task(t).exec_total.as_secs_f64();
+            assert!((0.24..0.26).contains(&exec), "exec {exec}");
+        }
+    }
+
+    #[test]
+    fn imbalanced_gang_balances_under_hpc() {
+        let loads = [0.02, 0.08, 0.02, 0.08];
+        let mut kb = HpcKernelBuilder::new().without_hpc_class().build();
+        let base_ids = spawn_gang(&mut kb, "g", &loads, 6, &SchedulerSetup::Baseline);
+        let base = kb.run_until_exited(&base_ids, SimDuration::from_secs(10)).unwrap();
+
+        let mut kh = HpcKernelBuilder::new().build();
+        let hpc_ids = spawn_gang(&mut kh, "g", &loads, 6, &SchedulerSetup::Hpc);
+        let hpc = kh.run_until_exited(&hpc_ids, SimDuration::from_secs(10)).unwrap();
+        assert!(hpc < base, "{hpc} vs {base}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty gang")]
+    fn empty_gang_rejected() {
+        let mut k = HpcKernelBuilder::new().build();
+        let _ = spawn_gang(&mut k, "g", &[], 1, &SchedulerSetup::Baseline);
+    }
+}
