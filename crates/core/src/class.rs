@@ -33,6 +33,18 @@ pub enum HpcPolicyKind {
 /// Shared, runtime-adjustable tunables handle (the simulated sysfs mount).
 pub type SharedTunables = Arc<Mutex<HpcTunables>>;
 
+/// Telemetry handles for the class's balancing decisions. Registered once
+/// via [`HpcClass::attach_telemetry`]; recording is a relaxed atomic add.
+struct HpcTelemetry {
+    /// Priority proposals the mechanism applied (the task's register moved).
+    accepted: telemetry::Counter,
+    /// Proposals the mechanism refused or clamped into a no-op.
+    rejected: telemetry::Counter,
+    /// Detector verdicts per completed iteration.
+    balanced: telemetry::Counter,
+    imbalanced: telemetry::Counter,
+}
+
 /// The HPC scheduling class.
 pub struct HpcClass {
     policy: HpcPolicyKind,
@@ -51,6 +63,7 @@ pub struct HpcClass {
     /// balanced→imbalanced transition is a behaviour change and resets the
     /// detector's history.
     was_balanced: bool,
+    telemetry: Option<HpcTelemetry>,
 }
 
 impl HpcClass {
@@ -72,7 +85,22 @@ impl HpcClass {
             prio_changes: 0,
             dynamic_prio: true,
             was_balanced: false,
+            telemetry: None,
         }
+    }
+
+    /// Register the class's decision counters in `registry`:
+    /// `hpc.decisions.<heuristic>.accepted` / `.rejected` count priority
+    /// proposals the mechanism applied vs refused, and
+    /// `hpc.detector.balanced` / `.imbalanced` count detector verdicts.
+    pub fn attach_telemetry(&mut self, registry: &telemetry::MetricsRegistry) {
+        let h = self.heuristic.name();
+        self.telemetry = Some(HpcTelemetry {
+            accepted: registry.counter(&format!("hpc.decisions.{h}.accepted")),
+            rejected: registry.counter(&format!("hpc.decisions.{h}.rejected")),
+            balanced: registry.counter("hpc.detector.balanced"),
+            imbalanced: registry.counter("hpc.detector.imbalanced"),
+        });
     }
 
     /// Disable dynamic prioritization (keep only the scheduling-policy
@@ -206,6 +234,13 @@ impl SchedClass for HpcClass {
             stats = self.detector.record_iteration(task, iter_run, iter_wall);
         }
         self.was_balanced = balanced;
+        if let Some(t) = &self.telemetry {
+            if balanced {
+                t.balanced.inc();
+            } else {
+                t.imbalanced.inc();
+            }
+        }
         if balanced {
             return;
         }
@@ -219,11 +254,21 @@ impl SchedClass for HpcClass {
                 if effective != current {
                     ctx.task_mut(task).hw_prio = effective;
                     self.prio_changes += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.accepted.inc();
+                    }
+                } else if let Some(t) = &self.telemetry {
+                    // Clamped into a no-op: the heuristic's proposal was
+                    // effectively refused.
+                    t.rejected.inc();
                 }
             }
             Err(_) => {
                 // Architecture refused (e.g. range restriction): keep the
                 // old priority, exactly like a failed or-nop.
+                if let Some(t) = &self.telemetry {
+                    t.rejected.inc();
+                }
             }
         }
     }
@@ -422,6 +467,34 @@ mod tests {
         let migs = c.load_balance(&mut cx, CpuId(0), true);
         assert_eq!(migs.len(), 1, "2 tasks on core1 vs 0 on core0");
         assert_eq!(migs[0].task, TaskId(1), "only the queued task can move");
+    }
+
+    #[test]
+    fn telemetry_counts_decisions_and_verdicts() {
+        let topo = Topology::openpower_710();
+        let mut tasks = mk_tasks(2);
+        let mut c = mk_class(HpcPolicyKind::Rr);
+        let registry = telemetry::MetricsRegistry::new();
+        c.attach_telemetry(&registry);
+        let mut cx = ctx(&mut tasks, &topo);
+        // Two imbalanced rounds (same shape as
+        // imbalanced_iterations_raise_priority_of_busy_task).
+        for _ in 0..2 {
+            c.task_woken(&mut cx, TaskId(0), ms(25), ms(100));
+            c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("hpc.decisions.uniform.accepted"),
+            c.priority_changes(),
+            "every applied change is counted against the heuristic"
+        );
+        assert_eq!(snap.counter("hpc.decisions.uniform.rejected"), 0);
+        assert_eq!(
+            snap.counter("hpc.detector.balanced") + snap.counter("hpc.detector.imbalanced"),
+            4,
+            "one verdict per completed iteration"
+        );
     }
 
     #[test]

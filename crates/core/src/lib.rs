@@ -29,13 +29,16 @@
 //! use hpcsched::prelude::*;
 //!
 //! // A POWER5 machine (2 cores × 2 SMT) running a kernel with the HPC class.
-//! let mut kernel = HpcKernelBuilder::new().build();
+//! // The builder validates tunables and topology up front; an invalid
+//! // configuration surfaces as a `SchedError` instead of a panic.
+//! let mut kernel = HpcKernelBuilder::new().try_build()?;
 //!
 //! // An intentionally imbalanced pair on core 0: a long worker and a short
 //! // worker that barrier-waits for it every iteration would normally idle
 //! // ~75% of the time. Under SCHED_HPC the long worker's hardware priority
 //! // rises and the pair converges.
 //! # let _ = &mut kernel;
+//! # Ok::<(), SchedError>(())
 //! ```
 //!
 //! See the `workloads` and `experiments` crates for the paper's benchmarks
@@ -65,8 +68,9 @@ pub mod prelude {
     pub use crate::tunables::HpcTunables;
     pub use power5::{Chip, CpuId, HwPriority, Topology};
     pub use schedsim::{
-        Action, Kernel, KernelApi, KernelConfig, NoiseConfig, Program, SchedPolicy, SpawnOptions,
-        TaskId,
+        Action, Kernel, KernelApi, KernelConfig, KernelEvent, MetricEvent, NoiseConfig, Observer,
+        Program, SchedError, SchedPolicy, SpawnOptions, TaskId,
     };
+    pub use telemetry::{MetricsRegistry, MetricsSnapshot};
     pub use simcore::{SimDuration, SimTime};
 }

@@ -6,7 +6,7 @@ use crate::heuristics::{make_heuristic, HeuristicKind};
 use crate::mechanism::{NullMechanism, Power5Mechanism, PrioMechanism};
 use crate::tunables::HpcTunables;
 use power5::{AnalyticModel, Chip, TableModel, Topology};
-use schedsim::{Kernel, KernelConfig};
+use schedsim::{Kernel, KernelConfig, SchedError};
 use simcore::SimDuration;
 use std::sync::{Arc, Mutex};
 
@@ -118,21 +118,43 @@ impl HpcKernelBuilder {
         self
     }
 
-    /// Build the kernel. Returns the kernel and, when the HPC class is
-    /// installed, the shared tunables handle (the "sysfs mount") for
-    /// runtime adjustment.
-    pub fn build_with_tunables(self) -> (Kernel, Option<SharedTunables>) {
+    /// Build the kernel, validating the configuration first. Returns the
+    /// kernel and, when the HPC class is installed, the shared tunables
+    /// handle (the "sysfs mount") for runtime adjustment.
+    ///
+    /// # Errors
+    /// [`SchedError::InvalidTopology`] if the topology has no CPUs, or if
+    /// the analytic model's concavity is not a positive finite number;
+    /// [`SchedError::InvalidTunables`] if the HPC tunables fail validation
+    /// (e.g. `low_util > high_util`).
+    pub fn try_build_with_tunables(self) -> Result<(Kernel, Option<SharedTunables>), SchedError> {
+        if self.topology.num_cpus() == 0 {
+            return Err(SchedError::InvalidTopology("topology has no CPUs".into()));
+        }
+        if let PerfModelChoice::Analytic { k } = self.model {
+            if !k.is_finite() || k <= 0.0 {
+                return Err(SchedError::InvalidTopology(format!(
+                    "analytic model concavity must be a positive finite number, got {k}"
+                )));
+            }
+        }
+        if let Some(cfg) = &self.hpc {
+            cfg.tunables
+                .validate()
+                .map_err(|e| SchedError::InvalidTunables(e.to_string()))?;
+        }
         let chip = match self.model {
-            PerfModelChoice::Table => Chip::new(self.topology.clone()),
+            PerfModelChoice::Table => {
+                Chip::with_model(self.topology.clone(), Box::new(TableModel::default()))
+            }
             PerfModelChoice::Analytic { k } => {
                 Chip::with_model(self.topology.clone(), Box::new(AnalyticModel { k }))
             }
         };
-        let _ = TableModel::default(); // keep the default model's calibration referenced
         let mut kernel = Kernel::new(chip, self.kernel);
         let mut handle = None;
         if let Some(cfg) = self.hpc {
-            cfg.tunables.validate().expect("invalid HPC tunables");
+            let registry = kernel.metrics_registry().clone();
             let tunables: SharedTunables = Arc::new(Mutex::new(cfg.tunables));
             handle = Some(tunables.clone());
             let mech: Box<dyn PrioMechanism> = if cfg.power5_mechanism {
@@ -145,14 +167,31 @@ impl HpcKernelBuilder {
             if cfg.policy_only {
                 class = class.with_static_priorities();
             }
+            class.attach_telemetry(&registry);
             kernel.install_class_after_rt(Box::new(class));
         }
-        (kernel, handle)
+        Ok((kernel, handle))
     }
 
     /// Build, discarding the tunables handle.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::try_build_with_tunables`].
+    pub fn try_build(self) -> Result<Kernel, SchedError> {
+        self.try_build_with_tunables().map(|(kernel, _)| kernel)
+    }
+
+    /// Build the kernel and tunables handle, panicking on an invalid
+    /// configuration. Prefer [`Self::try_build_with_tunables`] in code that
+    /// can surface errors.
+    pub fn build_with_tunables(self) -> (Kernel, Option<SharedTunables>) {
+        self.try_build_with_tunables().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build, discarding the tunables handle and panicking on an invalid
+    /// configuration. Prefer [`Self::try_build`].
     pub fn build(self) -> Kernel {
-        self.build_with_tunables().0
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -199,6 +238,51 @@ mod tests {
     fn baseline_has_no_tunables() {
         let (_k, handle) = HpcKernelBuilder::new().without_hpc_class().build_with_tunables();
         assert!(handle.is_none());
+    }
+
+    #[test]
+    fn try_build_rejects_invalid_tunables() {
+        let mut cfg = HpcSchedConfig::default();
+        cfg.tunables.low_util = 90.0;
+        cfg.tunables.high_util = 10.0;
+        let err = match HpcKernelBuilder::new().hpc_config(cfg).try_build() {
+            Err(e) => e,
+            Ok(_) => panic!("invalid tunables accepted"),
+        };
+        assert!(matches!(err, schedsim::SchedError::InvalidTunables(_)), "got {err:?}");
+        assert!(err.to_string().contains("invalid HPC tunables"));
+    }
+
+    #[test]
+    fn try_build_rejects_bad_analytic_concavity() {
+        let err = match HpcKernelBuilder::new()
+            .perf_model(PerfModelChoice::Analytic { k: f64::NAN })
+            .try_build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("NaN concavity accepted"),
+        };
+        assert!(matches!(err, schedsim::SchedError::InvalidTopology(_)), "got {err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid HPC tunables")]
+    fn build_panics_on_invalid_tunables() {
+        let mut cfg = HpcSchedConfig::default();
+        cfg.tunables.low_util = 90.0;
+        cfg.tunables.high_util = 10.0;
+        let _ = HpcKernelBuilder::new().hpc_config(cfg).build();
+    }
+
+    #[test]
+    fn builder_registers_hpc_decision_counters() {
+        let k = HpcKernelBuilder::new().try_build().expect("valid defaults");
+        let snapshot = k.metrics_registry().snapshot();
+        assert!(
+            snapshot.get("hpc.decisions.uniform.accepted").is_some(),
+            "HPC class telemetry is registered at build time"
+        );
+        assert!(snapshot.get("hpc.detector.balanced").is_some());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! summaries. Writes machine-readable outputs to `experiments_output/`.
 
 use experiments::paper::{BTMZ, METBENCH, METBENCHVAR, SIESTA};
-use experiments::report::{report, save_outputs};
+use experiments::report::{maybe_print_telemetry, report, save_outputs};
 use experiments::runner::run_modes;
 use experiments::{ExperimentMode, WorkloadKind};
 
@@ -23,6 +23,7 @@ fn main() {
         let results = run_modes(&wl, modes, 2008);
         let title = format!("{} (paper vs measured)", wl.name());
         print!("{}", report(&title, paper, &results, false));
+        maybe_print_telemetry(&results);
         if let Err(e) = save_outputs(dir, slug, &results) {
             eprintln!("warning: could not save outputs for {slug}: {e}");
         }

@@ -66,4 +66,11 @@ fn main() {
          placement engineers per-core imbalance that the hardware priorities\n\
          then absorb — the coordination the paper's future work envisions."
     );
+    if std::env::args().any(|a| a == "--telemetry") {
+        println!(
+            "\n(--telemetry: node kernels run inside the cluster crate and are\n\
+             not exposed here; use the single-node binaries — metbench, btmz,\n\
+             siesta — for kernel telemetry)"
+        );
+    }
 }

@@ -19,4 +19,5 @@ fn main() {
     for (i, (t, u)) in tl.iterations.iter().enumerate().skip(1) {
         println!("  iteration {:>2} ended at {:>8.3}s  Ui = {:>5.1}%", i, t.as_secs_f64(), u * 100.0);
     }
+    experiments::report::maybe_print_telemetry(std::slice::from_ref(&r));
 }

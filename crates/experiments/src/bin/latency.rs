@@ -17,6 +17,8 @@ struct LatencyReport {
     /// Mean latency of the background daemons (µs).
     daemon_mean_us: f64,
     exec_secs: f64,
+    /// End-of-run kernel metrics (for `--telemetry`).
+    metrics: telemetry::MetricsSnapshot,
 }
 
 fn mean_of(kernel: &Kernel, tasks: impl Iterator<Item = TaskId>) -> f64 {
@@ -33,11 +35,12 @@ fn mean_of(kernel: &Kernel, tasks: impl Iterator<Item = TaskId>) -> f64 {
 
 fn run(noise: NoiseConfig, hpc: bool) -> LatencyReport {
     let builder = HpcKernelBuilder::new().noise(noise).seed(2008);
-    let (mut kernel, setup): (Kernel, _) = if hpc {
-        (builder.build(), SchedulerSetup::Hpc)
-    } else {
-        (builder.without_hpc_class().build(), SchedulerSetup::Baseline)
-    };
+    let built = if hpc { builder.try_build() } else { builder.without_hpc_class().try_build() };
+    let mut kernel = built.unwrap_or_else(|e| {
+        eprintln!("invalid kernel configuration: {e}");
+        std::process::exit(2);
+    });
+    let setup = if hpc { SchedulerSetup::Hpc } else { SchedulerSetup::Baseline };
     let cfg = SiestaConfig {
         rank_work: vec![0.47, 0.28, 0.14, 0.10],
         iterations: 8,
@@ -59,7 +62,13 @@ fn run(noise: NoiseConfig, hpc: bool) -> LatencyReport {
         .map(|t| t.id)
         .collect();
     let daemon_mean_us = mean_of(&kernel, daemons.into_iter());
-    LatencyReport { app_mean_us, app_worst_mean_us, daemon_mean_us, exec_secs: end.as_secs_f64() }
+    LatencyReport {
+        app_mean_us,
+        app_worst_mean_us,
+        daemon_mean_us,
+        exec_secs: end.as_secs_f64(),
+        metrics: kernel.metrics_registry().snapshot(),
+    }
 }
 
 fn main() {
@@ -83,6 +92,14 @@ fn main() {
                 r.daemon_mean_us,
                 r.exec_secs,
             );
+            if experiments::report::telemetry_requested() {
+                println!(
+                    "--- telemetry: {} / {} ---\n{}",
+                    if hpc { "SCHED_HPC" } else { "CFS" },
+                    label,
+                    telemetry::export::snapshot_summary(&r.metrics)
+                );
+            }
         }
     }
     println!(

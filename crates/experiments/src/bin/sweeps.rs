@@ -3,12 +3,13 @@
 //! G/L weights and the priority range on MetBench and MetBenchVar.
 
 use hpcsched::{HeuristicKind, HpcKernelBuilder, HpcSchedConfig, HpcTunables};
+use schedsim::SchedError;
 use simcore::SimDuration;
 use workloads::metbench::{self, MetBenchConfig};
 use workloads::metbenchvar::{self, MetBenchVarConfig};
 use workloads::SchedulerSetup;
 
-fn run_metbench(tunables: HpcTunables, heuristic: HeuristicKind) -> f64 {
+fn run_metbench(tunables: HpcTunables, heuristic: HeuristicKind) -> Result<f64, SchedError> {
     let cfg = MetBenchConfig {
         loads: vec![0.109, 0.436, 0.109, 0.436], // 1/5-scale paper loads
         iterations: 30,
@@ -16,14 +17,14 @@ fn run_metbench(tunables: HpcTunables, heuristic: HeuristicKind) -> f64 {
     };
     let mut kernel = HpcKernelBuilder::new()
         .hpc_config(HpcSchedConfig { heuristic, tunables, ..Default::default() })
-        .build();
+        .try_build()?;
     let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
     let mut all = workers;
     all.push(master);
-    kernel.run_until_exited(&all, SimDuration::from_secs(600)).expect("finishes").as_secs_f64()
+    Ok(kernel.run_until_exited(&all, SimDuration::from_secs(600)).expect("finishes").as_secs_f64())
 }
 
-fn run_metbenchvar(tunables: HpcTunables, heuristic: HeuristicKind) -> f64 {
+fn run_metbenchvar(tunables: HpcTunables, heuristic: HeuristicKind) -> Result<f64, SchedError> {
     let cfg = MetBenchVarConfig {
         base: MetBenchConfig {
             loads: vec![0.327, 1.309, 0.327, 1.309], // 1/5-scale paper loads
@@ -34,49 +35,53 @@ fn run_metbenchvar(tunables: HpcTunables, heuristic: HeuristicKind) -> f64 {
     };
     let mut kernel = HpcKernelBuilder::new()
         .hpc_config(HpcSchedConfig { heuristic, tunables, ..Default::default() })
-        .build();
+        .try_build()?;
     let (workers, master) = metbenchvar::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
     let mut all = workers;
     all.push(master);
-    kernel.run_until_exited(&all, SimDuration::from_secs(2000)).expect("finishes").as_secs_f64()
+    Ok(kernel.run_until_exited(&all, SimDuration::from_secs(2000)).expect("finishes").as_secs_f64())
+}
+
+/// Format a sweep point: seconds, or the builder's rejection for an
+/// invalid tunable combination (the sweep keeps going either way).
+fn fmt(res: Result<f64, SchedError>) -> String {
+    match res {
+        Ok(secs) => format!("{secs:.3}s"),
+        Err(e) => format!("rejected: {e}"),
+    }
 }
 
 fn main() {
     println!("== HIGH_UTIL sweep (MetBench, Uniform; paper default 85) ==");
     for high in [70.0, 80.0, 85.0, 90.0, 95.0, 99.0] {
         let t = HpcTunables { high_util: high, ..Default::default() };
-        let secs = run_metbench(t, HeuristicKind::Uniform);
-        println!("  HIGH_UTIL={high:>5}: {secs:.3}s");
+        println!("  HIGH_UTIL={high:>5}: {}", fmt(run_metbench(t, HeuristicKind::Uniform)));
     }
 
     println!("\n== LOW_UTIL sweep (MetBench, Uniform; paper default 65) ==");
     for low in [30.0, 50.0, 65.0, 80.0] {
         let t = HpcTunables { low_util: low, ..Default::default() };
-        let secs = run_metbench(t, HeuristicKind::Uniform);
-        println!("  LOW_UTIL={low:>5}: {secs:.3}s");
+        println!("  LOW_UTIL={low:>5}: {}", fmt(run_metbench(t, HeuristicKind::Uniform)));
     }
 
     println!("\n== Adaptive G weight sweep (MetBenchVar; paper default G=0.1) ==");
     for g in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
         let mut t = HpcTunables::default();
         t.set_weights(g);
-        let secs = run_metbenchvar(t, HeuristicKind::Adaptive);
-        println!("  G={g:.1} L={:.1}: {secs:.3}s", 1.0 - g);
+        println!("  G={g:.1} L={:.1}: {}", 1.0 - g, fmt(run_metbenchvar(t, HeuristicKind::Adaptive)));
     }
 
     println!("\n== Priority range sweep (MetBench, Uniform; paper uses [4,6]) ==");
     for max in [4u8, 5, 6] {
         let mut t = HpcTunables::default();
         t.set("max_prio", &max.to_string()).unwrap();
-        let secs = run_metbench(t, HeuristicKind::Uniform);
-        println!("  range [4,{max}]: {secs:.3}s");
+        println!("  range [4,{max}]: {}", fmt(run_metbench(t, HeuristicKind::Uniform)));
     }
 
     println!("\n== Balance-spread sweep (MetBench, Uniform; default 10) ==");
     for spread in [2.0, 5.0, 10.0, 20.0, 40.0] {
         let t = HpcTunables { balance_spread: spread, ..Default::default() };
-        let secs = run_metbench(t, HeuristicKind::Uniform);
-        println!("  spread={spread:>4}: {secs:.3}s");
+        println!("  spread={spread:>4}: {}", fmt(run_metbench(t, HeuristicKind::Uniform)));
     }
 
     println!(
@@ -86,4 +91,12 @@ fn main() {
          of [4,6]'s improvement; tiny balance spreads re-open the gate on\n\
          measurement noise and churn priorities."
     );
+
+    if experiments::report::telemetry_requested() {
+        // Kernel metrics for one representative cell (paper-default
+        // MetBench under Uniform).
+        let wl = experiments::WorkloadKind::MetBench(Default::default());
+        let r = experiments::run(&wl, experiments::ExperimentMode::Uniform, 2008);
+        print!("{}", experiments::report::telemetry_report(std::slice::from_ref(&r)));
+    }
 }

@@ -7,4 +7,4 @@ pub mod paper;
 pub mod report;
 pub mod runner;
 
-pub use runner::{run, ExperimentMode, RunResult, WorkloadKind};
+pub use runner::{run, try_run, ExperimentMode, RunResult, WorkloadKind};

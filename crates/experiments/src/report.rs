@@ -62,6 +62,33 @@ pub fn report(
     out
 }
 
+/// True when the process was invoked with `--telemetry`. Every experiment
+/// binary supports the flag; it appends the kernel metrics of each run to
+/// the report.
+pub fn telemetry_requested() -> bool {
+    std::env::args().any(|a| a == "--telemetry")
+}
+
+/// Render the end-of-run kernel metrics of each result: a JSON snapshot
+/// followed by a human-readable summary, per mode.
+pub fn telemetry_report(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        let _ = writeln!(out, "--- telemetry: {} / {} ---", r.workload, r.mode.label());
+        let _ = writeln!(out, "{}", telemetry::export::snapshot_to_json(&r.metrics));
+        let _ = writeln!(out, "{}", telemetry::export::snapshot_summary(&r.metrics));
+    }
+    out
+}
+
+/// Print the telemetry report when `--telemetry` was passed on the command
+/// line; experiment binaries call this after their main report.
+pub fn maybe_print_telemetry(results: &[RunResult]) {
+    if telemetry_requested() {
+        print!("{}", telemetry_report(results));
+    }
+}
+
 /// Persist machine-readable outputs of an experiment under `dir`.
 pub fn save_outputs(
     dir: &std::path::Path,
@@ -82,6 +109,16 @@ pub fn save_outputs(
         // Paraver-format trace, loadable in the paper's own tool.
         std::fs::write(base.with_extension("prv"), tracefmt::prv::to_prv(&r.timeline))?;
         std::fs::write(base.with_extension("pcf"), tracefmt::prv::to_pcf())?;
+        // Kernel metrics: full snapshot as JSON, per-rank utilization as a
+        // time-series CSV.
+        std::fs::write(
+            base.with_extension("metrics.json"),
+            telemetry::export::snapshot_to_json(&r.metrics),
+        )?;
+        std::fs::write(
+            base.with_extension("telemetry.csv"),
+            telemetry::export::timeseries_to_csv(&r.utilization_series),
+        )?;
     }
     Ok(())
 }

@@ -1,8 +1,9 @@
 //! The experiment runner: workload × scheduler-mode → paper-style results.
 
 use hpcsched::{HeuristicKind, HpcKernelBuilder, HpcSchedConfig};
-use schedsim::{Kernel, NoiseConfig, SharedSink, TaskId};
+use schedsim::{Kernel, NoiseConfig, SchedError, SharedSink, TaskId, TraceEvent};
 use simcore::SimDuration;
+use telemetry::{MetricsSnapshot, TimeSeries};
 use tracefmt::{AppStats, Timeline};
 use workloads::btmz::BtMzConfig;
 use workloads::metbench::MetBenchConfig;
@@ -102,9 +103,14 @@ pub struct RunResult {
     pub mean_latency_us: f64,
     /// Hardware-priority writes issued during the run.
     pub priority_writes: u64,
+    /// End-of-run snapshot of every kernel metric (counters, histograms).
+    pub metrics: MetricsSnapshot,
+    /// Per-rank iteration utilization over simulated time (percent),
+    /// derived from the trace for CSV export.
+    pub utilization_series: TimeSeries,
 }
 
-fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Kernel {
+fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Kernel, SchedError> {
     let mut b = HpcKernelBuilder::new().noise(wl.noise()).seed(seed);
     b = match mode {
         ExperimentMode::Baseline | ExperimentMode::Static => b.without_hpc_class(),
@@ -121,7 +127,7 @@ fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Kernel {
             ..Default::default()
         }),
     };
-    b.build()
+    b.try_build()
 }
 
 fn setup_for(wl: &WorkloadKind, mode: ExperimentMode) -> SchedulerSetup {
@@ -136,10 +142,14 @@ fn setup_for(wl: &WorkloadKind, mode: ExperimentMode) -> SchedulerSetup {
 
 /// Run one experiment cell. `deadline` bounds the simulation (generous; a
 /// run hitting it is a bug and panics).
-pub fn run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> RunResult {
-    let mut kernel = build_kernel(wl, mode, seed);
+///
+/// # Errors
+/// [`SchedError`] when the kernel configuration for this cell is invalid
+/// (see [`HpcKernelBuilder::try_build`]).
+pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<RunResult, SchedError> {
+    let mut kernel = build_kernel(wl, mode, seed)?;
     let sink = SharedSink::new();
-    kernel.set_trace(Box::new(sink.clone()));
+    kernel.observe(Box::new(sink.clone()));
     let setup = setup_for(wl, mode);
 
     let (ranks, all): (Vec<TaskId>, Vec<TaskId>) = match wl {
@@ -174,6 +184,19 @@ pub fn run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> RunResult {
     let timeline = Timeline::from_records(&records).filter_tasks(&ranks);
     let stats = AppStats::for_tasks(&timeline, &ranks);
 
+    // Per-rank utilization over time, one CSV row per completed iteration.
+    let mut utilization_series = TimeSeries::default();
+    for rec in &records {
+        if let TraceEvent::IterationEnd { utilization, .. } = rec.event {
+            if let Some(rank) = ranks.iter().position(|&r| r == rec.task) {
+                utilization_series.push(
+                    rec.time.as_nanos(),
+                    vec![(format!("P{}.util_pct", rank + 1), utilization * 100.0)],
+                );
+            }
+        }
+    }
+
     let mean_latency_us = {
         let (sum, n) = ranks.iter().fold((0.0, 0u64), |(s, n), &r| {
             let t = kernel.task(r);
@@ -186,7 +209,7 @@ pub fn run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> RunResult {
         }
     };
 
-    RunResult {
+    Ok(RunResult {
         workload: wl.name(),
         mode,
         exec_secs: end.as_secs_f64(),
@@ -195,18 +218,25 @@ pub fn run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> RunResult {
         ranks,
         mean_latency_us,
         priority_writes: kernel.metrics().priority_writes,
-    }
+        metrics: kernel.metrics_registry().snapshot(),
+        utilization_series,
+    })
+}
+
+/// Like [`try_run`], but panics on an invalid configuration. The stock
+/// experiment cells are all valid by construction, so the binaries use this.
+pub fn run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> RunResult {
+    try_run(wl, mode, seed).unwrap_or_else(|e| panic!("{} {mode:?}: {e}", wl.name()))
 }
 
 /// Run several modes concurrently (each run is independent and
 /// deterministic); results return in input order.
 pub fn run_modes(wl: &WorkloadKind, modes: &[ExperimentMode], seed: u64) -> Vec<RunResult> {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> =
-            modes.iter().map(|&m| s.spawn(move |_| run(wl, m, seed))).collect();
+            modes.iter().map(|&m| s.spawn(move || run(wl, m, seed))).collect();
         handles.into_iter().map(|h| h.join().expect("experiment thread")).collect()
     })
-    .expect("scope")
 }
 
 /// Render a paper-style comparison table across modes.
@@ -264,6 +294,15 @@ mod tests {
         assert_eq!(r.stats.tasks.len(), 4);
         assert!(r.exec_secs > 0.0);
         assert!(r.priority_writes > 0);
+    }
+
+    #[test]
+    fn run_carries_telemetry_snapshot() {
+        let r = run(&tiny_metbench(), ExperimentMode::Uniform, 1);
+        assert!(r.metrics.counter("kernel.context_switches") > 0);
+        assert!(r.metrics.counter("kernel.hw_prio_transitions") > 0);
+        assert!(r.metrics.counter("hpc.decisions.uniform.accepted") > 0);
+        assert!(!r.utilization_series.rows.is_empty(), "iteration utilization captured");
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Fallible-API error type for kernel construction and task admission.
+
+use crate::policy::SchedPolicy;
+use std::fmt;
+
+/// Why the kernel refused a request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedError {
+    /// No installed scheduling class handles the requested policy (e.g.
+    /// `SCHED_HPC` on a kernel built without the HPC class).
+    NoClassForPolicy(SchedPolicy),
+    /// The task's CPU affinity mask excludes every CPU in the topology.
+    UnschedulableAffinity { task: String },
+    /// HPC tunables failed validation.
+    InvalidTunables(String),
+    /// The requested topology cannot host the configuration.
+    InvalidTopology(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Wording is load-bearing: callers (and tests) match on the
+            // panic message of the infallible wrappers.
+            SchedError::NoClassForPolicy(p) => write!(f, "no class handles {p:?}"),
+            SchedError::UnschedulableAffinity { task } => {
+                write!(f, "task affinity excludes every CPU (task `{task}`)")
+            }
+            SchedError::InvalidTunables(msg) => write!(f, "invalid HPC tunables: {msg}"),
+            SchedError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}

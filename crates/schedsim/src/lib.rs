@@ -30,8 +30,10 @@
 pub mod class;
 pub mod classes;
 pub mod config;
+pub mod error;
 pub mod kernel;
 pub mod noise;
+pub mod observer;
 pub mod policy;
 pub mod program;
 pub mod rbtree;
@@ -40,7 +42,9 @@ pub mod trace;
 
 pub use class::{ClassCtx, SchedClass};
 pub use config::{CfsTunables, KernelConfig, NoiseConfig};
+pub use error::SchedError;
 pub use kernel::{Kernel, KernelMetrics, SpawnOptions};
+pub use observer::{KernelEvent, MetricEvent, Observer};
 pub use policy::SchedPolicy;
 pub use program::{Action, KernelApi, Program, WaitToken, Work};
 pub use task::{Task, TaskId, TaskState};

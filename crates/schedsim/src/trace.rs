@@ -63,14 +63,18 @@ impl SharedSink {
     }
 
     /// Snapshot the records collected so far.
+    ///
+    /// Poison-proof: a panic on another thread mid-`push` cannot leave the
+    /// Vec in a broken state, so recover the inner buffer instead of
+    /// cascading the poison into every later reader.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.records.lock().expect("trace sink poisoned").clone()
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 }
 
 impl TraceSink for SharedSink {
     fn record(&mut self, rec: TraceRecord) {
-        self.records.lock().expect("trace sink poisoned").push(rec);
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).push(rec);
     }
 }
 

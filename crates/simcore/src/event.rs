@@ -59,6 +59,27 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Telemetry handles for one event queue. All counters are optional-free:
+/// an unattached queue pays a single branch per operation.
+#[derive(Clone)]
+pub struct EventQueueCounters {
+    pub scheduled: telemetry::Counter,
+    pub cancelled: telemetry::Counter,
+    pub processed: telemetry::Counter,
+}
+
+impl EventQueueCounters {
+    /// Registers the three queue counters under `prefix` (e.g.
+    /// `sim.events`) in `registry`.
+    pub fn register(registry: &telemetry::MetricsRegistry, prefix: &str) -> Self {
+        EventQueueCounters {
+            scheduled: registry.counter(&format!("{prefix}.scheduled")),
+            cancelled: registry.counter(&format!("{prefix}.cancelled")),
+            processed: registry.counter(&format!("{prefix}.processed")),
+        }
+    }
+}
+
 /// Future-event list with lazy cancellation.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
@@ -71,6 +92,7 @@ pub struct EventQueue<E> {
     fired: std::collections::HashSet<u64>,
     live: usize,
     last_popped: SimTime,
+    counters: Option<EventQueueCounters>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -88,7 +110,14 @@ impl<E> EventQueue<E> {
             fired: std::collections::HashSet::new(),
             live: 0,
             last_popped: SimTime::ZERO,
+            counters: None,
         }
+    }
+
+    /// Attach telemetry counters; subsequent schedule/cancel/pop operations
+    /// are counted. Counts start from this call (not retroactive).
+    pub fn attach_counters(&mut self, counters: EventQueueCounters) {
+        self.counters = Some(counters);
     }
 
     /// Number of live (non-cancelled) events.
@@ -115,6 +144,9 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
         self.live += 1;
+        if let Some(c) = &self.counters {
+            c.scheduled.inc();
+        }
         EventId(seq)
     }
 
@@ -129,6 +161,9 @@ impl<E> EventQueue<E> {
         }
         self.cancelled.insert(id.0);
         self.live = self.live.saturating_sub(1);
+        if let Some(c) = &self.counters {
+            c.cancelled.inc();
+        }
         true
     }
 
@@ -145,6 +180,9 @@ impl<E> EventQueue<E> {
         self.live -= 1;
         self.last_popped = entry.time;
         self.fired.insert(entry.seq);
+        if let Some(c) = &self.counters {
+            c.processed.inc();
+        }
         Some(ScheduledEvent { time: entry.time, id: EventId(entry.seq), payload: entry.payload })
     }
 

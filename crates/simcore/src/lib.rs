@@ -26,7 +26,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use event::{EventId, EventQueue, EventQueueCounters, ScheduledEvent};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, UtilizationTracker};
 pub use time::{SimDuration, SimTime};

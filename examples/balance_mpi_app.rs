@@ -18,7 +18,7 @@ fn run(cfg: &MetBenchConfig, hpc: bool) -> (f64, String, String) {
         (builder.without_hpc_class().build(), SchedulerSetup::Baseline)
     };
     let sink = SharedSink::new();
-    kernel.set_trace(Box::new(sink.clone()));
+    kernel.observe(Box::new(sink.clone()));
 
     let (workers, master) = metbench::spawn(&mut kernel, cfg, &setup);
     let mut all = workers.clone();

@@ -86,7 +86,7 @@ fn priority_changes_track_each_reversal() {
     let mut kernel =
         HpcKernelBuilder::new().heuristic(HeuristicKind::Adaptive).build();
     let sink = schedsim::SharedSink::new();
-    kernel.set_trace(Box::new(sink.clone()));
+    kernel.observe(Box::new(sink.clone()));
     let (workers, master) = metbenchvar::spawn(&mut kernel, &c, &SchedulerSetup::Hpc);
     let mut all = workers.clone();
     all.push(master);

@@ -1,0 +1,103 @@
+//! Telemetry integration: the kernel's metric counters must reconcile with
+//! the trace a [`SharedSink`] observer collects from the same run — the two
+//! are independent views of the same hot-path events.
+
+use hpcsched::prelude::*;
+use schedsim::{SharedSink, TraceEvent};
+use workloads::metbench::{self, MetBenchConfig};
+use workloads::SchedulerSetup;
+
+fn metbench_cfg() -> MetBenchConfig {
+    MetBenchConfig {
+        loads: vec![0.05, 0.2, 0.05, 0.2],
+        iterations: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn counters_reconcile_with_trace_records() {
+    let mut kernel = HpcKernelBuilder::new().try_build().expect("paper defaults are valid");
+    let sink = SharedSink::new();
+    kernel.observe(Box::new(sink.clone()));
+
+    let cfg = metbench_cfg();
+    let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
+    let mut all = workers.clone();
+    all.push(master);
+    kernel.run_until_exited(&all, SimDuration::from_secs(600)).expect("finishes");
+
+    let records = sink.snapshot();
+    let count = |pred: &dyn Fn(&TraceEvent) -> bool| -> u64 {
+        records.iter().filter(|r| pred(&r.event)).count() as u64
+    };
+    let hw_prio = count(&|e| matches!(e, TraceEvent::HwPrio { .. }));
+    let iterations = count(&|e| matches!(e, TraceEvent::IterationEnd { .. }));
+    let exits = count(&|e| matches!(e, TraceEvent::Exit));
+
+    let snapshot = kernel.metrics_registry().snapshot();
+    assert!(hw_prio > 0, "an imbalanced MetBench run must move priorities");
+    assert_eq!(snapshot.counter("kernel.hw_prio_transitions"), hw_prio);
+    assert_eq!(snapshot.counter("kernel.iterations"), iterations);
+    assert_eq!(snapshot.counter("kernel.task_exits"), exits);
+    assert_eq!(exits, all.len() as u64, "every task exits exactly once");
+
+    // Per-CPU rollup agrees with the kernel-wide count.
+    assert_eq!(snapshot.counter_family("cpu"), hw_prio);
+
+    // The purely metric-side counters are live too.
+    assert!(snapshot.counter("kernel.context_switches") > 0);
+    assert!(snapshot.counter("kernel.ticks") > 0);
+    assert!(snapshot.counter("sim.events.processed") > 0);
+    assert!(snapshot.counter("hpc.decisions.uniform.accepted") > 0);
+}
+
+#[test]
+fn counters_count_even_without_observers() {
+    // Trace-derived counters are bumped at the emission point whether or
+    // not anyone is listening.
+    let mut kernel = HpcKernelBuilder::new().try_build().expect("valid");
+    let cfg = metbench_cfg();
+    let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
+    let mut all = workers.clone();
+    all.push(master);
+    kernel.run_until_exited(&all, SimDuration::from_secs(600)).expect("finishes");
+
+    let snapshot = kernel.metrics_registry().snapshot();
+    assert_eq!(snapshot.counter("kernel.task_exits"), all.len() as u64);
+    assert!(snapshot.counter("kernel.hw_prio_transitions") > 0);
+    assert!(snapshot.counter("kernel.iterations") > 0);
+}
+
+#[test]
+fn telemetry_snapshot_is_deterministic_across_runs() {
+    let run = || {
+        let mut kernel =
+            HpcKernelBuilder::new().seed(7).try_build().expect("valid");
+        let cfg = metbench_cfg();
+        let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
+        let mut all = workers.clone();
+        all.push(master);
+        kernel.run_until_exited(&all, SimDuration::from_secs(600)).expect("finishes");
+        kernel.metrics_registry().snapshot()
+    };
+    let (a, b) = (run(), run());
+    // Wall-clock histograms (pick latency) legitimately differ; every
+    // sim-derived counter must not.
+    for name in [
+        "kernel.context_switches",
+        "kernel.ticks",
+        "kernel.hw_prio_transitions",
+        "kernel.iterations",
+        "kernel.task_exits",
+        "sim.events.scheduled",
+        "sim.events.cancelled",
+        "sim.events.processed",
+        "hpc.decisions.uniform.accepted",
+        "hpc.decisions.uniform.rejected",
+        "hpc.detector.balanced",
+        "hpc.detector.imbalanced",
+    ] {
+        assert_eq!(a.counter(name), b.counter(name), "{name} differs across identical runs");
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the spelling of the proptest surface this workspace's property
+//! tests use — `proptest!`, `prop_assert!`, `prop_oneof!`, `Just`,
+//! `any`, `prop_map`, `prop_shuffle`, `collection::vec`,
+//! `ProptestConfig` — but replaces the engine with deterministic random
+//! sampling: each test function draws `cases` inputs from a generator
+//! seeded by the test's name. No shrinking; a failing case panics with
+//! the assertion message like a plain `#[test]`.
+
+pub mod test_runner {
+    /// Seeded generator handed to strategies (role of proptest's `TestRng`).
+    pub struct TestRng {
+        inner: rand::rngs::SmallRng,
+    }
+
+    impl TestRng {
+        /// Deterministic seed derived from the test name (FNV-1a), so each
+        /// test function samples a stable, independent input stream.
+        pub fn from_name(name: &str) -> TestRng {
+            use rand::SeedableRng;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { inner: rand::rngs::SmallRng::seed_from_u64(h) }
+        }
+
+        pub fn draw_u64(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.inner)
+        }
+
+        pub fn draw_usize_below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            (self.draw_u64() % n as u64) as usize
+        }
+
+        pub fn draw_range<T, Rg: rand::SampleRange<T>>(&mut self, range: Rg) -> T {
+            use rand::RngExt;
+            self.inner.random_range(range)
+        }
+
+        pub fn draw_f64_unit(&mut self) -> f64 {
+            use rand::RngExt;
+            self.inner.random::<f64>()
+        }
+
+        pub fn shuffle<T>(&mut self, items: &mut [T]) {
+            for i in (1..items.len()).rev() {
+                let j = self.draw_usize_below(i + 1);
+                items.swap(i, j);
+            }
+        }
+    }
+
+    /// Per-block test configuration (role of `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Accepted for API compatibility; this engine does not shrink.
+        pub max_shrink_iters: u32,
+        /// Accepted for API compatibility; failures are not persisted.
+        pub failure_persistence: Option<()>,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256, max_shrink_iters: 1024, failure_persistence: None }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { inner: self }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut items = self.inner.generate(rng);
+            rng.shuffle(&mut items);
+            items
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (role of `prop_oneof!`'s
+    /// `Union`; this stand-in ignores weights — none are used here).
+    pub struct Union<T> {
+        members: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(members: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!members.is_empty(), "prop_oneof! needs at least one arm");
+            Union { members }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.draw_usize_below(self.members.len());
+            self.members[idx].generate(rng)
+        }
+    }
+
+    /// Boxing helper used by `prop_oneof!` so arms of different concrete
+    /// strategy types unify without `as` casts at the call site.
+    pub fn union_member<T, S>(s: S) -> Box<dyn Strategy<Value = T>>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(s)
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.draw_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! range_inclusive_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.draw_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_inclusive_strategies!(u8, u16, u32, u64, usize, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident : $idx:tt),+));* $(;)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+
+    /// Types with a canonical full-domain strategy (role of `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub struct ArbitraryStrategy<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    macro_rules! arbitrary_via {
+        ($($t:ty => |$rng:ident| $draw:expr);* $(;)?) => {$(
+            impl Strategy for ArbitraryStrategy<$t> {
+                type Value = $t;
+
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $draw
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = ArbitraryStrategy<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    ArbitraryStrategy { _marker: core::marker::PhantomData }
+                }
+            }
+        )*};
+    }
+    arbitrary_via! {
+        bool => |rng| rng.draw_u64() & 1 == 1;
+        u8 => |rng| rng.draw_u64() as u8;
+        u16 => |rng| rng.draw_u64() as u16;
+        u32 => |rng| rng.draw_u64() as u32;
+        u64 => |rng| rng.draw_u64();
+        usize => |rng| rng.draw_u64() as usize;
+        i32 => |rng| rng.draw_u64() as i32;
+        i64 => |rng| rng.draw_u64() as i64;
+        f64 => |rng| rng.draw_f64_unit();
+    }
+
+    /// Full-domain strategy for `T` (`any::<bool>()` etc.).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Lengths accepted by [`vec`]: an exact count or a range of counts.
+    pub trait SizeRange {
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            rng.draw_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            rng.draw_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each contained test function over `cases` sampled inputs.
+///
+/// The test functions in this workspace already carry their own `#[test]`
+/// attribute inside the macro invocation, so attributes are passed through
+/// untouched rather than re-added.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    let ($($arg,)*) = ($(
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng),
+                    )*);
+                    // Bodies may `return Ok(())` early (real proptest runs
+                    // them as `Result`-returning closures), so do the same.
+                    #[allow(clippy::redundant_closure_call)]
+                    let result: ::core::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let Err(e) = result {
+                        panic!("{e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])*
+              fn $name($($arg in $strat),*) $body)*
+        }
+    };
+}
+
+/// Uniform choice among strategy arms yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_member($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Doc comments and `#[test]` pass through the macro unchanged.
+        #[test]
+        fn ranges_and_vecs(n in 1usize..12,
+                           xs in crate::collection::vec(0.0f64..1.0, 1..10)) {
+            prop_assert!((1..12).contains(&n));
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            for x in xs {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_shuffle(pick in prop_oneof![
+                                 Just(0usize),
+                                 (1usize..4).prop_map(|v| v),
+                             ],
+                             mut order in Just(vec![0usize, 1, 2, 3]).prop_shuffle()) {
+            prop_assert!(pick < 4);
+            order.sort_unstable();
+            prop_assert_eq!(order, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn any_bool_is_reachable(b in any::<bool>(), prio in 4u8..=6) {
+            prop_assert!(u8::from(b) <= 1);
+            prop_assert!((4..=6).contains(&prio));
+        }
+    }
+}

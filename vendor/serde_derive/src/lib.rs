@@ -1,0 +1,400 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! The real serde_derive leans on syn/quote; neither is available offline,
+//! so this macro parses the item declaration directly from the
+//! `proc_macro::TokenStream`. It supports the shapes this workspace
+//! derives — non-generic structs (named, tuple/newtype, unit) and enums
+//! (unit, tuple and struct variants) — and generates `to_value`/`from_value`
+//! conversions matching serde's default externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attribute sequences (includes doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("serde_derive: malformed attribute"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported; write manual impls for `{name}`");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        names.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type: everything up to a top-level comma. Generic
+        // angle brackets contain no top-level commas in token-tree land
+        // (`<` is a lone punct), so track depth by `<`/`>`.
+        let mut angle_depth = 0i32;
+        loop {
+            match c.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    c.pos += 1;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    c.pos += 1;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => c.pos += 1,
+            }
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if saw_token {
+                    fields += 1;
+                    saw_token = false;
+                }
+            }
+            _ => saw_token = true,
+        }
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        loop {
+            match c.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => named_to_map(names, "self."),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Map(vec![(\"{v}\".to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let inner = named_to_map(fnames, "");
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Map(vec![(\"{v}\".to_string(), {inner})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{ match self {{\n{}\n  }} }}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl does not parse")
+}
+
+fn named_to_map(names: &[String], accessor: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&{accessor}{f}))")
+        })
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let seq = v.as_seq().ok_or_else(|| serde::Error::expected(\"array\", v))?;\n\
+                         if seq.len() != {n} {{ return Err(serde::Error::custom(format!(\"expected {n} elements for {name}, got {{}}\", seq.len()))); }}\n\
+                         Ok({name}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(v.field(\"{name}\", \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", items.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as strings; data variants as
+            // single-entry maps keyed by the variant name.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("{name}::{v}(serde::Deserialize::from_value(inner)?)")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let seq = inner.as_seq().ok_or_else(|| serde::Error::expected(\"array\", inner))?;\n\
+                                 if seq.len() != {n} {{ return Err(serde::Error::custom(\"wrong arity for variant {v}\")); }}\n\
+                                 {name}::{v}({}) }}",
+                                items.join(", ")
+                            )
+                        };
+                        Some(format!("\"{v}\" => return Ok({build}),"))
+                    }
+                    Fields::Named(fnames) => {
+                        let items: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(inner.field(\"{name}::{v}\", \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => return Ok({name}::{v} {{ {} }}),",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                   if let Some(s) = v.as_str() {{ match s {{ {unit} _ => {{}} }} }}\n\
+                   if let Some(map) = v.as_map() {{\n\
+                     if map.len() == 1 {{\n\
+                       let (tag, inner) = &map[0];\n\
+                       let _ = inner;\n\
+                       match tag.as_str() {{ {data} _ => {{}} }}\n\
+                     }}\n\
+                   }}\n\
+                   Err(serde::Error::custom(format!(\"no variant of {name} matches {{}}\", v.kind_name())))\n\
+                 }}\n}}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl does not parse")
+}
