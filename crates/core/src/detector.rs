@@ -16,7 +16,7 @@
 use crate::tunables::HpcTunables;
 use schedsim::TaskId;
 use simcore::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-task iteration statistics, as the heuristics see them.
 #[derive(Clone, Copy, Debug)]
@@ -52,7 +52,9 @@ struct Accum {
 /// Tracks iteration statistics for every task in the HPC class.
 #[derive(Clone, Debug, Default)]
 pub struct LoadImbalanceDetector {
-    tasks: HashMap<TaskId, Accum>,
+    // BTreeMap, not HashMap: `spread` iterates the task set, and imbalance
+    // decisions must not depend on hash order.
+    tasks: BTreeMap<TaskId, Accum>,
 }
 
 impl LoadImbalanceDetector {

@@ -2,7 +2,7 @@
 //! summaries. Writes machine-readable outputs to `experiments_output/`.
 
 use experiments::paper::{BTMZ, METBENCH, METBENCHVAR, SIESTA};
-use experiments::report::{maybe_print_telemetry, report, save_outputs};
+use experiments::report::{maybe_print_telemetry, maybe_verify, report, save_outputs};
 use experiments::runner::run_modes;
 use experiments::{ExperimentMode, WorkloadKind};
 
@@ -24,6 +24,7 @@ fn main() {
         let title = format!("{} (paper vs measured)", wl.name());
         print!("{}", report(&title, paper, &results, false));
         maybe_print_telemetry(&results);
+        maybe_verify(&results);
         if let Err(e) = save_outputs(dir, slug, &results) {
             eprintln!("warning: could not save outputs for {slug}: {e}");
         }

@@ -20,4 +20,5 @@ fn main() {
         println!("  iteration {:>2} ended at {:>8.3}s  Ui = {:>5.1}%", i, t.as_secs_f64(), u * 100.0);
     }
     experiments::report::maybe_print_telemetry(std::slice::from_ref(&r));
+    experiments::report::maybe_verify(std::slice::from_ref(&r));
 }

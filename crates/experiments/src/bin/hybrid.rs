@@ -34,6 +34,7 @@ fn main() {
     for wl in &cells {
         let results = run_modes(wl, &modes, 2008);
         experiments::report::maybe_print_telemetry(&results);
+        experiments::report::maybe_verify(&results);
         let secs: Vec<f64> = results.iter().map(|r| r.exec_secs).collect();
         let (base, unif, adapt, hybrid) = (secs[0], secs[1], secs[2], secs[3]);
         let best = unif.min(adapt);

@@ -1,7 +1,7 @@
 //! Paper Table III / Figure 3 — MetBench.
 
 use experiments::paper::METBENCH;
-use experiments::report::{maybe_print_telemetry, report, save_outputs};
+use experiments::report::{maybe_print_telemetry, maybe_verify, report, save_outputs};
 use experiments::runner::run_modes;
 use experiments::{ExperimentMode, WorkloadKind};
 
@@ -10,6 +10,7 @@ fn main() {
     let results = run_modes(&wl, &ExperimentMode::ALL, 2008);
     print!("{}", report("Table III / Figure 3 — MetBench", METBENCH, &results, true));
     maybe_print_telemetry(&results);
+    maybe_verify(&results);
     let dir = std::path::Path::new("experiments_output");
     if let Err(e) = save_outputs(dir, "metbench", &results) {
         eprintln!("warning: could not save outputs: {e}");

@@ -1,7 +1,7 @@
 //! Paper Table VI / Figure 6 — SIESTA.
 
 use experiments::paper::SIESTA;
-use experiments::report::{maybe_print_telemetry, report, save_outputs};
+use experiments::report::{maybe_print_telemetry, maybe_verify, report, save_outputs};
 use experiments::runner::run_modes;
 use experiments::{ExperimentMode, WorkloadKind};
 
@@ -10,6 +10,7 @@ fn main() {
     let results = run_modes(&wl, &[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive], 2008);
     print!("{}", report("Table VI / Figure 6 — SIESTA", SIESTA, &results, true));
     maybe_print_telemetry(&results);
+    maybe_verify(&results);
     let dir = std::path::Path::new("experiments_output");
     if let Err(e) = save_outputs(dir, "siesta", &results) {
         eprintln!("warning: could not save outputs: {e}");

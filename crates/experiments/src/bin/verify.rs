@@ -1,0 +1,52 @@
+//! CI verification harness: conformance-check a small seeded MetBench run
+//! under every scheduler mode, then prove determinism by running the
+//! dynamic heuristics twice with one seed and comparing traces
+//! record-by-record. Exits nonzero on any violation or divergence.
+
+use experiments::runner::{run, ExperimentMode, WorkloadKind};
+use workloads::metbench::MetBenchConfig;
+
+fn small_metbench() -> WorkloadKind {
+    WorkloadKind::MetBench(MetBenchConfig {
+        loads: vec![0.05, 0.2, 0.05, 0.2],
+        iterations: 6,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    const SEED: u64 = 2008;
+    let wl = small_metbench();
+    let mut failed = false;
+
+    println!("== conformance: MetBench (4 ranks, 6 iterations, seed {SEED}) ==");
+    let all_modes = [
+        ExperimentMode::Baseline,
+        ExperimentMode::Static,
+        ExperimentMode::Uniform,
+        ExperimentMode::Adaptive,
+        ExperimentMode::Hybrid,
+    ];
+    for mode in all_modes {
+        let r = run(&wl, mode, SEED);
+        println!("{:<10} {}", mode.label(), r.conformance.render().trim_end());
+        failed |= !r.conformance.is_clean();
+    }
+
+    println!("\n== determinism: identical (config, seed) => identical trace ==");
+    for mode in [ExperimentMode::Uniform, ExperimentMode::Adaptive] {
+        match simverify::determinism::check(|| run(&wl, mode, SEED).records) {
+            Ok(n) => println!("{:<10} deterministic ({n} records)", mode.label()),
+            Err(d) => {
+                println!("{:<10} NONDETERMINISTIC\n{d}", mode.label());
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("verify: FAILED");
+        std::process::exit(1);
+    }
+    println!("\nverify: OK");
+}

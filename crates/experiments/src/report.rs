@@ -89,6 +89,36 @@ pub fn maybe_print_telemetry(results: &[RunResult]) {
     }
 }
 
+/// True when the process was invoked with `--verify`: print each run's
+/// invariant-conformance report and fail the process on any violation.
+pub fn verify_requested() -> bool {
+    std::env::args().any(|a| a == "--verify")
+}
+
+/// Render the conformance verdict of each result.
+pub fn verify_report(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        let _ = writeln!(out, "--- verify: {} / {} ---", r.workload, r.mode.label());
+        let _ = writeln!(out, "{}", r.conformance.render().trim_end());
+    }
+    out
+}
+
+/// When `--verify` was passed, print the conformance report of each run and
+/// exit nonzero if any invariant was violated; experiment binaries call
+/// this after their main report.
+pub fn maybe_verify(results: &[RunResult]) {
+    if !verify_requested() {
+        return;
+    }
+    print!("{}", verify_report(results));
+    if results.iter().any(|r| !r.conformance.is_clean()) {
+        eprintln!("verify: invariant violations detected");
+        std::process::exit(1);
+    }
+}
+
 /// Persist machine-readable outputs of an experiment under `dir`.
 pub fn save_outputs(
     dir: &std::path::Path,

@@ -1,7 +1,8 @@
 //! The experiment runner: workload × scheduler-mode → paper-style results.
 
 use hpcsched::{HeuristicKind, HpcKernelBuilder, HpcSchedConfig};
-use schedsim::{Kernel, NoiseConfig, SchedError, SharedSink, TaskId, TraceEvent};
+use schedsim::{Kernel, NoiseConfig, SchedError, SharedSink, TaskId, TraceEvent, TraceRecord};
+use simverify::conformance;
 use simcore::SimDuration;
 use telemetry::{MetricsSnapshot, TimeSeries};
 use tracefmt::{AppStats, Timeline};
@@ -108,6 +109,13 @@ pub struct RunResult {
     /// Per-rank iteration utilization over simulated time (percent),
     /// derived from the trace for CSV export.
     pub utilization_series: TimeSeries,
+    /// The full trace of the run (all tasks), for conformance checking and
+    /// determinism comparisons.
+    pub records: Vec<TraceRecord>,
+    /// Invariant-conformance verdict over `records` + `metrics`
+    /// (`simverify`, DESIGN.md §8); computed on every run, printed only
+    /// under `--verify`.
+    pub conformance: conformance::Report,
 }
 
 fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Kernel, SchedError> {
@@ -209,6 +217,10 @@ pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Run
         }
     };
 
+    let metrics = kernel.metrics_registry().snapshot();
+    let conformance =
+        conformance::check_with_metrics(&records, &metrics, &conformance::CheckConfig::default());
+
     Ok(RunResult {
         workload: wl.name(),
         mode,
@@ -218,8 +230,10 @@ pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Run
         ranks,
         mean_latency_us,
         priority_writes: kernel.metrics().priority_writes,
-        metrics: kernel.metrics_registry().snapshot(),
+        metrics,
         utilization_series,
+        records,
+        conformance,
     })
 }
 

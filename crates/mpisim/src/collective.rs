@@ -17,7 +17,7 @@ use crate::config::MpiConfig;
 use crate::world::Rank;
 use schedsim::{KernelApi, WaitToken};
 use simcore::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The collective operations the substrate models.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,12 +54,12 @@ pub struct Collectives {
     size: usize,
     /// Next generation index per rank.
     next_gen: Vec<u64>,
-    states: HashMap<u64, GenState>,
+    states: BTreeMap<u64, GenState>,
 }
 
 impl Collectives {
     pub fn new(size: usize) -> Self {
-        Collectives { size, next_gen: vec![0; size], states: HashMap::new() }
+        Collectives { size, next_gen: vec![0; size], states: BTreeMap::new() }
     }
 
     /// Rank `rank` arrives at its next collective, which must be `op`.

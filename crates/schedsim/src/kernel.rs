@@ -274,6 +274,8 @@ impl Kernel {
         program: Box<dyn Program>,
         opts: SpawnOptions,
     ) -> TaskId {
+        // INVARIANT: panicking wrapper by documented contract; fallible
+        // callers use try_spawn directly.
         self.try_spawn(name, policy, program, opts)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -521,6 +523,8 @@ impl Kernel {
                 "program transition livelock on {:?}",
                 tid
             );
+            // INVARIANT: the program is only ever taken for the duration
+            // of this call and restored two lines below.
             let mut program = self.tasks[tid.0].program.take().expect("task has a program");
             let mut deferred: Vec<(SimTime, WaitToken)> = Vec::new();
             let mut policy_change = None;
@@ -578,6 +582,7 @@ impl Kernel {
     }
 
     fn block_current(&mut self, tid: TaskId) {
+        // INVARIANT: callers pass the running task; dispatch set its cpu.
         let cpu = self.tasks[tid.0].cpu.expect("running task has a cpu");
         debug_assert_eq!(self.cpus[cpu.0].current, Some(tid));
         let class = self.class_of_policy(self.tasks[tid.0].policy);
@@ -592,6 +597,7 @@ impl Kernel {
     }
 
     fn yield_current(&mut self, tid: TaskId) {
+        // INVARIANT: callers pass the running task; dispatch set its cpu.
         let cpu = self.tasks[tid.0].cpu.expect("running task has a cpu");
         debug_assert_eq!(self.cpus[cpu.0].current, Some(tid));
         let class = self.class_of_policy(self.tasks[tid.0].policy);
@@ -605,6 +611,7 @@ impl Kernel {
     }
 
     fn exit_current(&mut self, tid: TaskId) {
+        // INVARIANT: callers pass the running task; dispatch set its cpu.
         let cpu = self.tasks[tid.0].cpu.expect("running task has a cpu");
         debug_assert_eq!(self.cpus[cpu.0].current, Some(tid));
         let task = &mut self.tasks[tid.0];
@@ -628,6 +635,8 @@ impl Kernel {
             // Signal raced with something else (e.g. task exited); ignore.
             return;
         }
+        // INVARIANT: block_current records the sleep start on every
+        // Running→Sleeping transition, checked just above.
         let slept_at = task.last_sleep_start.expect("sleeping task has sleep start");
         let iter_wall = self.now.saturating_since(task.iter.iter_started);
         let iter_run = task.iter.run_in_iter;
@@ -706,6 +715,7 @@ impl Kernel {
                 return prev;
             }
         }
+        // INVARIANT: try_spawn rejects all-excluding affinity masks.
         self.chip
             .topology()
             .cpus()
@@ -863,9 +873,9 @@ impl Kernel {
                     self.chip.set_load(CpuId(cpu), Some(perf));
                     let from = self.chip.priority_of(CpuId(cpu));
                     if from != hw_prio {
-                        // The kernel runs at supervisor privilege; the
-                        // heuristics keep priorities within the supervisor
-                        // range, so this cannot fail.
+                        // INVARIANT: the kernel runs at supervisor
+                        // privilege and the heuristics clamp priorities
+                        // into the supervisor range; cannot fail.
                         self.chip
                             .set_priority(CpuId(cpu), hw_prio, PrivilegeLevel::Supervisor)
                             .expect("scheduler priorities stay in supervisor range");
@@ -963,6 +973,8 @@ impl Kernel {
     }
 
     fn class_of_policy(&self, policy: SchedPolicy) -> usize {
+        // INVARIANT: only reached for policies of already-spawned tasks,
+        // which try_spawn validated against the installed classes.
         self.try_class_of_policy(policy).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -12,7 +12,7 @@
 use crate::policy::SchedPolicy;
 use crate::task::TaskId;
 use simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// CPU work, in units of "seconds of a dedicated single-threaded core".
 /// A task with speed factor `s` consumes `w` work in `w / s` seconds.
@@ -108,10 +108,11 @@ impl<'a> KernelApi<'a> {
 #[derive(Default)]
 pub struct TokenTable {
     next: u64,
-    /// Tokens signalled with no blocker yet.
-    pending_signals: std::collections::HashSet<u64>,
+    /// Tokens signalled with no blocker yet. Ordered containers keep every
+    /// token-table walk independent of hash order.
+    pending_signals: BTreeSet<u64>,
     /// Token → blocked task.
-    blockers: HashMap<u64, TaskId>,
+    blockers: BTreeMap<u64, TaskId>,
     /// Wakeups ready for the kernel to perform.
     ready_wakes: Vec<TaskId>,
 }

@@ -1,0 +1,36 @@
+//! Workspace lint driver: `cargo run -p simverify --bin lint [root]`.
+//!
+//! Scans every `.rs` file under `<root>/crates` against the rule table in
+//! [`simverify::lint::RULES`], honouring `<root>/simverify.allow`. Exits 0
+//! when clean, 1 on violations, 2 on I/O trouble.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let report = match simverify::lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simverify lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for stale in &report.unused_allow {
+        eprintln!("warning: unused simverify.allow entry at line {stale}");
+    }
+    if report.is_clean() {
+        eprintln!(
+            "simverify lint: {} files clean ({} rules)",
+            report.files_scanned,
+            simverify::lint::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simverify lint: {} violation(s)", report.violations.len());
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,58 @@
+//! Determinism harness: a run is a pure function of `(config, seed)`, so
+//! executing the same closure twice must yield byte-identical traces. The
+//! harness reports the *first* diverging record — the point to start
+//! debugging from — rather than a bare boolean.
+
+use schedsim::TraceRecord;
+use std::fmt;
+
+/// The first point where two traces disagree.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the first differing record.
+    pub index: usize,
+    /// The record the first run produced there (`None`: trace ended early).
+    pub first: Option<TraceRecord>,
+    /// The record the second run produced there.
+    pub second: Option<TraceRecord>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "traces diverge at record {}:", self.index)?;
+        match &self.first {
+            Some(r) => writeln!(f, "  run 1: {r:?}")?,
+            None => writeln!(f, "  run 1: <ended after {} records>", self.index)?,
+        }
+        match &self.second {
+            Some(r) => write!(f, "  run 2: {r:?}"),
+            None => write!(f, "  run 2: <ended after {} records>", self.index),
+        }
+    }
+}
+
+/// Compare two traces record-by-record.
+pub fn first_divergence(a: &[TraceRecord], b: &[TraceRecord]) -> Option<Divergence> {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        if a.get(i) != b.get(i) {
+            return Some(Divergence {
+                index: i,
+                first: a.get(i).cloned(),
+                second: b.get(i).cloned(),
+            });
+        }
+    }
+    None
+}
+
+/// Run `run` twice and require identical traces. Returns the record count
+/// on success; the first divergence otherwise.
+pub fn check<F: FnMut() -> Vec<TraceRecord>>(mut run: F) -> Result<usize, Divergence> {
+    let a = run();
+    let b = run();
+    match first_divergence(&a, &b) {
+        None => Ok(a.len()),
+        Some(d) => Err(d),
+    }
+}

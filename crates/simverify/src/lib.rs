@@ -1,0 +1,23 @@
+//! Correctness tooling for the simulator workspace, in two layers
+//! (DESIGN.md §8):
+//!
+//! * [`lint`] — a dependency-free source scanner enforcing architectural
+//!   rules per crate zone: no wall-clock reads in deterministic crates, no
+//!   iteration-order-sensitive collections in scheduler-decision paths, no
+//!   panics in kernel hot paths, no internal use of deprecated trace shims,
+//!   and documented tunables. Run it with `cargo run -p simverify --bin
+//!   lint`; suppress individual lines via `simverify.allow` at the repo
+//!   root.
+//! * [`conformance`] — a linear-time validator over the trace records a
+//!   [`schedsim::SharedSink`] collects, asserting the paper's runtime
+//!   invariants: HPC hardware priorities stay inside the tunable bounds,
+//!   decode-slot arbitration agrees with Table I, simulated time never runs
+//!   backwards, one task per CPU, and telemetry counters reconcile with the
+//!   trace.
+//! * [`determinism`] — runs a workload twice with one seed and reports the
+//!   first diverging trace record (EXPERIMENTS.md reproducibility rests on
+//!   runs being pure functions of `(config, seed)`).
+
+pub mod conformance;
+pub mod determinism;
+pub mod lint;

@@ -1,0 +1,380 @@
+//! Architectural lint pass: a fast, dependency-free scanner over the
+//! workspace source tree.
+//!
+//! Rules are data-driven: each [`Rule`] names the path *zones* it applies
+//! to, the zones it exempts, and what it forbids. Two escape hatches exist,
+//! in increasing order of ceremony:
+//!
+//! * an `INVARIANT:` comment on or just above the flagged line (only for
+//!   rules with `invariant_escape`) — for panics whose impossibility the
+//!   code can argue locally;
+//! * an entry in `simverify.allow` at the repository root — for the rare
+//!   structural exception (e.g. the pick-latency wall-clock metric).
+//!
+//! Output format is `file:line: rule-id: message`, one violation per line,
+//! and the binary exits nonzero when any violation remains.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What a rule forbids.
+pub enum RuleKind {
+    /// Any line containing one of these substrings violates the rule.
+    ForbiddenPattern { patterns: &'static [&'static str] },
+    /// Every `pub` struct field must carry a `///` doc comment.
+    FieldsDocumented,
+}
+
+/// One architectural rule.
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub kind: RuleKind,
+    /// Path substrings (forward-slash, repo-relative) the rule applies to.
+    pub zones: &'static [&'static str],
+    /// Path substrings excluded even when a zone matches.
+    pub exempt: &'static [&'static str],
+    /// Whether an `INVARIANT:` comment on the line or within
+    /// [`INVARIANT_WINDOW`] lines above it silences the rule.
+    pub invariant_escape: bool,
+}
+
+/// How far above a flagged line an `INVARIANT` marker is honoured.
+pub const INVARIANT_WINDOW: usize = 5;
+
+/// The rule table. Zones mirror the determinism boundary drawn in
+/// DESIGN.md: everything that feeds scheduler decisions or the trace must
+/// be a pure function of `(config, seed)`.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "SV001",
+        summary: "wall-clock read in a deterministic simulation crate",
+        kind: RuleKind::ForbiddenPattern { patterns: &["Instant::now", "SystemTime"] },
+        zones: &[
+            "crates/simcore/src/",
+            "crates/schedsim/src/",
+            "crates/power5/src/",
+            "crates/mpisim/src/",
+            "crates/core/src/",
+        ],
+        exempt: &[],
+        invariant_escape: false,
+    },
+    Rule {
+        id: "SV002",
+        summary: "iteration-order-sensitive collection in a scheduler-decision or \
+                  trace-emitting path; use BTreeMap/BTreeSet",
+        kind: RuleKind::ForbiddenPattern { patterns: &["HashMap", "HashSet"] },
+        zones: &[
+            "crates/schedsim/src/kernel.rs",
+            "crates/schedsim/src/classes/",
+            "crates/schedsim/src/program.rs",
+            "crates/core/src/detector.rs",
+            "crates/core/src/balance.rs",
+            "crates/core/src/heuristics.rs",
+            "crates/mpisim/src/collective.rs",
+        ],
+        exempt: &[],
+        invariant_escape: false,
+    },
+    Rule {
+        id: "SV003",
+        summary: "panic in a kernel hot path; propagate SchedError or document the \
+                  invariant with an INVARIANT: comment",
+        kind: RuleKind::ForbiddenPattern { patterns: &["panic!", ".unwrap()", ".expect("] },
+        zones: &[
+            "crates/schedsim/src/kernel.rs",
+            "crates/schedsim/src/classes/",
+            "crates/core/src/balance.rs",
+            "crates/core/src/mechanism.rs",
+            "crates/core/src/heuristics.rs",
+        ],
+        exempt: &[],
+        invariant_escape: true,
+    },
+    Rule {
+        id: "SV004",
+        summary: "deprecated trace shim; attach sinks with Kernel::observe",
+        kind: RuleKind::ForbiddenPattern { patterns: &[".set_trace(", ".take_trace("] },
+        zones: &["crates/"],
+        // The shims themselves live in kernel.rs; simverify names them in
+        // its own rule table and fixtures.
+        exempt: &["crates/schedsim/src/kernel.rs", "crates/simverify/"],
+        invariant_escape: false,
+    },
+    Rule {
+        id: "SV005",
+        summary: "tunable field without a doc comment",
+        kind: RuleKind::FieldsDocumented,
+        zones: &["crates/core/src/tunables.rs"],
+        exempt: &[],
+        invariant_escape: false,
+    },
+];
+
+/// One reported violation, rendered as `file:line: rule-id: message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative, forward-slash path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// One `simverify.allow` entry: `rule-id path-substring line-substring`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub fragment: String,
+    /// Which allowlist line this came from (for unused-entry reporting).
+    pub source_line: usize,
+    pub used: bool,
+}
+
+/// The parsed per-line allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// Parse the allowlist format: one entry per line, `#` comments and
+    /// blank lines ignored. Fields are whitespace-separated; the third
+    /// field (the line fragment) runs to end of line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule = parts.next().unwrap_or("").to_string();
+            let path = parts.next().unwrap_or("").to_string();
+            let fragment = parts.next().unwrap_or("").trim().to_string();
+            if rule.is_empty() || path.is_empty() || fragment.is_empty() {
+                return Err(format!(
+                    "simverify.allow:{}: expected `rule-id path-substring line-substring`",
+                    i + 1
+                ));
+            }
+            entries.push(AllowEntry { rule, path, fragment, source_line: i + 1, used: false });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether an entry covers this (rule, file, line) triple; marks the
+    /// entry used so stale entries can be reported.
+    fn permits(&mut self, rule: &str, file: &str, line_text: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == rule && file.contains(&e.path) && line_text.contains(&e.fragment) {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched anything, for end-of-run warnings.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used).collect()
+    }
+}
+
+fn in_zone(rule: &Rule, file: &str) -> bool {
+    rule.zones.iter().any(|z| file.contains(z)) && !rule.exempt.iter().any(|z| file.contains(z))
+}
+
+fn has_invariant_near(lines: &[&str], idx: usize) -> bool {
+    let lo = idx.saturating_sub(INVARIANT_WINDOW);
+    lines[lo..=idx].iter().any(|l| l.contains("INVARIANT"))
+}
+
+/// A `pub` struct-field line (the only thing SV005 inspects): not a
+/// function, constant or tuple-struct declaration.
+fn is_pub_field(trimmed: &str) -> bool {
+    trimmed.starts_with("pub ")
+        && trimmed.contains(':')
+        && trimmed.ends_with(',')
+        && !trimmed.contains("fn ")
+        && !trimmed.contains("const ")
+        && !trimmed.contains('(')
+}
+
+/// Whether the field line at `idx` has a `///` doc comment above it,
+/// looking through any `#[...]` attribute lines.
+fn field_is_documented(lines: &[&str], idx: usize) -> bool {
+    for j in (0..idx).rev() {
+        let p = lines[j].trim_start();
+        if p.starts_with("#[") {
+            continue;
+        }
+        return p.starts_with("///");
+    }
+    false
+}
+
+/// Lint one source file (already read into memory, so fixture tests can
+/// feed synthetic snippets). `file` must be the repo-relative,
+/// forward-slash path — zone matching runs against it.
+pub fn lint_source(
+    file: &str,
+    source: &str,
+    rules: &[Rule],
+    allow: &mut Allowlist,
+) -> Vec<Violation> {
+    let applicable: Vec<&Rule> = rules.iter().filter(|r| in_zone(r, file)).collect();
+    if applicable.is_empty() {
+        return Vec::new();
+    }
+    let lines: Vec<&str> = source.lines().collect();
+    let mut violations = Vec::new();
+    let mut in_tests = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        // Test modules sit at the end of each file in this codebase; rules
+        // govern shipping code only.
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests || trimmed.starts_with("//") {
+            continue;
+        }
+        for rule in &applicable {
+            match &rule.kind {
+                RuleKind::ForbiddenPattern { patterns } => {
+                    for pat in *patterns {
+                        if !raw.contains(pat) {
+                            continue;
+                        }
+                        if rule.invariant_escape && has_invariant_near(&lines, i) {
+                            continue;
+                        }
+                        if allow.permits(rule.id, file, raw) {
+                            continue;
+                        }
+                        violations.push(Violation {
+                            file: file.to_string(),
+                            line: i + 1,
+                            rule: rule.id,
+                            message: format!("`{pat}`: {}", rule.summary),
+                        });
+                    }
+                }
+                RuleKind::FieldsDocumented => {
+                    if is_pub_field(trimmed)
+                        && !field_is_documented(&lines, i)
+                        && !allow.permits(rule.id, file, raw)
+                    {
+                        violations.push(Violation {
+                            file: file.to_string(),
+                            line: i + 1,
+                            rule: rule.id,
+                            message: format!(
+                                "`{}`: {}",
+                                trimmed.trim_end_matches(','),
+                                rule.summary
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Result of a whole-workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    /// Stale `simverify.allow` entries, as `line: text` descriptions.
+    pub unused_allow: Vec<String>,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping build output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            if entry.file_name() == "target" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `<root>/crates` against [`RULES`], applying
+/// `<root>/simverify.allow` when present.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} is not a workspace root (no crates/ directory)", root.display()),
+        ));
+    }
+    let mut allow = match fs::read_to_string(root.join("simverify.allow")) {
+        Ok(text) => Allowlist::parse(&text).map_err(io::Error::other)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Allowlist::empty(),
+        Err(e) => return Err(e),
+    };
+    let mut files = Vec::new();
+    collect_rs(&crates, &mut files)?;
+    // Deterministic scan order regardless of directory enumeration order.
+    let mut rel: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|p| {
+            let r = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            (r, p)
+        })
+        .collect();
+    rel.sort();
+
+    let mut report = LintReport::default();
+    for (rel_path, path) in rel {
+        let source = fs::read_to_string(&path)?;
+        report.violations.extend(lint_source(&rel_path, &source, RULES, &mut allow));
+        report.files_scanned += 1;
+    }
+    report.unused_allow = allow
+        .unused()
+        .into_iter()
+        .map(|e| format!("{}: {} {} {}", e.source_line, e.rule, e.path, e.fragment))
+        .collect();
+    Ok(report)
+}
