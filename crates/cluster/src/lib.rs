@@ -26,5 +26,8 @@ pub mod placement;
 pub mod sim;
 
 pub use job::JobSpec;
-pub use placement::{place, Placement, PlacementStrategy};
-pub use sim::{run_cluster, ClusterConfig, ClusterResult};
+pub use placement::{place, Placement, PlacementError, PlacementStrategy};
+pub use sim::{
+    run_cluster, run_cluster_faulted, ClusterConfig, ClusterOutcome, ClusterResult, NodeFailure,
+    NodeFailureRecord,
+};

@@ -9,9 +9,34 @@
 
 use crate::job::JobSpec;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Ranks per node (one per logical CPU of the paper's POWER5 node).
 pub const NODE_SLOTS: usize = 4;
+
+/// Why a placement could not be computed. Cluster-level callers hit this
+/// at runtime (a job queued against a shrunken, partially-failed cluster),
+/// so it is an error value, not a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementError {
+    /// No nodes to place on (zero configured, or every node failed).
+    NoNodes,
+    /// The job needs more slots than the available nodes offer.
+    DoesNotFit { ranks: usize, slots: usize },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PlacementError::NoNodes => write!(f, "no nodes available"),
+            PlacementError::DoesNotFit { ranks, slots } => {
+                write!(f, "job does not fit: {ranks} ranks on {slots} slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
 
 /// How to spread a job's ranks over the nodes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -86,19 +111,22 @@ pub fn node_time(job: &JobSpec, slots: &[usize], hpc: bool) -> f64 {
     core_time(load(0), load(1), hpc).max(core_time(load(2), load(3), hpc))
 }
 
-/// Compute a placement of `job` over `num_nodes` nodes.
-///
-/// # Panics
-/// If the job does not fit (`ranks > num_nodes × NODE_SLOTS`) or
-/// `num_nodes == 0`.
-pub fn place(job: &JobSpec, num_nodes: usize, strategy: PlacementStrategy) -> Placement {
-    assert!(num_nodes > 0, "need at least one node");
-    assert!(
-        job.ranks() <= num_nodes * NODE_SLOTS,
-        "job does not fit: {} ranks on {} slots",
-        job.ranks(),
-        num_nodes * NODE_SLOTS
-    );
+/// Compute a placement of `job` over `num_nodes` nodes, or say why it
+/// cannot be done.
+pub fn place(
+    job: &JobSpec,
+    num_nodes: usize,
+    strategy: PlacementStrategy,
+) -> Result<Placement, PlacementError> {
+    if num_nodes == 0 {
+        return Err(PlacementError::NoNodes);
+    }
+    if job.ranks() > num_nodes * NODE_SLOTS {
+        return Err(PlacementError::DoesNotFit {
+            ranks: job.ranks(),
+            slots: num_nodes * NODE_SLOTS,
+        });
+    }
     let nodes = match strategy {
         PlacementStrategy::RoundRobin => {
             let mut nodes = vec![Vec::new(); num_nodes];
@@ -116,6 +144,8 @@ pub fn place(job: &JobSpec, num_nodes: usize, strategy: PlacementStrategy) -> Pl
             let mut loads = vec![0.0f64; num_nodes];
             for r in order {
                 // Least-loaded node with a free slot; ties to lowest index.
+                // INVARIANT: the fit check above guarantees ranks ≤ total
+                // slots, so a free slot always exists at this point.
                 let n = (0..num_nodes)
                     .filter(|&n| nodes[n].len() < NODE_SLOTS)
                     .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
@@ -153,6 +183,8 @@ pub fn place(job: &JobSpec, num_nodes: usize, strategy: PlacementStrategy) -> Pl
                         best = Some((t, n, slots.len()));
                     }
                 }
+                // INVARIANT: the fit check above guarantees ranks ≤ total
+                // slots, so some node still had a free slot.
                 let (_, n, _) = best.expect("job fits");
                 nodes[n].push(r);
             }
@@ -164,7 +196,7 @@ pub fn place(job: &JobSpec, num_nodes: usize, strategy: PlacementStrategy) -> Pl
             nodes
         }
     };
-    Placement { strategy, nodes }
+    Ok(Placement { strategy, nodes })
 }
 
 /// Given ranks sorted heaviest-first, order them into CPU slots so each
@@ -202,7 +234,7 @@ mod tests {
             PlacementStrategy::GreedyLpt,
             PlacementStrategy::SmtAware,
         ] {
-            let p = place(&job, 2, s);
+            let p = place(&job, 2, s).expect("fits");
             assert!(p.is_valid(&job), "{s:?}: {p:?}");
         }
     }
@@ -210,7 +242,7 @@ mod tests {
     #[test]
     fn round_robin_interleaves() {
         let job = job4x2();
-        let p = place(&job, 2, PlacementStrategy::RoundRobin);
+        let p = place(&job, 2, PlacementStrategy::RoundRobin).expect("fits");
         assert_eq!(p.nodes[0], vec![0, 2, 4, 6]);
         assert_eq!(p.nodes[1], vec![1, 3, 5, 7]);
     }
@@ -218,7 +250,7 @@ mod tests {
     #[test]
     fn lpt_balances_total_load() {
         let job = job4x2();
-        let p = place(&job, 2, PlacementStrategy::GreedyLpt);
+        let p = place(&job, 2, PlacementStrategy::GreedyLpt).expect("fits");
         let l0 = p.node_load(&job, 0);
         let l1 = p.node_load(&job, 1);
         assert!((l0 - l1).abs() < 0.11, "node loads {l0} vs {l1}");
@@ -227,7 +259,7 @@ mod tests {
     #[test]
     fn smt_aware_pairs_heavy_with_light() {
         let job = job4x2();
-        let p = place(&job, 2, PlacementStrategy::SmtAware);
+        let p = place(&job, 2, PlacementStrategy::SmtAware).expect("fits");
         for slots in &p.nodes {
             // Slot 0 (heavy) and slot 1 (its core sibling) must differ in
             // load when the node holds both classes.
@@ -264,10 +296,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not fit")]
-    fn overfull_job_rejected() {
+    fn overfull_job_is_a_typed_error_not_a_panic() {
         let job = JobSpec::new("big", vec![0.1; 9], 1);
-        place(&job, 2, PlacementStrategy::GreedyLpt);
+        for s in [
+            PlacementStrategy::RoundRobin,
+            PlacementStrategy::GreedyLpt,
+            PlacementStrategy::SmtAware,
+        ] {
+            assert_eq!(
+                place(&job, 2, s),
+                Err(PlacementError::DoesNotFit { ranks: 9, slots: 8 }),
+                "{s:?}"
+            );
+        }
+        assert_eq!(place(&job, 0, PlacementStrategy::GreedyLpt), Err(PlacementError::NoNodes));
+        let msg = PlacementError::DoesNotFit { ranks: 9, slots: 8 }.to_string();
+        assert!(msg.contains("9 ranks on 8 slots"), "{msg}");
     }
 
     #[test]

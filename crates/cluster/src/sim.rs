@@ -9,7 +9,7 @@
 
 use crate::job::JobSpec;
 use crate::node::run_node;
-use crate::placement::{place, Placement, PlacementStrategy};
+use crate::placement::{place, Placement, PlacementError, PlacementStrategy};
 use serde::{Deserialize, Serialize};
 
 /// Cluster parameters.
@@ -45,13 +45,51 @@ pub struct ClusterResult {
     pub makespan: f64,
 }
 
+/// A node-level fault to inject into a cluster run (fault class 4).
+///
+/// `node` dies after the job's `at_iteration`-th iteration; the scheduler
+/// re-places the gang onto the survivors (same strategy) and re-runs the
+/// remaining iterations, paying `restart_secs` per attempt, up to
+/// `max_retries` attempts.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NodeFailure {
+    pub node: usize,
+    pub at_iteration: u32,
+    pub max_retries: u32,
+    /// Restart overhead per recovery attempt (checkpoint reload, requeue).
+    pub restart_secs: f64,
+}
+
+/// What actually happened to an injected [`NodeFailure`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NodeFailureRecord {
+    pub node: usize,
+    pub at_iteration: u32,
+    /// Recovery attempts consumed (0 if the failure never fired).
+    pub retries_used: u32,
+    /// Whether the cluster absorbed the failure and finished the job.
+    pub absorbed: bool,
+}
+
+/// A cluster run that may have degraded rather than completed.
+#[derive(Clone, Debug)]
+pub struct ClusterOutcome {
+    /// The (possibly partial) result. When `degraded` is true this covers
+    /// only the iterations completed before the failure.
+    pub result: ClusterResult,
+    pub failure: Option<NodeFailureRecord>,
+    /// True when the job could not finish on the surviving nodes; the
+    /// result then holds partial pre-failure work, never a panic.
+    pub degraded: bool,
+}
+
 /// Place and run `job` on the cluster.
 pub fn run_cluster(
     job: &JobSpec,
     strategy: PlacementStrategy,
     cfg: &ClusterConfig,
-) -> ClusterResult {
-    let placement = place(job, cfg.num_nodes, strategy);
+) -> Result<ClusterResult, PlacementError> {
+    let placement = place(job, cfg.num_nodes, strategy)?;
     let node_secs: Vec<f64> = placement
         .nodes
         .iter()
@@ -66,7 +104,83 @@ pub fn run_cluster(
         .collect();
     let slowest = node_secs.iter().cloned().fold(0.0, f64::max);
     let makespan = slowest + cfg.internode_latency * job.iterations as f64;
-    ClusterResult { placement, node_secs, makespan }
+    Ok(ClusterResult { placement, node_secs, makespan })
+}
+
+/// [`run_cluster`] with an optional node failure injected.
+///
+/// Graceful degradation contract: whatever the failure does, this returns a
+/// [`ClusterOutcome`] — absorbed (job finished on survivors, makespan pays
+/// the recovery cost) or degraded (survivors cannot host the gang; partial
+/// pre-failure result). It never panics on the fault path. `Err` only
+/// signals that the *initial* placement was impossible.
+pub fn run_cluster_faulted(
+    job: &JobSpec,
+    strategy: PlacementStrategy,
+    cfg: &ClusterConfig,
+    failure: Option<&NodeFailure>,
+) -> Result<ClusterOutcome, PlacementError> {
+    let fires = failure
+        .filter(|f| f.node < cfg.num_nodes && f.at_iteration < job.iterations);
+    let Some(f) = fires else {
+        // No failure (or it targets a node / iteration outside the run):
+        // identical to the plain path.
+        return Ok(ClusterOutcome {
+            result: run_cluster(job, strategy, cfg)?,
+            failure: None,
+            degraded: false,
+        });
+    };
+
+    // Phase 1: the iterations completed before the node died.
+    let pre = if f.at_iteration == 0 {
+        let placement = place(job, cfg.num_nodes, strategy)?;
+        let node_secs = vec![0.0; placement.nodes.len()];
+        ClusterResult { placement, node_secs, makespan: 0.0 }
+    } else {
+        let done = JobSpec::new(job.name.clone(), job.rank_loads.clone(), f.at_iteration);
+        run_cluster(&done, strategy, cfg)?
+    };
+
+    // Phase 2: requeue the remaining iterations on the survivors, bounded
+    // retries, each attempt paying the restart overhead.
+    let remaining =
+        JobSpec::new(job.name.clone(), job.rank_loads.clone(), job.iterations - f.at_iteration);
+    let survivors = ClusterConfig { num_nodes: cfg.num_nodes - 1, ..*cfg };
+    let mut retries_used = 0;
+    while retries_used < f.max_retries {
+        retries_used += 1;
+        match run_cluster(&remaining, strategy, &survivors) {
+            Ok(rest) => {
+                let makespan =
+                    pre.makespan + retries_used as f64 * f.restart_secs + rest.makespan;
+                return Ok(ClusterOutcome {
+                    result: ClusterResult { makespan, ..rest },
+                    failure: Some(NodeFailureRecord {
+                        node: f.node,
+                        at_iteration: f.at_iteration,
+                        retries_used,
+                        absorbed: true,
+                    }),
+                    degraded: false,
+                });
+            }
+            // The survivors cannot host the gang (too few slots, or no
+            // nodes left at all). Retrying cannot help a placement error,
+            // but honour the bounded-retry contract before giving up.
+            Err(_) => continue,
+        }
+    }
+    Ok(ClusterOutcome {
+        result: pre,
+        failure: Some(NodeFailureRecord {
+            node: f.node,
+            at_iteration: f.at_iteration,
+            retries_used,
+            absorbed: false,
+        }),
+        degraded: true,
+    })
 }
 
 #[cfg(test)]
@@ -86,8 +200,8 @@ mod tests {
     #[test]
     fn smt_aware_beats_round_robin_on_skewed_jobs() {
         let job = heavy_light_job();
-        let rr = run_cluster(&job, PlacementStrategy::RoundRobin, &cfg(2, true));
-        let smt = run_cluster(&job, PlacementStrategy::SmtAware, &cfg(2, true));
+        let rr = run_cluster(&job, PlacementStrategy::RoundRobin, &cfg(2, true)).expect("fits");
+        let smt = run_cluster(&job, PlacementStrategy::SmtAware, &cfg(2, true)).expect("fits");
         assert!(
             smt.makespan <= rr.makespan * 1.001,
             "smt {} vs rr {}",
@@ -100,8 +214,8 @@ mod tests {
     fn hpcsched_nodes_beat_cfs_nodes_for_any_placement() {
         let job = heavy_light_job();
         for s in [PlacementStrategy::RoundRobin, PlacementStrategy::GreedyLpt, PlacementStrategy::SmtAware] {
-            let cfs = run_cluster(&job, s, &cfg(2, false));
-            let hpc = run_cluster(&job, s, &cfg(2, true));
+            let cfs = run_cluster(&job, s, &cfg(2, false)).expect("fits");
+            let hpc = run_cluster(&job, s, &cfg(2, true)).expect("fits");
             assert!(
                 hpc.makespan <= cfs.makespan * 1.001,
                 "{s:?}: hpc {} vs cfs {}",
@@ -116,7 +230,7 @@ mod tests {
         let job = JobSpec::new("tiny", vec![0.05; 4], 10);
         let mut c = cfg(1, true);
         c.internode_latency = 0.01;
-        let r = run_cluster(&job, PlacementStrategy::GreedyLpt, &c);
+        let r = run_cluster(&job, PlacementStrategy::GreedyLpt, &c).expect("fits");
         assert!(r.makespan >= r.node_secs[0] + 0.1 - 1e-9, "10 barriers × 10ms");
     }
 
@@ -124,9 +238,73 @@ mod tests {
     fn random_jobs_run_end_to_end() {
         let mut rng = SimRng::seed_from_u64(9);
         let job = JobSpec::random("rand", 12, 3, &mut rng);
-        let r = run_cluster(&job, PlacementStrategy::SmtAware, &cfg(3, true));
+        let r = run_cluster(&job, PlacementStrategy::SmtAware, &cfg(3, true)).expect("fits");
         assert!(r.placement.is_valid(&job));
         assert_eq!(r.node_secs.len(), 3);
         assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_cluster_is_an_error() {
+        let job = JobSpec::new("big", vec![0.05; 12], 2);
+        assert_eq!(
+            run_cluster(&job, PlacementStrategy::GreedyLpt, &cfg(2, true)).unwrap_err(),
+            PlacementError::DoesNotFit { ranks: 12, slots: 8 },
+        );
+    }
+
+    #[test]
+    fn node_failure_absorbed_when_survivors_fit() {
+        // 6 ranks on 3 nodes; losing one still leaves 8 slots.
+        let job = JobSpec::new("j", vec![0.05; 6], 6);
+        let f = NodeFailure { node: 1, at_iteration: 3, max_retries: 2, restart_secs: 0.5 };
+        let out = run_cluster_faulted(&job, PlacementStrategy::GreedyLpt, &cfg(3, true), Some(&f))
+            .expect("fits");
+        assert!(!out.degraded);
+        let rec = out.failure.expect("failure fired");
+        assert!(rec.absorbed);
+        assert_eq!(rec.retries_used, 1);
+        let clean = run_cluster(&job, PlacementStrategy::GreedyLpt, &cfg(3, true)).unwrap();
+        assert!(
+            out.result.makespan > clean.makespan + f.restart_secs - 1e-9,
+            "recovery pays at least the restart overhead: {} vs {}",
+            out.result.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn node_failure_degrades_when_survivors_cannot_fit() {
+        // 8 ranks exactly fill 2 nodes; the survivor alone has 4 slots.
+        let job = JobSpec::new("j", vec![0.05; 8], 6);
+        let f = NodeFailure { node: 0, at_iteration: 2, max_retries: 3, restart_secs: 0.5 };
+        let out = run_cluster_faulted(&job, PlacementStrategy::GreedyLpt, &cfg(2, true), Some(&f))
+            .expect("initial placement fits");
+        assert!(out.degraded);
+        let rec = out.failure.expect("failure fired");
+        assert!(!rec.absorbed);
+        assert_eq!(rec.retries_used, 3, "bounded retries exhausted");
+        // Partial result covers the 2 pre-failure iterations.
+        assert!(out.result.makespan > 0.0);
+    }
+
+    #[test]
+    fn single_node_cluster_failure_never_panics() {
+        let job = JobSpec::new("j", vec![0.05; 4], 4);
+        let f = NodeFailure { node: 0, at_iteration: 1, max_retries: 2, restart_secs: 0.1 };
+        let out = run_cluster_faulted(&job, PlacementStrategy::RoundRobin, &cfg(1, true), Some(&f))
+            .expect("initial placement fits");
+        assert!(out.degraded, "zero survivors can never absorb");
+    }
+
+    #[test]
+    fn out_of_range_failure_matches_plain_run() {
+        let job = heavy_light_job();
+        let f = NodeFailure { node: 7, at_iteration: 1, max_retries: 1, restart_secs: 0.1 };
+        let out = run_cluster_faulted(&job, PlacementStrategy::SmtAware, &cfg(2, true), Some(&f))
+            .expect("fits");
+        let plain = run_cluster(&job, PlacementStrategy::SmtAware, &cfg(2, true)).unwrap();
+        assert!(out.failure.is_none());
+        assert_eq!(out.result.makespan, plain.makespan, "bit-identical to plain run");
     }
 }

@@ -14,7 +14,7 @@ use crate::detector::LoadImbalanceDetector;
 use crate::heuristics::Heuristic;
 use crate::mechanism::PrioMechanism;
 use crate::tunables::HpcTunables;
-use power5::CpuId;
+use power5::{CpuId, HwPriority};
 use schedsim::class::{ClassCtx, EnqueueKind, Migration, SchedClass};
 use schedsim::{SchedPolicy, TaskId};
 use simcore::SimDuration;
@@ -43,6 +43,9 @@ struct HpcTelemetry {
     /// Detector verdicts per completed iteration.
     balanced: telemetry::Counter,
     imbalanced: telemetry::Counter,
+    /// Unusable iteration samples (zero wall / non-finite utilization) that
+    /// triggered the uniform-priority fallback.
+    degraded: telemetry::Counter,
 }
 
 /// The HPC scheduling class.
@@ -100,6 +103,7 @@ impl HpcClass {
             rejected: registry.counter(&format!("hpc.decisions.{h}.rejected")),
             balanced: registry.counter("hpc.detector.balanced"),
             imbalanced: registry.counter("hpc.detector.imbalanced"),
+            degraded: registry.counter("hpc.detector.degraded"),
         });
     }
 
@@ -129,6 +133,30 @@ impl HpcClass {
                 self.rqs[cpu].len() + usize::from(running_hpc)
             })
             .collect()
+    }
+
+    /// Graceful degradation ("do no harm" floor, DESIGN.md §9): the
+    /// detector produced no usable sample for this task, so stop steering
+    /// it — drop its hardware priority back to the uniform default instead
+    /// of letting a decision made on stale data stand. The kernel's trace
+    /// layer records the transition like any other priority change.
+    fn degrade(&mut self, ctx: &mut ClassCtx<'_>, task: TaskId) {
+        if let Some(t) = &self.telemetry {
+            t.degraded.inc();
+        }
+        if !self.dynamic_prio {
+            return;
+        }
+        let current = ctx.task(task).hw_prio;
+        if current == HwPriority::MEDIUM {
+            return;
+        }
+        if let Ok(effective) = self.mechanism.validate(HwPriority::MEDIUM) {
+            if effective != current {
+                ctx.task_mut(task).hw_prio = effective;
+                self.prio_changes += 1;
+            }
+        }
     }
 }
 
@@ -212,7 +240,10 @@ impl SchedClass for HpcClass {
         iter_run: SimDuration,
         iter_wall: SimDuration,
     ) {
-        let mut stats = self.detector.record_iteration(task, iter_run, iter_wall);
+        let Some(mut stats) = self.detector.record_iteration(task, iter_run, iter_wall) else {
+            self.degrade(ctx, task);
+            return;
+        };
         if !self.dynamic_prio {
             return;
         }
@@ -231,7 +262,11 @@ impl SchedClass for HpcClass {
             // the slow global metric reacts within a couple of iterations
             // (paper Figure 4(c)).
             self.detector.reset_history();
-            stats = self.detector.record_iteration(task, iter_run, iter_wall);
+            if let Some(s) = self.detector.record_iteration(task, iter_run, iter_wall) {
+                // Same inputs as the accepted sample above, so this always
+                // re-records; the if-let just avoids a second unwrap path.
+                stats = s;
+            }
         }
         self.was_balanced = balanced;
         if let Some(t) = &self.telemetry {
@@ -495,6 +530,41 @@ mod tests {
             4,
             "one verdict per completed iteration"
         );
+    }
+
+    #[test]
+    fn unusable_sample_degrades_to_uniform_priority() {
+        let topo = Topology::openpower_710();
+        let mut tasks = mk_tasks(2);
+        let mut c = mk_class(HpcPolicyKind::Rr);
+        let registry = telemetry::MetricsRegistry::new();
+        c.attach_telemetry(&registry);
+        let mut cx = ctx(&mut tasks, &topo);
+        // Drive task 1 to HIGH with two imbalanced rounds.
+        for _ in 0..2 {
+            c.task_woken(&mut cx, TaskId(0), ms(25), ms(100));
+            c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
+        }
+        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::HIGH);
+        // A zero-wall (unusable) sample: fall back to the uniform floor
+        // instead of keeping a priority decided on stale data.
+        c.task_woken(&mut cx, TaskId(1), SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::MEDIUM, "do-no-harm floor");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("hpc.detector.degraded"), 1);
+        // The detector history is untouched by the bad sample.
+        assert_eq!(c.detector().stats_of(TaskId(1)).expect("history kept").iterations, 2);
+    }
+
+    #[test]
+    fn degraded_task_at_floor_stays_put() {
+        let topo = Topology::openpower_710();
+        let mut tasks = mk_tasks(1);
+        let mut c = mk_class(HpcPolicyKind::Rr);
+        let mut cx = ctx(&mut tasks, &topo);
+        c.task_woken(&mut cx, TaskId(0), SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(cx.task(TaskId(0)).hw_prio, HwPriority::MEDIUM);
+        assert_eq!(c.priority_changes(), 0, "no change when already at the floor");
     }
 
     #[test]

@@ -64,17 +64,31 @@ impl LoadImbalanceDetector {
 
     /// Record a completed iteration (`run` CPU time over `wall` elapsed
     /// time) and return the task's updated stats.
+    ///
+    /// Returns `None` — recording nothing — when the sample is unusable: a
+    /// zero-length iteration (a never-blocking task "completes" those
+    /// back-to-back) or a non-finite utilization. Fabricating a number here
+    /// would poison the accumulated history every later decision rests on;
+    /// the caller treats `None` as "no sample" and falls back to uniform
+    /// priorities rather than acting on garbage.
     pub fn record_iteration(
         &mut self,
         task: TaskId,
         run: SimDuration,
         wall: SimDuration,
-    ) -> TaskIterStats {
+    ) -> Option<TaskIterStats> {
+        if wall.is_zero() {
+            return None;
+        }
+        let util = ratio_percent(run, wall);
+        if !util.is_finite() {
+            return None;
+        }
         let acc = self.tasks.entry(task).or_default();
         let prev_global = if acc.wall.is_zero() {
             // No history: treat the first iteration as its own history so
             // the blended metric degenerates gracefully.
-            ratio_percent(run, wall)
+            util
         } else {
             ratio_percent(acc.run, acc.wall)
         };
@@ -82,8 +96,8 @@ impl LoadImbalanceDetector {
         acc.run += run;
         acc.wall += wall;
         acc.iterations += 1;
-        acc.last_util = ratio_percent(run, wall);
-        self.stats_of(task).expect("just inserted")
+        acc.last_util = util;
+        self.stats_of(task)
     }
 
     /// A task left the class (exit or policy change); stop counting it in
@@ -168,9 +182,10 @@ impl LoadImbalanceDetector {
 
 fn ratio_percent(num: SimDuration, den: SimDuration) -> f64 {
     if den.is_zero() {
-        // A zero-length iteration means the task never actually waited;
-        // treat as fully utilized.
-        100.0
+        // No elapsed time → no meaningful ratio. Callers filter this out
+        // (`record_iteration` rejects the sample); never let it reach the
+        // spread computation as a fabricated percentage.
+        f64::NAN
     } else {
         100.0 * num.as_nanos() as f64 / den.as_nanos() as f64
     }
@@ -187,7 +202,7 @@ mod tests {
     #[test]
     fn single_iteration_stats() {
         let mut d = LoadImbalanceDetector::new();
-        let s = d.record_iteration(TaskId(0), ms(25), ms(100));
+        let s = d.record_iteration(TaskId(0), ms(25), ms(100)).expect("usable sample");
         assert_eq!(s.iterations, 1);
         assert!((s.last_util - 25.0).abs() < 1e-9);
         assert!((s.global_util - 25.0).abs() < 1e-9);
@@ -197,7 +212,7 @@ mod tests {
     fn global_accumulates_across_iterations() {
         let mut d = LoadImbalanceDetector::new();
         d.record_iteration(TaskId(0), ms(25), ms(100));
-        let s = d.record_iteration(TaskId(0), ms(75), ms(100));
+        let s = d.record_iteration(TaskId(0), ms(75), ms(100)).expect("usable sample");
         assert!((s.last_util - 75.0).abs() < 1e-9);
         assert!((s.global_util - 50.0).abs() < 1e-9, "Σrun/Σwall = 100/200");
         assert!((s.prev_global_util - 25.0).abs() < 1e-9, "history excludes last");
@@ -207,7 +222,7 @@ mod tests {
     fn blended_metric_matches_paper_formula() {
         let mut d = LoadImbalanceDetector::new();
         d.record_iteration(TaskId(0), ms(20), ms(100)); // Ug = 20
-        let s = d.record_iteration(TaskId(0), ms(90), ms(100)); // Ul = 90
+        let s = d.record_iteration(TaskId(0), ms(90), ms(100)).expect("usable sample"); // Ul = 90
         // Ui = 0.1 * 20 + 0.9 * 90 = 83
         assert!((s.blended(0.1, 0.9) - 83.0).abs() < 1e-9);
     }
@@ -248,10 +263,35 @@ mod tests {
     }
 
     #[test]
-    fn zero_wall_iteration_counts_as_fully_utilized() {
+    fn zero_wall_iteration_yields_no_sample() {
         let mut d = LoadImbalanceDetector::new();
-        let s = d.record_iteration(TaskId(0), SimDuration::ZERO, SimDuration::ZERO);
-        assert_eq!(s.last_util, 100.0);
+        assert!(d.record_iteration(TaskId(0), SimDuration::ZERO, SimDuration::ZERO).is_none());
+        assert!(d.stats_of(TaskId(0)).is_none(), "nothing was recorded");
+    }
+
+    #[test]
+    fn never_blocking_task_accumulates_no_history() {
+        // A task that never waits "completes" zero-length iterations back
+        // to back; none of them may count or skew the spread.
+        let mut d = LoadImbalanceDetector::new();
+        for _ in 0..50 {
+            assert!(d.record_iteration(TaskId(0), SimDuration::ZERO, SimDuration::ZERO).is_none());
+        }
+        d.record_iteration(TaskId(1), ms(40), ms(100));
+        d.record_iteration(TaskId(2), ms(90), ms(100));
+        let tun = HpcTunables::default();
+        let spread = d.spread(tun.negligible_util, |s| s.global_util);
+        assert!((spread - 50.0).abs() < 1e-9, "spread over real samples only: {spread}");
+    }
+
+    #[test]
+    fn degraded_then_recovered_task_reports_clean_stats() {
+        let mut d = LoadImbalanceDetector::new();
+        assert!(d.record_iteration(TaskId(0), ms(5), SimDuration::ZERO).is_none());
+        let s = d.record_iteration(TaskId(0), ms(30), ms(100)).expect("usable sample");
+        assert_eq!(s.iterations, 1, "rejected sample left no trace");
+        assert!((s.last_util - 30.0).abs() < 1e-9);
+        assert!(s.global_util.is_finite() && s.prev_global_util.is_finite());
     }
 
     #[test]

@@ -78,7 +78,7 @@ proptest! {
         for (run_ms, extra_ms) in iters {
             let run = SimDuration::from_millis(run_ms);
             let wall = SimDuration::from_millis(run_ms + extra_ms);
-            let s = d.record_iteration(TaskId(0), run, wall);
+            let s = d.record_iteration(TaskId(0), run, wall).expect("wall > 0");
             prop_assert!((0.0..=100.0).contains(&s.last_util));
             lo = lo.min(s.last_util);
             hi = hi.max(s.last_util);

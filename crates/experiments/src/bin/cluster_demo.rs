@@ -45,12 +45,14 @@ fn main() {
                 job,
                 s,
                 &ClusterConfig { num_nodes: nodes, hpcsched_nodes: false, ..Default::default() },
-            );
+            )
+            .expect("demo jobs fit their clusters");
             let hpc = run_cluster(
                 job,
                 s,
                 &ClusterConfig { num_nodes: nodes, hpcsched_nodes: true, ..Default::default() },
-            );
+            )
+            .expect("demo jobs fit their clusters");
             println!(
                 "{:<12} {:>14.3} {:>14.3} {:>11.1}%",
                 format!("{s:?}"),

@@ -1,14 +1,23 @@
 //! Paper Table VI / Figure 6 — SIESTA.
 
 use experiments::paper::SIESTA;
-use experiments::report::{maybe_print_telemetry, maybe_verify, report, save_outputs};
-use experiments::runner::run_modes;
+use experiments::report::{
+    faults_requested, maybe_print_faults, maybe_print_telemetry, maybe_verify, report, save_outputs,
+};
+use experiments::runner::run_modes_faulted;
 use experiments::{ExperimentMode, WorkloadKind};
 
 fn main() {
     let wl = WorkloadKind::Siesta(Default::default());
-    let results = run_modes(&wl, &[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive], 2008);
+    let faults = faults_requested();
+    let results = run_modes_faulted(
+        &wl,
+        &[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive],
+        2008,
+        faults.as_ref(),
+    );
     print!("{}", report("Table VI / Figure 6 — SIESTA", SIESTA, &results, true));
+    maybe_print_faults(&results);
     maybe_print_telemetry(&results);
     maybe_verify(&results);
     let dir = std::path::Path::new("experiments_output");

@@ -2,9 +2,32 @@
 //! under every scheduler mode, then prove determinism by running the
 //! dynamic heuristics twice with one seed and comparing traces
 //! record-by-record. Exits nonzero on any violation or divergence.
+//!
+//! The fault sections exercise `faultsim` end to end: every fault class is
+//! injected into every scheduler mode and must leave the trace
+//! conformance-clean; a fail-stop crash must surface as a typed error, not
+//! a panic; an *empty* fault plan must leave the trace byte-identical to a
+//! run without faultsim wired in; a heavily faulted run must still be
+//! deterministic; and a cluster node failure must be absorbed or degrade
+//! gracefully. The measured fault baseline lands in `BENCH_faults.json`.
 
-use experiments::runner::{run, ExperimentMode, WorkloadKind};
+use cluster::{
+    run_cluster_faulted, ClusterConfig, JobSpec, NodeFailure, PlacementStrategy,
+};
+use experiments::runner::{run, run_with_faults, ExperimentMode, WorkloadKind};
+use faultsim::{FaultError, FaultPlan};
 use workloads::metbench::MetBenchConfig;
+
+/// One row of the `BENCH_faults.json` baseline.
+#[derive(serde::Serialize)]
+struct BenchRow {
+    class: &'static str,
+    spec: &'static str,
+    mode: &'static str,
+    seed: u64,
+    exec_secs: f64,
+    summary: faultsim::FaultSummary,
+}
 
 fn small_metbench() -> WorkloadKind {
     WorkloadKind::MetBench(MetBenchConfig {
@@ -13,6 +36,17 @@ fn small_metbench() -> WorkloadKind {
         ..Default::default()
     })
 }
+
+/// One seeded spec per fault class (DESIGN.md §9).
+const FAULT_MATRIX: [(&str, &str); 5] = [
+    ("steal", "seed=7; steal:cpu=0,period=40ms,duration=5ms,count=6,jitter"),
+    ("slow", "seed=7; slow:rank=1,at=100ms,factor=0.5"),
+    // MetBench only point-to-point-sends during init (a handful of
+    // messages), so use prob=1 to make the spike count deterministic.
+    ("mpidelay", "seed=7; mpidelay:prob=1.0,extra=200us"),
+    ("crash-restart", "seed=7; crash:rank=1,iter=3,policy=restart,delay=50ms"),
+    ("crash-failstop", "seed=7; crash:rank=1,iter=3,policy=failstop"),
+];
 
 fn main() {
     const SEED: u64 = 2008;
@@ -42,6 +76,131 @@ fn main() {
                 failed = true;
             }
         }
+    }
+
+    println!("\n== faults: every class x every mode stays conformance-clean ==");
+    let mut bench = Vec::new();
+    for (class, spec) in FAULT_MATRIX {
+        let plan = FaultPlan::parse(spec).expect("matrix specs are valid");
+        for mode in all_modes {
+            let r = run_with_faults(&wl, mode, SEED, &plan);
+            let summary = r.fault.expect("faulted run carries a summary");
+            let clean = r.conformance.is_clean();
+            println!(
+                "{class:<14} {:<10} {} | {summary}",
+                mode.label(),
+                if clean { "clean" } else { "VIOLATIONS" },
+            );
+            failed |= !clean;
+            // Each class must actually inject (or absorb) something — a
+            // zero count means the hook is not wired, not that the stack
+            // coped.
+            let exercised = match class {
+                "steal" => summary.steal_bursts_injected > 0,
+                "slow" => summary.slowdowns_injected > 0,
+                "mpidelay" => summary.mpi_delays_injected > 0,
+                "crash-restart" => summary.restarts_absorbed > 0,
+                "crash-failstop" => summary.aborted.is_some(),
+                _ => unreachable!(),
+            };
+            if !exercised {
+                println!("  fault class `{class}` injected nothing");
+                failed = true;
+            }
+            match class {
+                // A fail-stop crash must end in the typed error, with the
+                // partial trace still collected.
+                "crash-failstop" => {
+                    let ok = matches!(
+                        summary.aborted,
+                        Some(FaultError::RankFailStop { rank: 1, .. })
+                    ) && !r.records.is_empty();
+                    if !ok {
+                        println!("  expected typed RankFailStop abort, got {:?}", summary.aborted);
+                        failed = true;
+                    }
+                }
+                // Every other class must be absorbed: the run completes.
+                _ => {
+                    if let Some(e) = summary.aborted {
+                        println!("  expected completion, got abort: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if mode == ExperimentMode::Adaptive {
+                bench.push(BenchRow {
+                    class,
+                    spec,
+                    mode: mode.label(),
+                    seed: SEED,
+                    exec_secs: r.exec_secs,
+                    summary,
+                });
+            }
+        }
+    }
+
+    println!("\n== faults: empty plan is byte-identical to a plain run ==");
+    for mode in [ExperimentMode::Uniform, ExperimentMode::Adaptive] {
+        let plain = run(&wl, mode, SEED).records;
+        let empty = run_with_faults(&wl, mode, SEED, &FaultPlan::default()).records;
+        match simverify::determinism::first_divergence(&plain, &empty) {
+            None => println!("{:<10} identical ({} records)", mode.label(), plain.len()),
+            Some(d) => {
+                println!("{:<10} DIVERGED\n{d}", mode.label());
+                failed = true;
+            }
+        }
+    }
+
+    println!("\n== faults: a faulted run is itself deterministic ==");
+    let stress = FaultPlan::parse(
+        "seed=11; steal:cpu=1,period=30ms,duration=4ms,count=8,jitter; \
+         slow:rank=0,at=80ms,factor=0.6; mpidelay:prob=0.3,extra=300us; \
+         crash:rank=2,iter=2,policy=restart,delay=20ms",
+    )
+    .expect("stress spec is valid");
+    match simverify::determinism::check(|| {
+        run_with_faults(&wl, ExperimentMode::Adaptive, SEED, &stress).records
+    }) {
+        Ok(n) => println!("Adaptive   deterministic ({n} records)"),
+        Err(d) => {
+            println!("Adaptive   NONDETERMINISTIC\n{d}");
+            failed = true;
+        }
+    }
+
+    println!("\n== faults: cluster node failure absorbs or degrades, never panics ==");
+    let job = JobSpec::new("vfy", vec![0.05; 6], 6);
+    let nf = NodeFailure { node: 1, at_iteration: 3, max_retries: 2, restart_secs: 0.5 };
+    let cfg3 = ClusterConfig { num_nodes: 3, ..Default::default() };
+    match run_cluster_faulted(&job, PlacementStrategy::GreedyLpt, &cfg3, Some(&nf)) {
+        Ok(out) if out.failure.map(|f| f.absorbed) == Some(true) && !out.degraded => {
+            println!("3 nodes    absorbed (makespan {:.3}s)", out.result.makespan);
+        }
+        other => {
+            println!("3 nodes    expected absorbed outcome, got {other:?}");
+            failed = true;
+        }
+    }
+    let tight = JobSpec::new("vfy", vec![0.05; 8], 6);
+    let nf0 = NodeFailure { node: 0, at_iteration: 2, max_retries: 2, restart_secs: 0.5 };
+    let cfg2 = ClusterConfig { num_nodes: 2, ..Default::default() };
+    match run_cluster_faulted(&tight, PlacementStrategy::GreedyLpt, &cfg2, Some(&nf0)) {
+        Ok(out) if out.degraded && out.failure.map(|f| !f.absorbed) == Some(true) => {
+            println!("2 nodes    degraded gracefully (partial makespan {:.3}s)", out.result.makespan);
+        }
+        other => {
+            println!("2 nodes    expected degraded outcome, got {other:?}");
+            failed = true;
+        }
+    }
+
+    let bench_json = serde_json::to_string_pretty(&bench).expect("bench serializes");
+    match std::fs::write("BENCH_faults.json", &bench_json) {
+        Ok(()) => println!("\nfault baseline written to BENCH_faults.json"),
+        Err(e) => println!("\nwarning: could not write BENCH_faults.json: {e}"),
     }
 
     if failed {

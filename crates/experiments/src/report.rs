@@ -89,6 +89,51 @@ pub fn maybe_print_telemetry(results: &[RunResult]) {
     }
 }
 
+/// The fault plan requested on the command line: `--faults <spec>` (see
+/// `faultsim::FaultPlan::parse` for the grammar). `None` without the flag;
+/// a malformed spec is a usage error and exits nonzero rather than running
+/// un-faulted experiments the caller did not ask for.
+pub fn faults_requested() -> Option<faultsim::FaultPlan> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a != "--faults" {
+            continue;
+        }
+        let Some(spec) = args.next() else {
+            eprintln!("--faults requires a spec argument");
+            std::process::exit(2);
+        };
+        match faultsim::FaultPlan::parse(&spec) {
+            Ok(plan) => return Some(plan),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
+/// Render the fault summary of each fault-injected result.
+pub fn fault_report(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        if let Some(s) = &r.fault {
+            let _ = writeln!(out, "--- faults: {} / {} ---", r.workload, r.mode.label());
+            let _ = writeln!(out, "{s}");
+        }
+    }
+    out
+}
+
+/// Print the fault summaries when any result carries one; experiment
+/// binaries call this after their main report.
+pub fn maybe_print_faults(results: &[RunResult]) {
+    if results.iter().any(|r| r.fault.is_some()) {
+        print!("{}", fault_report(results));
+    }
+}
+
 /// True when the process was invoked with `--verify`: print each run's
 /// invariant-conformance report and fail the process on any violation.
 pub fn verify_requested() -> bool {

@@ -1,5 +1,6 @@
 //! The experiment runner: workload × scheduler-mode → paper-style results.
 
+use faultsim::{FaultError, FaultPlan, FaultSummary};
 use hpcsched::{HeuristicKind, HpcKernelBuilder, HpcSchedConfig};
 use schedsim::{Kernel, NoiseConfig, SchedError, SharedSink, TaskId, TraceEvent, TraceRecord};
 use simverify::conformance;
@@ -116,6 +117,10 @@ pub struct RunResult {
     /// (`simverify`, DESIGN.md §8); computed on every run, printed only
     /// under `--verify`.
     pub conformance: conformance::Report,
+    /// Fault accounting, present only for fault-injected runs
+    /// ([`try_run_with_faults`]). `summary.aborted` carries the typed
+    /// terminal fault when the run did not complete normally.
+    pub fault: Option<FaultSummary>,
 }
 
 fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Kernel, SchedError> {
@@ -188,6 +193,19 @@ pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Run
         .run_until_exited(&all, deadline)
         .unwrap_or_else(|| panic!("{} {:?} did not finish", wl.name(), mode));
 
+    Ok(finish_run(wl, mode, &kernel, &sink, ranks, end.as_secs_f64()))
+}
+
+/// Assemble a [`RunResult`] from a finished kernel; shared by the plain and
+/// fault-injected paths.
+fn finish_run(
+    wl: &WorkloadKind,
+    mode: ExperimentMode,
+    kernel: &Kernel,
+    sink: &SharedSink,
+    ranks: Vec<TaskId>,
+    exec_secs: f64,
+) -> RunResult {
     let records = sink.snapshot();
     let timeline = Timeline::from_records(&records).filter_tasks(&ranks);
     let stats = AppStats::for_tasks(&timeline, &ranks);
@@ -221,10 +239,10 @@ pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Run
     let conformance =
         conformance::check_with_metrics(&records, &metrics, &conformance::CheckConfig::default());
 
-    Ok(RunResult {
+    RunResult {
         workload: wl.name(),
         mode,
-        exec_secs: end.as_secs_f64(),
+        exec_secs,
         stats,
         timeline,
         ranks,
@@ -234,7 +252,102 @@ pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Run
         utilization_series,
         records,
         conformance,
-    })
+        fault: None,
+    }
+}
+
+/// Run one experiment cell under a [`FaultPlan`].
+///
+/// Faults never panic the runner: a `FailStop` crash or a blown deadline
+/// yields a *partial* [`RunResult`] — the trace and statistics collected up
+/// to the fault — with the typed [`FaultError`] recorded in
+/// `fault.summary.aborted`. An empty plan injects nothing and leaves the
+/// run byte-identical to [`try_run`].
+///
+/// # Errors
+/// [`SchedError`] when the kernel configuration for this cell is invalid.
+pub fn try_run_with_faults(
+    wl: &WorkloadKind,
+    mode: ExperimentMode,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<RunResult, SchedError> {
+    let mut kernel = build_kernel(wl, mode, seed)?;
+    let sink = SharedSink::new();
+    kernel.observe(Box::new(sink.clone()));
+    let setup = setup_for(wl, mode);
+    let mpi_faults = plan.mpi_faults();
+    let faults = mpi_faults.as_ref();
+
+    let (ranks, all, mpi) = match wl {
+        WorkloadKind::MetBench(cfg) => {
+            let (workers, master, mpi) =
+                workloads::metbench::spawn_faulted(&mut kernel, cfg, &setup, faults);
+            let mut all = workers.clone();
+            all.push(master);
+            (workers, all, mpi)
+        }
+        WorkloadKind::MetBenchVar(cfg) => {
+            let (workers, master, mpi) =
+                workloads::metbenchvar::spawn_faulted(&mut kernel, cfg, &setup, faults);
+            let mut all = workers.clone();
+            all.push(master);
+            (workers, all, mpi)
+        }
+        WorkloadKind::BtMz(cfg) => {
+            let (ranks, mpi) = workloads::btmz::spawn_faulted(&mut kernel, cfg, &setup, faults);
+            (ranks.clone(), ranks, mpi)
+        }
+        WorkloadKind::Siesta(cfg) => {
+            let (ranks, mpi) = workloads::siesta::spawn_faulted(&mut kernel, cfg, &setup, faults);
+            (ranks.clone(), ranks, mpi)
+        }
+    };
+
+    for (at, event) in plan.kernel_events(&ranks) {
+        kernel.inject_fault(at, event);
+    }
+
+    let deadline = SimDuration::from_secs(3_600);
+    let end = kernel.run_until_exited(&all, deadline);
+
+    let mpi_stats = mpi.fault_stats();
+    let mut result =
+        finish_run(
+            wl,
+            mode,
+            &kernel,
+            &sink,
+            ranks,
+            end.unwrap_or(simcore::SimTime::ZERO + deadline).as_secs_f64(),
+        );
+    result.fault = Some(FaultSummary {
+        steal_bursts_injected: result.metrics.counter("kernel.faults.steal_bursts"),
+        slowdowns_injected: result.metrics.counter("kernel.faults.slowdowns"),
+        mpi_delays_injected: mpi_stats.delays_injected,
+        restarts_absorbed: mpi_stats.restarts,
+        degraded_samples: result.metrics.counter("hpc.detector.degraded"),
+        aborted: match (end, mpi_stats.aborted_by) {
+            // A fail-stop abort also ends the run early; report the abort,
+            // not the (consequent) missed deadline.
+            (_, Some((rank, iteration))) => Some(FaultError::RankFailStop { rank, iteration }),
+            (None, None) => Some(FaultError::Deadline { secs: deadline.as_secs_f64() as u64 }),
+            (Some(_), None) => None,
+        },
+    });
+    Ok(result)
+}
+
+/// Like [`try_run_with_faults`], but panics on an invalid kernel
+/// configuration (fault outcomes still surface as values, never panics).
+pub fn run_with_faults(
+    wl: &WorkloadKind,
+    mode: ExperimentMode,
+    seed: u64,
+    plan: &FaultPlan,
+) -> RunResult {
+    try_run_with_faults(wl, mode, seed, plan)
+        .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", wl.name()))
 }
 
 /// Like [`try_run`], but panics on an invalid configuration. The stock
@@ -249,6 +362,23 @@ pub fn run_modes(wl: &WorkloadKind, modes: &[ExperimentMode], seed: u64) -> Vec<
     std::thread::scope(|s| {
         let handles: Vec<_> =
             modes.iter().map(|&m| s.spawn(move || run(wl, m, seed))).collect();
+        handles.into_iter().map(|h| h.join().expect("experiment thread")).collect()
+    })
+}
+
+/// Like [`run_modes`], with an optional fault plan applied to every mode.
+pub fn run_modes_faulted(
+    wl: &WorkloadKind,
+    modes: &[ExperimentMode],
+    seed: u64,
+    plan: Option<&FaultPlan>,
+) -> Vec<RunResult> {
+    let Some(plan) = plan else {
+        return run_modes(wl, modes, seed);
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            modes.iter().map(|&m| s.spawn(move || run_with_faults(wl, m, seed, plan))).collect();
         handles.into_iter().map(|h| h.join().expect("experiment thread")).collect()
     })
 }

@@ -118,6 +118,9 @@ impl Collectives {
 
         // Resolve deferred completions this arrival unlocks.
         if state.arrived_count == size {
+            // INVARIANT: arrived_count == size means every slot was filled
+            // by the assignment above, so each arrival is Some and the
+            // non-empty vec has a max.
             let last = state.arrivals.iter().map(|a| a.expect("all arrived")).max().unwrap();
             let release = last + tree;
             for (r, tok) in state.pending.drain(..) {
@@ -135,6 +138,19 @@ impl Collectives {
             }
         }
         token
+    }
+
+    /// Abort support: signal every deferred rank at `now` and drop all
+    /// in-progress generations. Ranks wake, observe the abort flag upstream
+    /// and exit; no collective can complete normally after this.
+    pub(crate) fn release_all(&mut self, api: &mut KernelApi<'_>) {
+        let now = api.now();
+        for state in self.states.values_mut() {
+            for (_, tok) in state.pending.drain(..) {
+                api.signal_at(now, tok);
+            }
+        }
+        self.states.clear();
     }
 }
 

@@ -19,8 +19,10 @@
 
 pub mod collective;
 pub mod config;
+pub mod fault;
 pub mod world;
 
 pub use collective::CollectiveOp;
 pub use config::MpiConfig;
+pub use fault::{MpiFaultConfig, MpiFaultStats, RankCrash, RankFailurePolicy};
 pub use world::{Mpi, MpiWorld, Rank, Request};

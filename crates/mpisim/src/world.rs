@@ -13,10 +13,11 @@
 
 use crate::collective::{CollectiveOp, Collectives};
 use crate::config::MpiConfig;
+use crate::fault::{MpiFaultConfig, MpiFaultState, MpiFaultStats, RankFailurePolicy};
 use schedsim::{KernelApi, WaitToken};
 use simcore::SimTime;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// An MPI process index within the world.
 pub type Rank = usize;
@@ -76,6 +77,11 @@ pub struct MpiWorld {
     collectives: Collectives,
     messages_sent: u64,
     bytes_sent: u64,
+    /// Installed fault state (class 3); `None` in un-faulted worlds, which
+    /// then draw no random values and behave bit-for-bit as before.
+    fault: Option<MpiFaultState>,
+    /// `(rank, completed iterations)` of a fail-stop abort, once one fired.
+    aborted_by: Option<(Rank, u32)>,
 }
 
 impl MpiWorld {
@@ -90,6 +96,8 @@ impl MpiWorld {
             collectives: Collectives::new(size),
             messages_sent: 0,
             bytes_sent: 0,
+            fault: None,
+            aborted_by: None,
         }
     }
 
@@ -105,6 +113,10 @@ impl MpiWorld {
         state.completed = Some(arrival);
         if let Some(w) = state.waiter {
             let waiter = &mut self.waiters[w];
+            if waiter.remaining == 0 {
+                // Already force-released by an abort; nothing to notify.
+                return;
+            }
             waiter.remaining -= 1;
             waiter.latest = waiter.latest.max(arrival);
             if waiter.remaining == 0 {
@@ -115,7 +127,15 @@ impl MpiWorld {
 
     fn do_send(&mut self, api: &mut KernelApi<'_>, from: Rank, to: Rank, tag: i32, bytes: u64) {
         assert!(from < self.size && to < self.size, "rank out of range");
-        let arrival = api.now() + self.cfg.transfer_time(bytes);
+        let mut arrival = api.now() + self.cfg.transfer_time(bytes);
+        // Fault class 3a: delay spike. One draw per message, in the
+        // kernel-fixed send order, so spikes are deterministic per seed.
+        if let Some(f) = self.fault.as_mut() {
+            if f.cfg.delay_prob > 0.0 && f.rng.chance(f.cfg.delay_prob) {
+                arrival += f.cfg.delay_extra;
+                f.delays_injected += 1;
+            }
+        }
         self.messages_sent += 1;
         self.bytes_sent += bytes;
         // Match the earliest compatible posted receive (post order).
@@ -125,6 +145,8 @@ impl MpiWorld {
         });
         match pos {
             Some(i) => {
+                // INVARIANT: `i` came from position() on this same deque
+                // with no mutation in between, so the removal cannot miss.
                 let posted = mb.posted.remove(i).expect("index valid");
                 self.complete_request(api, posted.req, arrival);
             }
@@ -147,6 +169,8 @@ impl MpiWorld {
         });
         match pos {
             Some(i) => {
+                // INVARIANT: `i` came from position() on this same deque
+                // with no mutation in between, so the removal cannot miss.
                 let msg = mb.unexpected.remove(i).expect("index valid");
                 let req = self.new_request(Some(msg.arrival));
                 (req, Some(msg.arrival))
@@ -157,6 +181,21 @@ impl MpiWorld {
                 (req, None)
             }
         }
+    }
+
+    /// Force-release every blocked rank after an abort: outstanding waiters
+    /// are signalled at `now` (or their latest known completion, if later)
+    /// and all in-progress collectives are drained. Programs wake, observe
+    /// [`Mpi::aborted`] and exit cleanly — nobody hangs, nobody panics.
+    fn release_all(&mut self, api: &mut KernelApi<'_>) {
+        let now = api.now();
+        for waiter in &mut self.waiters {
+            if waiter.remaining > 0 {
+                waiter.remaining = 0;
+                api.signal_at(waiter.latest.max(now), waiter.token);
+            }
+        }
+        self.collectives.release_all(api);
     }
 }
 
@@ -174,23 +213,86 @@ impl Mpi {
         Mpi { inner: Arc::new(Mutex::new(MpiWorld::new(size, cfg))) }
     }
 
+    /// Lock the shared world. Every access funnels through here.
+    ///
+    /// INVARIANT: simulation runs are single-threaded per kernel, and no
+    /// code path below panics while holding this lock on a fault-injection
+    /// path — so a poisoned mutex can only mean a bug inside this crate,
+    /// and propagating the panic (not masking it) is the correct response.
+    fn world(&self) -> MutexGuard<'_, MpiWorld> {
+        self.inner.lock().expect("mpi world poisoned")
+    }
+
+    /// Install a fault configuration (normally compiled from a `faultsim`
+    /// plan). Must be called before the first message; replaces any prior
+    /// config.
+    pub fn install_faults(&self, cfg: MpiFaultConfig) {
+        self.world().fault = Some(MpiFaultState::new(cfg));
+    }
+
+    /// Whether a fail-stop abort has fired. Programs poll this when they
+    /// wake and exit cleanly if set.
+    pub fn aborted(&self) -> bool {
+        self.world().aborted_by.is_some()
+    }
+
+    /// Snapshot of fault accounting (all zero when no faults installed).
+    pub fn fault_stats(&self) -> MpiFaultStats {
+        let w = self.world();
+        let mut stats = MpiFaultStats { aborted_by: w.aborted_by, ..Default::default() };
+        if let Some(f) = w.fault.as_ref() {
+            stats.delays_injected = f.delays_injected;
+            stats.restarts = f.restarts;
+        }
+        stats
+    }
+
+    /// Poll the crash directive at an iteration boundary. Fires (once) when
+    /// `rank` matches and has completed at least `at_iteration` iterations;
+    /// returns the policy for the caller to enact. Restart polls count as
+    /// absorbed restarts.
+    pub fn take_crash(&self, rank: Rank, completed_iters: u32) -> Option<RankFailurePolicy> {
+        let mut w = self.world();
+        let f = w.fault.as_mut()?;
+        let crash = f.cfg.crash?;
+        if f.crash_consumed || crash.rank != rank || completed_iters < crash.at_iteration {
+            return None;
+        }
+        f.crash_consumed = true;
+        if let RankFailurePolicy::RestartFromIteration { .. } = crash.policy {
+            f.restarts += 1;
+        }
+        Some(crash.policy)
+    }
+
+    /// Fail-stop abort: record the failing `(rank, iteration)` and release
+    /// every blocked rank so the job winds down cleanly.
+    pub fn abort(&self, api: &mut KernelApi<'_>, rank: Rank, iteration: u32) {
+        let mut w = self.world();
+        if w.aborted_by.is_some() {
+            return;
+        }
+        w.aborted_by = Some((rank, iteration));
+        w.release_all(api);
+    }
+
     pub fn size(&self) -> usize {
-        self.inner.lock().expect("mpi world poisoned").size
+        self.world().size
     }
 
     /// Total messages sent so far (diagnostics).
     pub fn messages_sent(&self) -> u64 {
-        self.inner.lock().expect("mpi world poisoned").messages_sent
+        self.world().messages_sent
     }
 
     /// Total payload bytes sent so far (diagnostics).
     pub fn bytes_sent(&self) -> u64 {
-        self.inner.lock().expect("mpi world poisoned").bytes_sent
+        self.world().bytes_sent
     }
 
     /// Eager (buffered) send: never blocks the sender.
     pub fn send(&self, api: &mut KernelApi<'_>, from: Rank, to: Rank, tag: i32, bytes: u64) {
-        self.inner.lock().expect("mpi world poisoned").do_send(api, from, to, tag, bytes);
+        self.world().do_send(api, from, to, tag, bytes);
     }
 
     /// Non-blocking send. Eager buffering makes the request complete
@@ -203,7 +305,7 @@ impl Mpi {
         tag: i32,
         bytes: u64,
     ) -> Request {
-        let mut w = self.inner.lock().expect("mpi world poisoned");
+        let mut w = self.world();
         w.do_send(api, from, to, tag, bytes);
         let now = api.now();
         w.new_request(Some(now))
@@ -217,7 +319,7 @@ impl Mpi {
         src: Option<Rank>,
         tag: Option<i32>,
     ) -> Request {
-        self.inner.lock().expect("mpi world poisoned").do_irecv(me, src, tag).0
+        self.world().do_irecv(me, src, tag).0
     }
 
     /// Wait for one request. Returns a token to `Action::Block` on; it is
@@ -229,7 +331,14 @@ impl Mpi {
     /// Wait for all requests (`mpi_waitall`).
     pub fn waitall(&self, api: &mut KernelApi<'_>, reqs: &[Request]) -> WaitToken {
         let token = api.new_token();
-        let mut w = self.inner.lock().expect("mpi world poisoned");
+        let mut w = self.world();
+        if w.aborted_by.is_some() {
+            // Post-abort: don't touch request state (the requests may have
+            // been force-released); hand back a token that fires now so the
+            // caller wakes, sees `aborted()` and exits.
+            api.signal_at(api.now(), token);
+            return token;
+        }
         let mut remaining = 0;
         let mut latest = SimTime::ZERO;
         let waiter_id = w.waiters.len();
@@ -280,7 +389,14 @@ impl Mpi {
         op: CollectiveOp,
         bytes: u64,
     ) -> WaitToken {
-        let mut w = self.inner.lock().expect("mpi world poisoned");
+        let mut w = self.world();
+        if w.aborted_by.is_some() {
+            // Post-abort: never enter (or create) a collective that can no
+            // longer complete — wake immediately instead.
+            let token = api.new_token();
+            api.signal_at(api.now(), token);
+            return token;
+        }
         let cfg = w.cfg;
         w.collectives.arrive(api, rank, op, bytes, &cfg)
     }
@@ -289,6 +405,7 @@ impl Mpi {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::RankCrash;
     use schedsim::program::MockApi;
     use schedsim::TaskId;
     use simcore::SimDuration;
@@ -407,6 +524,80 @@ mod tests {
         assert_eq!(mpi.messages_sent(), 2);
         assert_eq!(mpi.bytes_sent(), 300);
         assert_eq!(mpi.size(), 2);
+    }
+
+    #[test]
+    fn delay_spike_with_certain_probability_adds_extra_latency() {
+        let mpi = world(2);
+        let extra = SimDuration::from_millis(50);
+        mpi.install_faults(MpiFaultConfig {
+            delay_prob: 1.0,
+            delay_extra: extra,
+            seed: 7,
+            crash: None,
+        });
+        let mut m = MockApi::new();
+        mpi.send(&mut m.api(), 0, 1, 0, 1000);
+        let _ = mpi.recv(&mut m.api(), 1, Some(0), None);
+        let expected = SimTime::ZERO + MpiConfig::default().transfer_time(1000) + extra;
+        assert_eq!(m.deferred_signals[0].0, expected);
+        assert_eq!(mpi.fault_stats().delays_injected, 1);
+    }
+
+    #[test]
+    fn take_crash_fires_once_at_configured_iteration() {
+        let mpi = world(2);
+        mpi.install_faults(MpiFaultConfig {
+            delay_prob: 0.0,
+            delay_extra: SimDuration::ZERO,
+            seed: 1,
+            crash: Some(RankCrash {
+                rank: 1,
+                at_iteration: 3,
+                policy: RankFailurePolicy::FailStop,
+            }),
+        });
+        assert_eq!(mpi.take_crash(1, 2), None, "too early");
+        assert_eq!(mpi.take_crash(0, 3), None, "wrong rank");
+        assert_eq!(mpi.take_crash(1, 3), Some(RankFailurePolicy::FailStop));
+        assert_eq!(mpi.take_crash(1, 4), None, "one-shot");
+    }
+
+    #[test]
+    fn abort_releases_waiters_and_pre_signals_later_collectives() {
+        let mpi = world(2);
+        let mut m = MockApi::new();
+        // Rank 1 blocks on a recv that will never be matched; rank 0 sits
+        // in a barrier rank 1 will never reach.
+        let recv_tok = mpi.recv(&mut m.api(), 1, Some(0), None);
+        let bar_tok = mpi.barrier(&mut m.api(), 0);
+        assert!(m.deferred_signals.is_empty());
+
+        mpi.abort(&mut m.api(), 1, 5);
+        assert!(mpi.aborted());
+        assert_eq!(mpi.fault_stats().aborted_by, Some((1, 5)));
+        let signalled: Vec<_> = m.deferred_signals.iter().map(|(_, t)| *t).collect();
+        assert!(signalled.contains(&recv_tok), "blocked recv released");
+        assert!(signalled.contains(&bar_tok), "blocked barrier released");
+
+        // Post-abort waits and collectives pre-signal instead of blocking.
+        let before = m.deferred_signals.len();
+        let _ = mpi.barrier(&mut m.api(), 0);
+        let s = mpi.isend(&mut m.api(), 0, 1, 0, 0);
+        let _ = mpi.waitall(&mut m.api(), &[s]);
+        assert_eq!(m.deferred_signals.len(), before + 2);
+
+        // A second abort is a no-op: the first record wins.
+        mpi.abort(&mut m.api(), 0, 9);
+        assert_eq!(mpi.fault_stats().aborted_by, Some((1, 5)));
+    }
+
+    #[test]
+    fn unfaulted_world_reports_zero_fault_stats() {
+        let mpi = world(2);
+        assert_eq!(mpi.fault_stats(), MpiFaultStats::default());
+        assert_eq!(mpi.take_crash(0, 100), None);
+        assert!(!mpi.aborted());
     }
 
     #[test]

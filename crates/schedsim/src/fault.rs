@@ -1,0 +1,26 @@
+//! Kernel-level fault hook points (classes 1 and 2 of the fault model).
+//!
+//! These are the *hooks*, not the policy: fault schedules are compiled by
+//! the `faultsim` crate from a seeded plan and delivered through
+//! [`crate::Kernel::inject_fault`] as ordinary events on the simulation
+//! queue, so a faulted run stays a pure function of `(config, seed, plan)`.
+//! A kernel that never receives a `FaultEvent` behaves bit-for-bit as if
+//! this module did not exist.
+
+use crate::task::TaskId;
+use power5::CpuId;
+use simcore::SimDuration;
+
+/// An injected kernel-level fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// OS noise / daemon interference: something outside the simulated
+    /// scheduler holds `cpu` for `duration`. No work accrues on the context
+    /// until the burst ends; the dispatched task simply stalls, exactly as
+    /// if a hypervisor or bound daemon had stolen the hardware thread.
+    StealBurst { cpu: CpuId, duration: SimDuration },
+    /// Compute slowdown / straggler drift: from now on `task` executes at
+    /// `factor` × its modelled speed (1.0 = nominal, 0.5 = half speed,
+    /// 0.0 = fully stalled). Replaces any earlier factor for the task.
+    SlowTask { task: TaskId, factor: f64 },
+}

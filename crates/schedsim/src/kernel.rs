@@ -7,6 +7,7 @@ use crate::class::{ClassCtx, EnqueueKind, Migration, SchedClass};
 use crate::classes::{FairClass, IdleClass, RtClass};
 use crate::config::KernelConfig;
 use crate::error::SchedError;
+use crate::fault::FaultEvent;
 use crate::observer::{KernelEvent, MetricEvent, Observer};
 use crate::policy::SchedPolicy;
 use crate::program::{Action, KernelApi, Program, TokenTable, WaitToken};
@@ -26,6 +27,8 @@ enum KEvent {
     WorkDone(CpuId),
     /// A timed token signal fired (timer, message delivery).
     Signal(WaitToken),
+    /// An injected fault fired (see [`crate::fault::FaultEvent`]).
+    Fault(FaultEvent),
 }
 
 struct CpuState {
@@ -36,6 +39,10 @@ struct CpuState {
     last_sync: SimTime,
     /// Context-switch penalty: no work accrues before this instant.
     switch_until: SimTime,
+    /// Injected steal burst: no work accrues before this instant either.
+    /// Kept separate from `switch_until` so dispatch (which overwrites the
+    /// switch penalty) cannot shorten an in-flight burst.
+    steal_until: SimTime,
     workdone_ev: EventId,
     need_resched: bool,
     ticks: u64,
@@ -48,6 +55,7 @@ impl CpuState {
             speed: 0.0,
             last_sync: SimTime::ZERO,
             switch_until: SimTime::ZERO,
+            steal_until: SimTime::ZERO,
             workdone_ev: EventId::NONE,
             need_resched: false,
             ticks: 0,
@@ -90,6 +98,10 @@ struct KernelCounters {
     iterations: Counter,
     /// Task exits; reconciles 1:1 with [`TraceEvent::Exit`] records.
     task_exits: Counter,
+    /// Injected CPU steal bursts delivered (fault class 1).
+    fault_steal_bursts: Counter,
+    /// Injected per-task speed-multiplier changes delivered (fault class 2).
+    fault_slowdowns: Counter,
     /// Host wall-clock nanoseconds per class-chain pick.
     pick_wall_ns: HistogramHandle,
     /// Simulated wakeup→dispatch latency, nanoseconds.
@@ -108,6 +120,8 @@ impl KernelCounters {
             task_hw_prio_transitions: registry.counter("kernel.hw_prio_transitions"),
             iterations: registry.counter("kernel.iterations"),
             task_exits: registry.counter("kernel.task_exits"),
+            fault_steal_bursts: registry.counter("kernel.faults.steal_bursts"),
+            fault_slowdowns: registry.counter("kernel.faults.slowdowns"),
             pick_wall_ns: registry.histogram("kernel.pick_wall_ns"),
             dispatch_latency_ns: registry.histogram("kernel.dispatch_latency_ns"),
             runq_depth: registry.histogram("kernel.runq_depth"),
@@ -387,9 +401,50 @@ impl Kernel {
                 self.handle_workdone(cpu);
             }
             KEvent::Signal(tok) => self.tokens.signal(tok),
+            KEvent::Fault(fault) => self.handle_fault(fault),
         }
         self.settle();
         true
+    }
+
+    /// Schedule an injected fault at `at` (clamped to the current time).
+    ///
+    /// Faults ride the ordinary event queue, so a faulted run remains a
+    /// pure function of `(config, seed, plan)`. Stale references — a CPU or
+    /// task index the plan got wrong — are dropped at delivery time rather
+    /// than panicking: fault plans describe hostile conditions, and a bad
+    /// plan must degrade the run, never crash the simulator.
+    pub fn inject_fault(&mut self, at: SimTime, fault: FaultEvent) {
+        self.events.schedule(at.max(self.now), KEvent::Fault(fault));
+    }
+
+    fn handle_fault(&mut self, fault: FaultEvent) {
+        match fault {
+            FaultEvent::StealBurst { cpu, duration } => {
+                if cpu.0 >= self.cpus.len() || duration.is_zero() {
+                    return;
+                }
+                self.counters.fault_steal_bursts.inc();
+                // The thief holds the context: no work accrues before the
+                // burst ends (sync_cpu and rearm_workdone both respect
+                // `steal_until`), like a context-switch stall of fault
+                // length. Overlapping bursts extend, never shorten.
+                let until = self.now + duration;
+                let cs = &mut self.cpus[cpu.0];
+                if until > cs.steal_until {
+                    cs.steal_until = until;
+                }
+            }
+            FaultEvent::SlowTask { task, factor } => {
+                if task.0 >= self.tasks.len() || !factor.is_finite() || factor < 0.0 {
+                    return;
+                }
+                self.counters.fault_slowdowns.inc();
+                self.tasks[task.0].fault_slow = factor;
+            }
+        }
+        // settle() runs after every event and re-arms completion events
+        // against the new stall horizon / speed.
     }
 
     /// Run until every task in `until_exited` has exited, or `deadline`
@@ -447,7 +502,7 @@ impl Kernel {
 
     fn sync_cpu(&mut self, cpu: CpuId, t: SimTime) {
         let cs = &mut self.cpus[cpu.0];
-        let start = cs.last_sync.max(cs.switch_until).min(t);
+        let start = cs.last_sync.max(cs.switch_until).max(cs.steal_until).min(t);
         cs.last_sync = t;
         let Some(tid) = cs.current else { return };
         let delta = t.saturating_since(start);
@@ -894,7 +949,14 @@ impl Kernel {
         }
         let speeds = self.chip.all_speeds();
         for (cpu, &speed) in speeds.iter().enumerate().take(self.cpus.len()) {
-            self.cpus[cpu].speed = speed;
+            // Injected straggler drift composes with the chip model: the
+            // cached speed is the chip speed scaled by the running task's
+            // fault multiplier (1.0 unless a SlowTask fault changed it).
+            let scale = match self.cpus[cpu].current {
+                Some(tid) => self.tasks[tid.0].fault_slow,
+                None => 1.0,
+            };
+            self.cpus[cpu].speed = speed * scale;
             self.rearm_workdone(CpuId(cpu));
         }
     }
@@ -922,7 +984,7 @@ impl Kernel {
             // a later state change re-arms.
             return;
         }
-        let start = self.now.max(self.cpus[cpu.0].switch_until);
+        let start = self.now.max(self.cpus[cpu.0].switch_until).max(self.cpus[cpu.0].steal_until);
         let dur = SimDuration::from_secs_f64(remaining / speed);
         // Guarantee forward progress even when the duration rounds to zero.
         let dur = if dur.is_zero() { SimDuration::from_nanos(1) } else { dur };
@@ -1459,5 +1521,64 @@ mod tests {
         );
         k.run_until_exited(&[t], SimDuration::from_secs(5)).unwrap();
         assert!(seen.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn steal_burst_stalls_the_context() {
+        let mut k = kernel_1cpu();
+        let t = k.spawn(
+            "victim",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.1)),
+            SpawnOptions::default(),
+        );
+        // 0.5s steal burst 20ms in: the remaining ~80ms of work cannot
+        // finish before the burst ends at ~0.52s.
+        k.inject_fault(
+            SimTime::ZERO + SimDuration::from_millis(20),
+            FaultEvent::StealBurst { cpu: CpuId(0), duration: SimDuration::from_millis(500) },
+        );
+        let end = k.run_until_exited(&[t], SimDuration::from_secs(10)).expect("finishes");
+        let secs = end.as_secs_f64();
+        assert!((0.55..0.70).contains(&secs), "end {secs}");
+        assert_eq!(k.metrics_registry().snapshot().counter("kernel.faults.steal_bursts"), 1);
+    }
+
+    #[test]
+    fn slow_task_fault_halves_progress() {
+        let mut k = kernel_1cpu();
+        let t = k.spawn(
+            "straggler",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.1)),
+            SpawnOptions::default(),
+        );
+        k.inject_fault(SimTime::ZERO, FaultEvent::SlowTask { task: t, factor: 0.5 });
+        let end = k.run_until_exited(&[t], SimDuration::from_secs(10)).expect("finishes");
+        let secs = end.as_secs_f64();
+        assert!((0.19..0.25).contains(&secs), "end {secs}");
+        assert_eq!(k.metrics_registry().snapshot().counter("kernel.faults.slowdowns"), 1);
+    }
+
+    #[test]
+    fn stale_fault_references_are_dropped_not_panics() {
+        let mut k = kernel_1cpu();
+        let t = k.spawn(
+            "t",
+            SchedPolicy::Normal,
+            Box::new(ScriptedProgram::compute_once(0.05)),
+            SpawnOptions::default(),
+        );
+        k.inject_fault(SimTime::ZERO, FaultEvent::SlowTask { task: TaskId(99), factor: 0.5 });
+        k.inject_fault(SimTime::ZERO, FaultEvent::SlowTask { task: t, factor: f64::NAN });
+        k.inject_fault(
+            SimTime::ZERO,
+            FaultEvent::StealBurst { cpu: CpuId(7), duration: SimDuration::from_secs(1) },
+        );
+        let end = k.run_until_exited(&[t], SimDuration::from_secs(5)).expect("finishes");
+        assert!(end.as_secs_f64() < 0.1, "dropped faults must not slow the run");
+        let snap = k.metrics_registry().snapshot();
+        assert_eq!(snap.counter("kernel.faults.steal_bursts"), 0);
+        assert_eq!(snap.counter("kernel.faults.slowdowns"), 0);
     }
 }

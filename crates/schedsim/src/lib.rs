@@ -31,6 +31,7 @@ pub mod class;
 pub mod classes;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod noise;
 pub mod observer;
@@ -43,6 +44,7 @@ pub mod trace;
 pub use class::{ClassCtx, SchedClass};
 pub use config::{CfsTunables, KernelConfig, NoiseConfig};
 pub use error::SchedError;
+pub use fault::FaultEvent;
 pub use kernel::{Kernel, KernelMetrics, SpawnOptions};
 pub use observer::{KernelEvent, MetricEvent, Observer};
 pub use policy::SchedPolicy;

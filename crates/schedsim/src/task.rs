@@ -105,6 +105,9 @@ pub struct Task {
     pub(crate) program: Option<Box<dyn Program>>,
     /// Work units left in the current compute segment.
     pub(crate) remaining_work: f64,
+    /// Injected speed multiplier (fault class 2: straggler drift); 1.0 when
+    /// no fault touched the task. Applied on top of the chip-model speed.
+    pub(crate) fault_slow: f64,
 }
 
 impl Task {
@@ -145,6 +148,7 @@ impl Task {
             nr_switches: 0,
             program: Some(program),
             remaining_work: 0.0,
+            fault_slow: 1.0,
         }
     }
 

@@ -58,6 +58,7 @@ pub const RULES: &[Rule] = &[
             "crates/power5/src/",
             "crates/mpisim/src/",
             "crates/core/src/",
+            "crates/faultsim/src/",
         ],
         exempt: &[],
         invariant_escape: false,
@@ -75,6 +76,7 @@ pub const RULES: &[Rule] = &[
             "crates/core/src/balance.rs",
             "crates/core/src/heuristics.rs",
             "crates/mpisim/src/collective.rs",
+            "crates/faultsim/src/",
         ],
         exempt: &[],
         invariant_escape: false,
@@ -90,6 +92,8 @@ pub const RULES: &[Rule] = &[
             "crates/core/src/balance.rs",
             "crates/core/src/mechanism.rs",
             "crates/core/src/heuristics.rs",
+            "crates/mpisim/src/",
+            "crates/faultsim/src/",
         ],
         exempt: &[],
         invariant_escape: true,

@@ -11,8 +11,8 @@
 //! reproduces paper Table V's baseline utilization profile
 //! (17.6 / 29.9 / 66.1 / 99.9%).
 
-use crate::spawn::{spawn_ranks, SchedulerSetup};
-use mpisim::{Mpi, MpiConfig};
+use crate::spawn::{poll_crash, spawn_ranks, CrashAction, SchedulerSetup};
+use mpisim::{Mpi, MpiConfig, MpiFaultConfig};
 use schedsim::{Action, Kernel, KernelApi, Program, TaskId};
 
 /// BT-MZ configuration.
@@ -91,12 +91,27 @@ pub struct ZoneRank {
 
 impl Program for ZoneRank {
     fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.mpi.aborted() {
+            return Action::Exit;
+        }
         match self.phase {
             Phase::Compute => {
                 self.phase = Phase::Exchange;
                 Action::Compute(self.work)
             }
             Phase::Exchange => {
+                match poll_crash(&self.mpi, api, self.rank, self.done_iters) {
+                    Some(CrashAction::Abort(a)) => {
+                        self.phase = Phase::Done;
+                        return a;
+                    }
+                    Some(CrashAction::Restart(a)) => {
+                        // Redo the interrupted compute after recovery.
+                        self.phase = Phase::Compute;
+                        return a;
+                    }
+                    None => {}
+                }
                 let left = (self.rank + self.size - 1) % self.size;
                 let right = (self.rank + 1) % self.size;
                 let tag = self.done_iters as i32;
@@ -118,8 +133,21 @@ impl Program for ZoneRank {
 
 /// Spawn BT-MZ; rank r lands on CPU r.
 pub fn spawn(kernel: &mut Kernel, cfg: &BtMzConfig, setup: &SchedulerSetup) -> Vec<TaskId> {
+    spawn_faulted(kernel, cfg, setup, None).0
+}
+
+/// [`spawn`] plus fault injection; returns the MPI world handle as well.
+pub fn spawn_faulted(
+    kernel: &mut Kernel,
+    cfg: &BtMzConfig,
+    setup: &SchedulerSetup,
+    faults: Option<&MpiFaultConfig>,
+) -> (Vec<TaskId>, Mpi) {
     let n = cfg.ranks();
     let mpi = Mpi::new(n, MpiConfig::default());
+    if let Some(f) = faults {
+        mpi.install_faults(*f);
+    }
     let programs: Vec<Box<dyn Program>> = cfg
         .zone_work
         .iter()
@@ -137,7 +165,7 @@ pub fn spawn(kernel: &mut Kernel, cfg: &BtMzConfig, setup: &SchedulerSetup) -> V
             }) as Box<dyn Program>
         })
         .collect();
-    spawn_ranks(kernel, "btmz", programs, setup, cfg.perf)
+    (spawn_ranks(kernel, "btmz", programs, setup, cfg.perf), mpi)
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@
 //! the default 4:1 split the two small-load workers idle ~75% of the time
 //! under the baseline scheduler — the profile of paper Table III.
 
-use crate::spawn::{spawn_ranks, SchedulerSetup};
-use mpisim::{Mpi, MpiConfig};
+use crate::spawn::{poll_crash, spawn_ranks, CrashAction, SchedulerSetup};
+use mpisim::{Mpi, MpiConfig, MpiFaultConfig};
 use schedsim::{Action, Kernel, KernelApi, Program, TaskId};
 
 /// MetBench configuration.
@@ -84,6 +84,9 @@ pub struct Worker {
 
 impl Program for Worker {
     fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.mpi.aborted() {
+            return Action::Exit;
+        }
         match self.phase {
             WorkerPhase::Init => {
                 // Receive the input data from the master (rank = size-1).
@@ -99,6 +102,20 @@ impl Program for Worker {
             }
             WorkerPhase::Barrier => {
                 self.done_iters += 1;
+                match poll_crash(&self.mpi, api, self.rank, self.done_iters) {
+                    Some(CrashAction::Abort(a)) => {
+                        self.phase = WorkerPhase::Done;
+                        return a;
+                    }
+                    Some(CrashAction::Restart(a)) => {
+                        // Lose the interrupted iteration: re-enter at the
+                        // last completed barrier (the checkpoint).
+                        self.done_iters -= 1;
+                        self.phase = WorkerPhase::Compute;
+                        return a;
+                    }
+                    None => {}
+                }
                 let tok = self.mpi.barrier(api, self.rank);
                 self.phase = if self.done_iters >= self.iterations {
                     WorkerPhase::Done
@@ -145,6 +162,9 @@ impl Master {
 
 impl Program for Master {
     fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.mpi.aborted() {
+            return Action::Exit;
+        }
         match self.phase {
             MasterPhase::Distribute(next) => {
                 if next < self.rank {
@@ -179,8 +199,24 @@ pub fn spawn(
     cfg: &MetBenchConfig,
     setup: &SchedulerSetup,
 ) -> (Vec<TaskId>, TaskId) {
+    let (workers, master, _mpi) = spawn_faulted(kernel, cfg, setup, None);
+    (workers, master)
+}
+
+/// [`spawn`] plus fault injection: installs `faults` into the MPI world
+/// before any rank runs and returns the world handle so the runner can read
+/// fault accounting afterwards.
+pub fn spawn_faulted(
+    kernel: &mut Kernel,
+    cfg: &MetBenchConfig,
+    setup: &SchedulerSetup,
+    faults: Option<&MpiFaultConfig>,
+) -> (Vec<TaskId>, TaskId, Mpi) {
     let n = cfg.workers();
     let mpi = Mpi::new(n + 1, MpiConfig::default());
+    if let Some(f) = faults {
+        mpi.install_faults(*f);
+    }
     let mut programs: Vec<Box<dyn Program>> = Vec::with_capacity(n + 1);
     for (rank, &load) in cfg.loads.iter().enumerate() {
         programs.push(Box::new(Worker {
@@ -203,7 +239,7 @@ pub fn spawn(
     }));
     let ids = spawn_ranks(kernel, "metbench", programs, setup, cfg.perf);
     let master = *ids.last().expect("master spawned");
-    (ids[..n].to_vec(), master)
+    (ids[..n].to_vec(), master, mpi)
 }
 
 #[cfg(test)]

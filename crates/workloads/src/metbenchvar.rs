@@ -8,8 +8,8 @@
 //! while HPCSched re-balances within a few iterations.
 
 use crate::metbench::{Master, MetBenchConfig};
-use crate::spawn::{spawn_ranks, SchedulerSetup};
-use mpisim::{Mpi, MpiConfig};
+use crate::spawn::{poll_crash, spawn_ranks, CrashAction, SchedulerSetup};
+use mpisim::{Mpi, MpiConfig, MpiFaultConfig};
 use schedsim::{Action, Kernel, KernelApi, Program, TaskId};
 
 /// MetBenchVar configuration.
@@ -68,6 +68,9 @@ impl VarWorker {
 
 impl Program for VarWorker {
     fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.mpi.aborted() {
+            return Action::Exit;
+        }
         match self.phase {
             Phase::Init => {
                 let master = self.mpi.size() - 1;
@@ -81,6 +84,18 @@ impl Program for VarWorker {
             }
             Phase::Barrier => {
                 self.done_iters += 1;
+                match poll_crash(&self.mpi, api, self.rank, self.done_iters) {
+                    Some(CrashAction::Abort(a)) => {
+                        self.phase = Phase::Done;
+                        return a;
+                    }
+                    Some(CrashAction::Restart(a)) => {
+                        self.done_iters -= 1;
+                        self.phase = Phase::Compute;
+                        return a;
+                    }
+                    None => {}
+                }
                 let tok = self.mpi.barrier(api, self.rank);
                 self.phase =
                     if self.done_iters >= self.iterations { Phase::Done } else { Phase::Compute };
@@ -97,8 +112,22 @@ pub fn spawn(
     cfg: &MetBenchVarConfig,
     setup: &SchedulerSetup,
 ) -> (Vec<TaskId>, TaskId) {
+    let (workers, master, _mpi) = spawn_faulted(kernel, cfg, setup, None);
+    (workers, master)
+}
+
+/// [`spawn`] plus fault injection; returns the MPI world handle as well.
+pub fn spawn_faulted(
+    kernel: &mut Kernel,
+    cfg: &MetBenchVarConfig,
+    setup: &SchedulerSetup,
+    faults: Option<&MpiFaultConfig>,
+) -> (Vec<TaskId>, TaskId, Mpi) {
     let n = cfg.base.workers();
     let mpi = Mpi::new(n + 1, MpiConfig::default());
+    if let Some(f) = faults {
+        mpi.install_faults(*f);
+    }
     let max = cfg.base.loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = cfg.base.loads.iter().cloned().fold(f64::INFINITY, f64::min);
     let mut programs: Vec<Box<dyn Program>> = Vec::with_capacity(n + 1);
@@ -117,7 +146,7 @@ pub fn spawn(
     programs.push(Box::new(Master::new(mpi.clone(), n, cfg.base.iterations, cfg.base.init_bytes)));
     let ids = spawn_ranks(kernel, "metbenchvar", programs, setup, cfg.base.perf);
     let master = *ids.last().expect("master spawned");
-    (ids[..n].to_vec(), master)
+    (ids[..n].to_vec(), master, mpi)
 }
 
 #[cfg(test)]

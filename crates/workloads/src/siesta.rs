@@ -14,8 +14,8 @@
 //! iteration, with strong random per-round jitter. This preserves exactly
 //! the properties the paper's analysis rests on.
 
-use crate::spawn::{spawn_ranks, SchedulerSetup};
-use mpisim::{Mpi, MpiConfig};
+use crate::spawn::{poll_crash, spawn_ranks, CrashAction, SchedulerSetup};
+use mpisim::{Mpi, MpiConfig, MpiFaultConfig};
 use schedsim::{Action, Kernel, KernelApi, Program, TaskId};
 use simcore::SimRng;
 
@@ -83,8 +83,19 @@ struct Hub {
 
 impl Program for Hub {
     fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.mpi.aborted() {
+            return Action::Exit;
+        }
         match self.phase {
             HubPhase::Compute => {
+                match poll_crash(&self.mpi, api, 0, self.done_rounds.min(u32::MAX as u64) as u32) {
+                    Some(CrashAction::Abort(a)) => {
+                        self.phase = HubPhase::Done;
+                        return a;
+                    }
+                    Some(CrashAction::Restart(a)) => return a,
+                    None => {}
+                }
                 self.phase = HubPhase::Gather;
                 let f = self.rng.normal_clamped(1.0, self.jitter, 0.2, 3.0);
                 Action::Compute(self.work_per_round * f)
@@ -138,8 +149,24 @@ struct Spoke {
 
 impl Program for Spoke {
     fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
+        if self.mpi.aborted() {
+            return Action::Exit;
+        }
         match self.phase {
             SpokePhase::Compute => {
+                match poll_crash(
+                    &self.mpi,
+                    api,
+                    self.rank,
+                    self.done_rounds.min(u32::MAX as u64) as u32,
+                ) {
+                    Some(CrashAction::Abort(a)) => {
+                        self.phase = SpokePhase::Done;
+                        return a;
+                    }
+                    Some(CrashAction::Restart(a)) => return a,
+                    None => {}
+                }
                 self.phase = SpokePhase::Exchange;
                 let f = self.rng.normal_clamped(1.0, self.jitter, 0.2, 3.0);
                 Action::Compute(self.work_per_round * f)
@@ -163,9 +190,22 @@ impl Program for Spoke {
 
 /// Spawn SIESTA; rank r lands on CPU r.
 pub fn spawn(kernel: &mut Kernel, cfg: &SiestaConfig, setup: &SchedulerSetup) -> Vec<TaskId> {
+    spawn_faulted(kernel, cfg, setup, None).0
+}
+
+/// [`spawn`] plus fault injection; returns the MPI world handle as well.
+pub fn spawn_faulted(
+    kernel: &mut Kernel,
+    cfg: &SiestaConfig,
+    setup: &SchedulerSetup,
+    faults: Option<&MpiFaultConfig>,
+) -> (Vec<TaskId>, Mpi) {
     let n = cfg.ranks();
     assert!(n >= 2, "siesta needs a hub and at least one spoke");
     let mpi = Mpi::new(n, MpiConfig::default());
+    if let Some(f) = faults {
+        mpi.install_faults(*f);
+    }
     let rounds_total = cfg.iterations as u64 * cfg.rounds as u64;
     let mut seed_rng = SimRng::seed_from_u64(cfg.seed);
     let mut programs: Vec<Box<dyn Program>> = Vec::with_capacity(n);
@@ -193,7 +233,7 @@ pub fn spawn(kernel: &mut Kernel, cfg: &SiestaConfig, setup: &SchedulerSetup) ->
             phase: SpokePhase::Compute,
         }));
     }
-    spawn_ranks(kernel, "siesta", programs, setup, cfg.perf)
+    (spawn_ranks(kernel, "siesta", programs, setup, cfg.perf), mpi)
 }
 
 #[cfg(test)]

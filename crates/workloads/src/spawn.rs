@@ -1,7 +1,8 @@
 //! Spawning MPI ranks under the paper's three scheduling setups.
 
+use mpisim::{Mpi, RankFailurePolicy};
 use power5::HwPriority;
-use schedsim::{Kernel, Program, SchedPolicy, SpawnOptions, TaskId};
+use schedsim::{Action, Kernel, KernelApi, Program, SchedPolicy, SpawnOptions, TaskId};
 
 /// How the application's processes are scheduled — the paper's experiment
 /// axes (§V).
@@ -62,6 +63,38 @@ pub fn spawn_ranks(
             )
         })
         .collect()
+}
+
+/// What a crash directive told the polling rank to do.
+pub(crate) enum CrashAction {
+    /// Fail-stop fired: the world was aborted; return the wrapped
+    /// `Action::Exit` (after moving to the program's terminal phase).
+    Abort(Action),
+    /// Checkpoint/restart fired: return the wrapped `Action::Block` on the
+    /// recovery delay — the caller must first rewind its phase so the
+    /// interrupted iteration re-executes on wake.
+    Restart(Action),
+}
+
+/// Poll the fault layer's crash directive at an iteration boundary — the
+/// last completed barrier/exchange, the only point a checkpoint exists.
+pub(crate) fn poll_crash(
+    mpi: &Mpi,
+    api: &mut KernelApi<'_>,
+    rank: usize,
+    completed_iters: u32,
+) -> Option<CrashAction> {
+    match mpi.take_crash(rank, completed_iters)? {
+        RankFailurePolicy::FailStop => {
+            mpi.abort(api, rank, completed_iters);
+            Some(CrashAction::Abort(Action::Exit))
+        }
+        RankFailurePolicy::RestartFromIteration { delay } => {
+            let tok = api.new_token();
+            api.signal_after(delay, tok);
+            Some(CrashAction::Restart(Action::Block(tok)))
+        }
+    }
 }
 
 #[cfg(test)]

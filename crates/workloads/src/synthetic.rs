@@ -5,8 +5,8 @@
 //! quickest way to put a custom imbalance shape in front of the scheduler
 //! (used by the cluster layer and the examples).
 
-use crate::spawn::{spawn_ranks, SchedulerSetup};
-use mpisim::{Mpi, MpiConfig};
+use crate::spawn::{poll_crash, spawn_ranks, CrashAction, SchedulerSetup};
+use mpisim::{Mpi, MpiConfig, MpiFaultConfig};
 use schedsim::{Action, Kernel, KernelApi, Program, TaskId};
 
 /// One rank of a barrier-synchronized gang: `iterations` × (compute
@@ -28,13 +28,25 @@ impl BarrierGang {
 
 impl Program for BarrierGang {
     fn next_action(&mut self, api: &mut KernelApi<'_>) -> Action {
-        if self.done >= self.iterations {
+        if self.mpi.aborted() || self.done >= self.iterations {
             return Action::Exit;
         }
         if self.computing {
             self.computing = false;
             Action::Compute(self.load)
         } else {
+            match poll_crash(&self.mpi, api, self.rank, self.done + 1) {
+                Some(CrashAction::Abort(a)) => {
+                    self.done = self.iterations;
+                    return a;
+                }
+                Some(CrashAction::Restart(a)) => {
+                    // Redo the interrupted compute after recovery.
+                    self.computing = true;
+                    return a;
+                }
+                None => {}
+            }
             self.done += 1;
             self.computing = true;
             Action::Block(self.mpi.barrier(api, self.rank))
@@ -50,8 +62,23 @@ pub fn spawn_gang(
     iterations: u32,
     setup: &SchedulerSetup,
 ) -> Vec<TaskId> {
+    spawn_gang_faulted(kernel, name, loads, iterations, setup, None).0
+}
+
+/// [`spawn_gang`] plus fault injection; returns the MPI world handle too.
+pub fn spawn_gang_faulted(
+    kernel: &mut Kernel,
+    name: &str,
+    loads: &[f64],
+    iterations: u32,
+    setup: &SchedulerSetup,
+    faults: Option<&MpiFaultConfig>,
+) -> (Vec<TaskId>, Mpi) {
     assert!(!loads.is_empty(), "empty gang");
     let mpi = Mpi::new(loads.len(), MpiConfig::default());
+    if let Some(f) = faults {
+        mpi.install_faults(*f);
+    }
     let programs: Vec<Box<dyn Program>> = loads
         .iter()
         .enumerate()
@@ -59,7 +86,7 @@ pub fn spawn_gang(
             Box::new(BarrierGang::new(mpi.clone(), rank, load, iterations)) as Box<dyn Program>
         })
         .collect();
-    spawn_ranks(kernel, name, programs, setup, power5::TaskPerfTraits::default())
+    (spawn_ranks(kernel, name, programs, setup, power5::TaskPerfTraits::default()), mpi)
 }
 
 #[cfg(test)]
