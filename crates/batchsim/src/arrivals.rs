@@ -1,0 +1,196 @@
+//! Deterministic job arrival streams.
+//!
+//! Two sources, both pure functions of a seed:
+//!
+//! * synthetic Poisson-like streams — exponential interarrivals driven by
+//!   faultsim's [`SplitMix64`], with job shapes drawn from the calibrated
+//!   workload templates ([`workloads::templates`]);
+//! * the bundled heavy/light mix — the reference stream for the EASY-vs-FCFS
+//!   comparison: wide long jobs that block the queue head interleaved with
+//!   narrow short jobs that can backfill around the reservation.
+//!
+//! Trace-driven streams are just `Vec<BatchJob>` built by the caller.
+
+use crate::job::BatchJob;
+use cluster::JobSpec;
+use faultsim::SplitMix64;
+use workloads::templates;
+
+/// Which workload's imbalance profile a synthetic job borrows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobTemplate {
+    MetBench,
+    MetBenchVar,
+    BtMz,
+    Siesta,
+    /// Uniform-random loads — the irregular catch-all.
+    Irregular,
+}
+
+impl JobTemplate {
+    pub const ALL: [JobTemplate; 5] = [
+        JobTemplate::MetBench,
+        JobTemplate::MetBenchVar,
+        JobTemplate::BtMz,
+        JobTemplate::Siesta,
+        JobTemplate::Irregular,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            JobTemplate::MetBench => "metbench",
+            JobTemplate::MetBenchVar => "metbenchvar",
+            JobTemplate::BtMz => "btmz",
+            JobTemplate::Siesta => "siesta",
+            JobTemplate::Irregular => "irregular",
+        }
+    }
+
+    /// Per-rank loads for one job instance: the template's normalized
+    /// shape scaled by `peak` work units per iteration.
+    pub fn rank_loads(self, peak: f64, ranks: usize, rng: &mut SplitMix64) -> Vec<f64> {
+        let shape = match self {
+            JobTemplate::MetBench => stretch(&templates::metbench_shape(), ranks),
+            JobTemplate::MetBenchVar => stretch(&templates::metbenchvar_shape(), ranks),
+            JobTemplate::BtMz => stretch(&templates::btmz_shape(), ranks),
+            JobTemplate::Siesta => templates::siesta_shape(ranks),
+            JobTemplate::Irregular => {
+                (0..ranks).map(|_| 0.25 + 0.75 * rng.unit()).collect()
+            }
+        };
+        shape.into_iter().map(|s| s * peak).collect()
+    }
+}
+
+/// Repeat a shape cyclically to `ranks` entries.
+fn stretch(shape: &[f64], ranks: usize) -> Vec<f64> {
+    (0..ranks).map(|r| shape[r % shape.len()]).collect()
+}
+
+/// Synthetic Poisson-like stream parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    pub seed: u64,
+    pub jobs: usize,
+    /// Mean exponential interarrival gap, seconds.
+    pub mean_interarrival: f64,
+    /// Probability a job is a *wide* one (12 ranks, more iterations);
+    /// the rest are narrow 2–4 rank jobs.
+    pub heavy_fraction: f64,
+    /// Peak per-iteration work units for heavy jobs (light jobs use a
+    /// third of it).
+    pub peak_load: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            seed: 2008,
+            jobs: 200,
+            mean_interarrival: 0.15,
+            heavy_fraction: 0.25,
+            peak_load: 0.12,
+        }
+    }
+}
+
+/// Exponential variate via inversion; `unit()` is in `[0, 1)` so the
+/// argument of `ln` stays strictly positive.
+fn exp_gap(mean: f64, rng: &mut SplitMix64) -> f64 {
+    -mean * (1.0 - rng.unit()).ln()
+}
+
+/// Generate a synthetic Poisson-like stream: shapes cycle through the five
+/// workload templates, widths and lengths drawn from the seeded generator.
+pub fn poisson_stream(cfg: &StreamConfig) -> Vec<BatchJob> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut arrivals = rng.fork(0x0a11);
+    let mut shapes = rng.fork(0x5a9e);
+    let mut t = 0.0;
+    (0..cfg.jobs as u64)
+        .map(|id| {
+            t += exp_gap(cfg.mean_interarrival, &mut arrivals);
+            let template = JobTemplate::ALL[(shapes.next_u64() % 5) as usize];
+            let heavy = shapes.unit() < cfg.heavy_fraction;
+            let (ranks, iterations, peak) = if heavy {
+                (12, 3 + (shapes.next_u64() % 3) as u32, cfg.peak_load)
+            } else {
+                (2 + (shapes.next_u64() % 3) as usize, 2, cfg.peak_load / 3.0)
+            };
+            let loads = template.rank_loads(peak, ranks, &mut shapes);
+            let name = format!("{}-{id}", template.label());
+            BatchJob::new(id, JobSpec::new(name, loads, iterations), t)
+        })
+        .collect()
+}
+
+/// The bundled heavy/light mix (the acceptance stream): one wide long job
+/// in four, narrow short fillers otherwise, bursty enough that a queue
+/// forms behind every wide job. Sized for a 4-node fleet: wide jobs take 3
+/// nodes, so exactly one node is left for backfill when a wide job runs.
+pub fn heavy_light_mix(seed: u64, jobs: usize) -> Vec<BatchJob> {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0;
+    (0..jobs as u64)
+        .map(|id| {
+            t += exp_gap(0.15, &mut rng);
+            let heavy = rng.unit() < 0.25;
+            let (template, spec) = if heavy {
+                let template = JobTemplate::ALL[(rng.next_u64() % 4) as usize];
+                let loads = template.rank_loads(0.12, 12, &mut rng);
+                (template, (loads, 4))
+            } else {
+                let template = JobTemplate::Irregular;
+                let loads = template.rank_loads(0.04, 2 + (rng.next_u64() % 3) as usize, &mut rng);
+                (template, (loads, 2))
+            };
+            let kind = if heavy { "heavy" } else { "light" };
+            let name = format!("{kind}-{}-{id}", template.label());
+            BatchJob::new(id, JobSpec::new(name, spec.0, spec.1), t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = poisson_stream(&StreamConfig::default());
+        let b = poisson_stream(&StreamConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.spec.rank_loads, y.spec.rank_loads);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let s = heavy_light_mix(7, 100);
+        for w in s.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+            assert!(w[1].id == w[0].id + 1);
+        }
+    }
+
+    #[test]
+    fn heavy_light_mix_has_both_kinds() {
+        let s = heavy_light_mix(2008, 200);
+        let wide = s.iter().filter(|j| j.nodes_needed() == 3).count();
+        let narrow = s.iter().filter(|j| j.nodes_needed() == 1).count();
+        assert_eq!(wide + narrow, 200);
+        assert!(wide >= 25 && narrow >= 100, "wide {wide} narrow {narrow}");
+    }
+
+    #[test]
+    fn templates_produce_positive_loads() {
+        let mut rng = SplitMix64::new(1);
+        for t in JobTemplate::ALL {
+            let loads = t.rank_loads(0.1, 8, &mut rng);
+            assert_eq!(loads.len(), 8);
+            assert!(loads.iter().all(|&l| l > 0.0), "{t:?}: {loads:?}");
+        }
+    }
+}

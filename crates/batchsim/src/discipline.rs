@@ -1,0 +1,53 @@
+//! Queue disciplines: which pending job may take free nodes next.
+
+/// The admission discipline of the batch queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Discipline {
+    /// First come, first served: strict arrival order, head blocks.
+    Fcfs,
+    /// Shortest job first: the queue is kept sorted by exact service time
+    /// (ties by submission id); like FCFS, the new head blocks — SJF here
+    /// reorders, it does not bypass.
+    Sjf,
+    /// EASY backfilling (Lifka): FCFS order, but when the head cannot
+    /// start it gets a *reservation* at the earliest time enough nodes
+    /// free up (the shadow time), and later jobs may jump ahead iff they
+    /// finish by the shadow time or fit into the nodes the head will not
+    /// use — so backfill never delays the head.
+    Easy,
+}
+
+impl Discipline {
+    pub const ALL: [Discipline; 3] = [Discipline::Fcfs, Discipline::Sjf, Discipline::Easy];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Discipline::Fcfs => "fcfs",
+            Discipline::Sjf => "sjf",
+            Discipline::Easy => "easy",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Discipline> {
+        match s {
+            "fcfs" => Some(Discipline::Fcfs),
+            "sjf" => Some(Discipline::Sjf),
+            "easy" | "backfill" => Some(Discipline::Easy),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for d in Discipline::ALL {
+            assert_eq!(Discipline::parse(d.label()), Some(d));
+        }
+        assert_eq!(Discipline::parse("backfill"), Some(Discipline::Easy));
+        assert_eq!(Discipline::parse("lifo"), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! Batch jobs: a [`cluster::JobSpec`] gang plus queue metadata.
+
+use cluster::placement::NODE_SLOTS;
+use cluster::JobSpec;
+
+/// One job submitted to the batch scheduler.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// Submission order, unique within a stream. Ties on every queue
+    /// decision break by id, which is what makes the simulation a pure
+    /// function of (stream, config).
+    pub id: u64,
+    pub spec: JobSpec,
+    /// Submission time, seconds from stream start.
+    pub arrival: f64,
+}
+
+impl BatchJob {
+    pub fn new(id: u64, spec: JobSpec, arrival: f64) -> BatchJob {
+        BatchJob { id, spec, arrival }
+    }
+
+    /// Nodes this gang occupies: allocation is node-exclusive, so a job
+    /// takes whole nodes even when its last node is partially filled.
+    pub fn nodes_needed(&self) -> usize {
+        self.spec.ranks().div_ceil(NODE_SLOTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_needed_rounds_up() {
+        let j = |ranks: usize| {
+            BatchJob::new(0, JobSpec::new("j", vec![0.1; ranks], 1), 0.0)
+        };
+        assert_eq!(j(1).nodes_needed(), 1);
+        assert_eq!(j(4).nodes_needed(), 1);
+        assert_eq!(j(5).nodes_needed(), 2);
+        assert_eq!(j(12).nodes_needed(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Two-level batch scheduling over HPCSched clusters.
+//!
+//! The paper balances threads *within* one MPI job; a real machine runs
+//! that local scheduler underneath a batch system that decides which jobs
+//! occupy the nodes at all (cf. Eleliemy et al. and Mohammed et al. on
+//! two-level scheduling). This crate is that missing layer:
+//!
+//! * [`job`] — a [`cluster::JobSpec`] gang plus queue metadata;
+//! * [`arrivals`] — deterministic streams: seeded Poisson-like synthetic
+//!   generators over the calibrated workload shapes, and the bundled
+//!   heavy/light mix used by the EASY-vs-FCFS acceptance comparison;
+//! * [`discipline`] — FCFS, SJF, and EASY backfill with reservation
+//!   correctness;
+//! * [`sim`] — the event-driven engine: admitted gangs are placed through
+//!   [`cluster::place`] and executed on per-job `schedsim` kernels (HPC,
+//!   Linux-like CFS, or static-priority mode); node failures hit the
+//!   *queued* system, so re-placement competes with pending jobs;
+//! * [`stats`] — fleet-wide wait/turnaround/slowdown/utilization/backfill
+//!   figures.
+//!
+//! Everything is a pure function of `(stream, config, fault)` — see the
+//! determinism argument in [`sim`].
+
+pub mod arrivals;
+pub mod discipline;
+pub mod job;
+pub mod sim;
+pub mod stats;
+
+pub use arrivals::{heavy_light_mix, poisson_stream, JobTemplate, StreamConfig};
+pub use discipline::Discipline;
+pub use job::BatchJob;
+pub use sim::{
+    run_batch, BatchConfig, BatchEvent, BatchFault, BatchOutcome, JobRecord, ReservationRecord,
+};
+pub use stats::FleetStats;

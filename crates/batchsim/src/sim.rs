@@ -1,0 +1,855 @@
+//! The event-driven batch engine: arrivals → queue → admission →
+//! per-job cluster runs on real `schedsim` kernels.
+//!
+//! # Determinism argument
+//!
+//! The whole simulation is a pure function of `(stream, config, fault)`:
+//!
+//! * arrivals are a sorted input, ties broken by submission id;
+//! * every queue decision iterates jobs in a total order (discipline
+//!   order, then id) over `BTreeMap`/`Vec` state — no hash iteration;
+//! * a job's *service time* is computed by seeded kernel runs whose seeds
+//!   mix only `(config seed, job id, local node index)` — never the start
+//!   time or the global node ids — so the oracle used for SJF ordering and
+//!   EASY shadow arithmetic returns exactly the duration the job will
+//!   take when it actually runs, whenever that is;
+//! * simulated time advances only to event timestamps (completions before
+//!   arrivals at equal times, both in id order).
+//!
+//! The last two points make the EASY no-delay invariant *exact* rather
+//! than estimate-based: the reservation (shadow time) computed when the
+//! queue head blocks is the time the head actually starts, unless an
+//! earlier completion improves it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cluster::{
+    place, run_node_sched, run_node_traced, ClusterOutcome, ClusterResult, JobSpec, LocalSched,
+    NodeFailureRecord, Placement, PlacementStrategy,
+};
+use faultsim::{NodeFailSpec, SplitMix64};
+use simverify::conformance::{check_with_metrics, CheckConfig, Report};
+use telemetry::{MetricsRegistry, MetricsSnapshot};
+
+use crate::discipline::Discipline;
+use crate::job::BatchJob;
+
+/// Float slack for comparing event timestamps and shadow deadlines.
+const EPS: f64 = 1e-9;
+
+/// Batch scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    pub num_nodes: usize,
+    pub discipline: Discipline,
+    /// Node-local scheduler every admitted job runs under.
+    pub sched: LocalSched,
+    pub placement: PlacementStrategy,
+    /// Inter-node allreduce latency per gang iteration, seconds.
+    pub internode_latency: f64,
+    pub seed: u64,
+    /// Trace every per-job kernel and conformance-check it (C001–C005);
+    /// reports land in [`BatchOutcome::conformance`].
+    pub verify_jobs: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            num_nodes: 4,
+            discipline: Discipline::Fcfs,
+            sched: LocalSched::Hpc,
+            placement: PlacementStrategy::SmtAware,
+            internode_latency: 20e-6,
+            seed: 2008,
+            verify_jobs: false,
+        }
+    }
+}
+
+/// A node failure aimed at the *queued* system: fires once the fleet has
+/// completed `after_completions` jobs, killing `node` permanently. A job
+/// running there re-enters the queue with its remaining iterations (and
+/// competes with pending jobs for survivors), paying `restart_secs` per
+/// attempt, up to `max_retries` requeues before degrading.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchFault {
+    pub node: usize,
+    pub after_completions: u32,
+    pub max_retries: u32,
+    pub restart_secs: f64,
+}
+
+impl BatchFault {
+    /// Reuse faultsim's `nodefail:` spec: `iter` counts completed *jobs*
+    /// here rather than gang iterations.
+    pub fn from_spec(s: &NodeFailSpec) -> BatchFault {
+        BatchFault {
+            node: s.node,
+            after_completions: s.iteration,
+            max_retries: s.retries,
+            restart_secs: s.restart_secs,
+        }
+    }
+}
+
+/// One entry of the deterministic batch-level event trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchEvent {
+    Submit { t: f64, job: u64, ranks: usize, nodes: usize },
+    Start { t: f64, job: u64, nodes: Vec<usize>, backfilled: bool },
+    Finish { t: f64, job: u64 },
+    NodeFail { t: f64, node: usize },
+    Requeue { t: f64, job: u64, remaining_iters: u32 },
+    Degraded { t: f64, job: u64, reason: &'static str },
+}
+
+impl BatchEvent {
+    fn render(&self) -> String {
+        match self {
+            BatchEvent::Submit { t, job, ranks, nodes } => {
+                format!("{t:.9} submit job={job} ranks={ranks} nodes={nodes}")
+            }
+            BatchEvent::Start { t, job, nodes, backfilled } => {
+                format!("{t:.9} start job={job} nodes={nodes:?} backfilled={backfilled}")
+            }
+            BatchEvent::Finish { t, job } => format!("{t:.9} finish job={job}"),
+            BatchEvent::NodeFail { t, node } => format!("{t:.9} nodefail node={node}"),
+            BatchEvent::Requeue { t, job, remaining_iters } => {
+                format!("{t:.9} requeue job={job} remaining={remaining_iters}")
+            }
+            BatchEvent::Degraded { t, job, reason } => {
+                format!("{t:.9} degraded job={job} reason={reason}")
+            }
+        }
+    }
+}
+
+/// The head-of-queue reservation EASY computed when the head first
+/// blocked: the head is guaranteed to start no later than `shadow`.
+#[derive(Clone, Copy, Debug)]
+pub struct ReservationRecord {
+    pub job: u64,
+    /// When the reservation was made.
+    pub at: f64,
+    /// The shadow time: earliest instant enough nodes free up.
+    pub shadow: f64,
+}
+
+/// Final per-job accounting.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    pub id: u64,
+    pub name: String,
+    pub ranks: usize,
+    pub arrival: f64,
+    /// `None` when the job degraded before ever starting.
+    pub first_start: Option<f64>,
+    /// Completion (or drop) time.
+    pub end: f64,
+    /// Queue wait: first start − arrival (completed jobs only).
+    pub wait: f64,
+    pub turnaround: f64,
+    /// Turnaround over the job's clean full-stream service time.
+    pub slowdown: f64,
+    pub backfilled: bool,
+    pub requeues: u32,
+    /// Node·seconds of fleet capacity this job held.
+    pub node_secs_held: f64,
+    /// The per-job cluster outcome — degraded-but-clean under faults, in
+    /// the same shape single-job cluster runs produce.
+    pub outcome: ClusterOutcome,
+}
+
+/// Everything a batch run produces.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    pub config_nodes: usize,
+    /// Per-job records, sorted by submission id.
+    pub jobs: Vec<JobRecord>,
+    /// The deterministic batch-level event trace.
+    pub events: Vec<BatchEvent>,
+    /// First EASY reservation per head-of-queue job.
+    pub reservations: Vec<ReservationRecord>,
+    /// Nodes lost to injected failures.
+    pub failed_nodes: Vec<usize>,
+    /// Last event timestamp.
+    pub makespan: f64,
+    pub metrics: MetricsSnapshot,
+    /// Per-job kernel conformance reports (one per node segment), present
+    /// when [`BatchConfig::verify_jobs`] is set.
+    pub conformance: Vec<(u64, Report)>,
+}
+
+impl BatchOutcome {
+    /// Render the event trace to text — the byte-identity artifact for
+    /// determinism checks.
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn conformance_clean(&self) -> bool {
+        self.conformance.iter().all(|(_, r)| r.is_clean())
+    }
+}
+
+/// One per-(job, iterations) kernel measurement, cached by the oracle.
+#[derive(Clone, Debug)]
+struct SegmentRun {
+    placement: Placement,
+    node_secs: Vec<f64>,
+    service: f64,
+    reports: Vec<Report>,
+}
+
+/// The service-time oracle: runs each distinct (job, remaining
+/// iterations) segment once on real kernels and memoizes. Because seeds
+/// never involve time or global node ids, SJF ordering and EASY shadow
+/// arithmetic read the *exact* durations later admissions will take.
+struct Oracle {
+    cache: BTreeMap<(u64, u32), SegmentRun>,
+    sched: LocalSched,
+    placement: PlacementStrategy,
+    internode_latency: f64,
+    seed: u64,
+    verify_jobs: bool,
+}
+
+impl Oracle {
+    fn measure(&mut self, id: u64, spec: &JobSpec) -> SegmentRun {
+        if let Some(hit) = self.cache.get(&(id, spec.iterations)) {
+            return hit.clone();
+        }
+        let nodes_needed = spec.ranks().div_ceil(cluster::placement::NODE_SLOTS);
+        // INVARIANT: nodes_needed = ceil(ranks / NODE_SLOTS) always yields
+        // enough slots for every rank, so placement cannot fail here.
+        let placement =
+            place(spec, nodes_needed, self.placement).expect("sized allocation always fits");
+        let mut rng =
+            SplitMix64::new(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut node_secs = Vec::with_capacity(placement.nodes.len());
+        let mut reports = Vec::new();
+        for (local, slots) in placement.nodes.iter().enumerate() {
+            if slots.is_empty() {
+                node_secs.push(0.0);
+                continue;
+            }
+            let loads: Vec<f64> = slots.iter().map(|&r| spec.rank_loads[r]).collect();
+            let node_seed = rng.fork(local as u64 + 1).next_u64();
+            if self.verify_jobs {
+                let traced = run_node_traced(&loads, spec.iterations, self.sched, node_seed);
+                reports.push(check_with_metrics(
+                    &traced.records,
+                    &traced.metrics,
+                    &CheckConfig::default(),
+                ));
+                node_secs.push(traced.run.exec_secs);
+            } else {
+                node_secs.push(run_node_sched(&loads, spec.iterations, self.sched, node_seed).exec_secs);
+            }
+        }
+        let slowest = node_secs.iter().cloned().fold(0.0, f64::max);
+        let service = slowest + self.internode_latency * spec.iterations as f64;
+        let run = SegmentRun { placement, node_secs, service, reports };
+        self.cache.insert((id, spec.iterations), run.clone());
+        run
+    }
+
+    fn service(&mut self, id: u64, spec: &JobSpec) -> f64 {
+        if let Some(hit) = self.cache.get(&(id, spec.iterations)) {
+            return hit.service;
+        }
+        self.measure(id, spec).service
+    }
+}
+
+/// Queue-side state of one submitted job.
+struct Tracker {
+    job: BatchJob,
+    /// The spec of the next (or currently running) segment; iterations
+    /// shrink when a node failure forces a requeue.
+    remaining: JobSpec,
+    first_start: Option<f64>,
+    node_secs_held: f64,
+    run_secs: f64,
+    iters_done: u32,
+    requeues: u32,
+    backfilled: bool,
+    /// Restart overhead owed on the next admission (set by a requeue).
+    restart_due: f64,
+    failure: Option<(usize, u32)>,
+}
+
+/// One admitted segment occupying nodes.
+struct Running {
+    id: u64,
+    nodes: Vec<usize>,
+    start: f64,
+    end: f64,
+    run: SegmentRun,
+}
+
+struct Fleet {
+    up: Vec<bool>,
+    busy: Vec<bool>,
+}
+
+impl Fleet {
+    fn free_ids(&self) -> Vec<usize> {
+        (0..self.up.len()).filter(|&n| self.up[n] && !self.busy[n]).collect()
+    }
+    fn alive(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+}
+
+struct Counters {
+    submitted: telemetry::Counter,
+    completed: telemetry::Counter,
+    degraded: telemetry::Counter,
+    backfilled: telemetry::Counter,
+    requeues: telemetry::Counter,
+    nodes_failed: telemetry::Counter,
+    wait_us: telemetry::HistogramHandle,
+    turnaround_us: telemetry::HistogramHandle,
+    queue_peak: telemetry::Gauge,
+}
+
+impl Counters {
+    fn new(reg: &MetricsRegistry) -> Counters {
+        Counters {
+            submitted: reg.counter("batch.jobs.submitted"),
+            completed: reg.counter("batch.jobs.completed"),
+            degraded: reg.counter("batch.jobs.degraded"),
+            backfilled: reg.counter("batch.jobs.backfilled"),
+            requeues: reg.counter("batch.jobs.requeues"),
+            nodes_failed: reg.counter("batch.nodes.failed"),
+            wait_us: reg.histogram("batch.wait_us"),
+            turnaround_us: reg.histogram("batch.turnaround_us"),
+            queue_peak: reg.gauge("batch.queue_depth_peak"),
+        }
+    }
+}
+
+/// Run a batch stream to completion. Never panics on the fault path: jobs
+/// that cannot be (re)placed degrade with partial accounting instead.
+pub fn run_batch(
+    stream: &[BatchJob],
+    cfg: &BatchConfig,
+    fault: Option<&BatchFault>,
+) -> BatchOutcome {
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+
+    let mut arrivals: VecDeque<BatchJob> = {
+        let mut v: Vec<BatchJob> = stream.to_vec();
+        v.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        v.into()
+    };
+
+    let mut oracle = Oracle {
+        cache: BTreeMap::new(),
+        sched: cfg.sched,
+        placement: cfg.placement,
+        internode_latency: cfg.internode_latency,
+        seed: cfg.seed,
+        verify_jobs: cfg.verify_jobs,
+    };
+    let mut fleet = Fleet { up: vec![true; cfg.num_nodes], busy: vec![false; cfg.num_nodes] };
+    let mut trackers: BTreeMap<u64, Tracker> = BTreeMap::new();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut events: Vec<BatchEvent> = Vec::new();
+    let mut reservations: BTreeMap<u64, ReservationRecord> = BTreeMap::new();
+    let mut records: BTreeMap<u64, JobRecord> = BTreeMap::new();
+    let mut conformance: Vec<(u64, Report)> = Vec::new();
+    let mut completions: u32 = 0;
+    let mut fault_armed = fault.filter(|f| f.node < cfg.num_nodes).copied();
+    let mut now = 0.0_f64;
+
+    // A fault at zero completions hits an idle fleet before any admission.
+    maybe_fire_fault(
+        &mut fault_armed,
+        completions,
+        now,
+        &mut fleet,
+        &mut running,
+        &mut trackers,
+        &mut queue,
+        &mut records,
+        &mut events,
+        &ctr,
+    );
+
+    loop {
+        schedule(
+            cfg,
+            now,
+            &mut oracle,
+            &mut fleet,
+            &mut trackers,
+            &mut queue,
+            &mut running,
+            &mut records,
+            &mut reservations,
+            &mut conformance,
+            &mut events,
+            &ctr,
+        );
+
+        let next_finish = running
+            .iter()
+            .map(|r| r.end)
+            .fold(f64::INFINITY, f64::min);
+        let next_arrival = arrivals.front().map_or(f64::INFINITY, |j| j.arrival);
+        if next_finish.is_infinite() && next_arrival.is_infinite() {
+            break;
+        }
+        now = next_finish.min(next_arrival);
+
+        // Completions first (freeing nodes for same-instant arrivals), in
+        // id order for determinism.
+        let mut finished: Vec<Running> = Vec::new();
+        let mut keep: Vec<Running> = Vec::new();
+        for r in running.drain(..) {
+            if r.end <= now + EPS {
+                finished.push(r);
+            } else {
+                keep.push(r);
+            }
+        }
+        running = keep;
+        finished.sort_by_key(|r| r.id);
+        for seg in finished {
+            complete(seg, now, &mut fleet, &mut trackers, &mut records, &mut events, &ctr, &mut oracle);
+            completions += 1;
+            maybe_fire_fault(
+                &mut fault_armed,
+                completions,
+                now,
+                &mut fleet,
+                &mut running,
+                &mut trackers,
+                &mut queue,
+                &mut records,
+                &mut events,
+                &ctr,
+            );
+        }
+
+        while arrivals.front().is_some_and(|j| j.arrival <= now + EPS) {
+            // INVARIANT: guarded by the is_some_and above.
+            let job = arrivals.pop_front().expect("front checked");
+            ctr.submitted.inc();
+            events.push(BatchEvent::Submit {
+                t: now,
+                job: job.id,
+                ranks: job.spec.ranks(),
+                nodes: job.nodes_needed(),
+            });
+            let remaining = job.spec.clone();
+            queue.push_back(job.id);
+            trackers.insert(
+                job.id,
+                Tracker {
+                    job,
+                    remaining,
+                    first_start: None,
+                    node_secs_held: 0.0,
+                    run_secs: 0.0,
+                    iters_done: 0,
+                    requeues: 0,
+                    backfilled: false,
+                    restart_due: 0.0,
+                    failure: None,
+                },
+            );
+        }
+        let depth = queue.len() as i64;
+        if depth > ctr.queue_peak.get() {
+            ctr.queue_peak.set(depth);
+        }
+    }
+
+    let makespan = events.iter().map(event_time).fold(0.0, f64::max);
+    let mut jobs: Vec<JobRecord> = records.into_values().collect();
+    jobs.sort_by_key(|r| r.id);
+    BatchOutcome {
+        config_nodes: cfg.num_nodes,
+        jobs,
+        events,
+        reservations: reservations.into_values().collect(),
+        failed_nodes: (0..cfg.num_nodes).filter(|&n| !fleet.up[n]).collect(),
+        makespan,
+        metrics: registry.snapshot(),
+        conformance,
+    }
+}
+
+fn event_time(e: &BatchEvent) -> f64 {
+    match e {
+        BatchEvent::Submit { t, .. }
+        | BatchEvent::Start { t, .. }
+        | BatchEvent::Finish { t, .. }
+        | BatchEvent::NodeFail { t, .. }
+        | BatchEvent::Requeue { t, .. }
+        | BatchEvent::Degraded { t, .. } => *t,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete(
+    seg: Running,
+    now: f64,
+    fleet: &mut Fleet,
+    trackers: &mut BTreeMap<u64, Tracker>,
+    records: &mut BTreeMap<u64, JobRecord>,
+    events: &mut Vec<BatchEvent>,
+    ctr: &Counters,
+    oracle: &mut Oracle,
+) {
+    for &n in &seg.nodes {
+        fleet.busy[n] = false;
+    }
+    events.push(BatchEvent::Finish { t: now, job: seg.id });
+    ctr.completed.inc();
+    let Some(mut tr) = trackers.remove(&seg.id) else {
+        // INVARIANT: every running segment has a tracker; nothing to do
+        // if the map was corrupted, and degrading silently beats a panic.
+        return;
+    };
+    let held = (now - seg.start) * seg.nodes.len() as f64;
+    tr.node_secs_held += held;
+    tr.run_secs += now - seg.start;
+    tr.iters_done += tr.remaining.iterations;
+    let full_service = oracle.service(tr.job.id, &tr.job.spec);
+    let first_start = tr.first_start.unwrap_or(seg.start);
+    let wait = first_start - tr.job.arrival;
+    let turnaround = now - tr.job.arrival;
+    ctr.wait_us.record((wait * 1e6) as u64);
+    ctr.turnaround_us.record((turnaround * 1e6) as u64);
+    if tr.backfilled {
+        ctr.backfilled.inc();
+    }
+    records.insert(
+        seg.id,
+        JobRecord {
+            id: seg.id,
+            name: tr.job.spec.name.clone(),
+            ranks: tr.job.spec.ranks(),
+            arrival: tr.job.arrival,
+            first_start: Some(first_start),
+            end: now,
+            wait,
+            turnaround,
+            slowdown: if full_service > 0.0 { turnaround / full_service } else { 1.0 },
+            backfilled: tr.backfilled,
+            requeues: tr.requeues,
+            node_secs_held: tr.node_secs_held,
+            outcome: ClusterOutcome {
+                result: ClusterResult {
+                    placement: seg.run.placement,
+                    node_secs: seg.run.node_secs,
+                    makespan: tr.run_secs,
+                },
+                failure: tr.failure.map(|(node, at)| NodeFailureRecord {
+                    node,
+                    at_iteration: at,
+                    retries_used: tr.requeues,
+                    absorbed: true,
+                }),
+                degraded: false,
+            },
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn maybe_fire_fault(
+    fault: &mut Option<BatchFault>,
+    completions: u32,
+    now: f64,
+    fleet: &mut Fleet,
+    running: &mut Vec<Running>,
+    trackers: &mut BTreeMap<u64, Tracker>,
+    queue: &mut VecDeque<u64>,
+    records: &mut BTreeMap<u64, JobRecord>,
+    events: &mut Vec<BatchEvent>,
+    ctr: &Counters,
+) {
+    let fires = fault.is_some_and(|f| completions >= f.after_completions);
+    if !fires {
+        return;
+    }
+    let Some(f) = fault.take() else {
+        // INVARIANT: is_some_and above guarantees presence.
+        return;
+    };
+    if !fleet.up[f.node] {
+        return;
+    }
+    fleet.up[f.node] = false;
+    ctr.nodes_failed.inc();
+    events.push(BatchEvent::NodeFail { t: now, node: f.node });
+
+    let hit = running.iter().position(|r| r.nodes.contains(&f.node));
+    let Some(idx) = hit else {
+        return;
+    };
+    let seg = running.remove(idx);
+    for &n in &seg.nodes {
+        fleet.busy[n] = false;
+    }
+    let Some(tr) = trackers.get_mut(&seg.id) else {
+        // INVARIANT: every running segment has a tracker (see `complete`).
+        return;
+    };
+    let elapsed = now - seg.start;
+    tr.node_secs_held += elapsed * seg.nodes.len() as f64;
+    tr.run_secs += elapsed;
+    let iters = tr.remaining.iterations;
+    let frac = if seg.end > seg.start { elapsed / (seg.end - seg.start) } else { 0.0 };
+    let iters_done = ((frac * iters as f64) as u32).min(iters.saturating_sub(1));
+    tr.iters_done += iters_done;
+    let remaining_iters = iters - iters_done;
+    tr.failure = Some((f.node, tr.iters_done));
+    tr.requeues += 1;
+    ctr.requeues.inc();
+
+    if tr.requeues > f.max_retries {
+        degrade(seg.id, now, "retries-exhausted", fleet, trackers, records, events, ctr);
+        return;
+    }
+    tr.remaining = JobSpec::new(
+        tr.job.spec.name.clone(),
+        tr.job.spec.rank_loads.clone(),
+        remaining_iters,
+    );
+    tr.restart_due = f.restart_secs;
+    queue.push_front(seg.id);
+    events.push(BatchEvent::Requeue { t: now, job: seg.id, remaining_iters });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn degrade(
+    id: u64,
+    now: f64,
+    reason: &'static str,
+    fleet: &Fleet,
+    trackers: &mut BTreeMap<u64, Tracker>,
+    records: &mut BTreeMap<u64, JobRecord>,
+    events: &mut Vec<BatchEvent>,
+    ctr: &Counters,
+) {
+    let Some(tr) = trackers.remove(&id) else {
+        // INVARIANT: callers only degrade ids they hold in the map.
+        return;
+    };
+    ctr.degraded.inc();
+    events.push(BatchEvent::Degraded { t: now, job: id, reason });
+    let n = tr.job.nodes_needed().min(fleet.up.len().max(1));
+    records.insert(
+        id,
+        JobRecord {
+            id,
+            name: tr.job.spec.name.clone(),
+            ranks: tr.job.spec.ranks(),
+            arrival: tr.job.arrival,
+            first_start: tr.first_start,
+            end: now,
+            wait: 0.0,
+            turnaround: now - tr.job.arrival,
+            slowdown: 0.0,
+            backfilled: tr.backfilled,
+            requeues: tr.requeues,
+            node_secs_held: tr.node_secs_held,
+            outcome: ClusterOutcome {
+                result: ClusterResult {
+                    placement: Placement { strategy: PlacementStrategy::RoundRobin, nodes: vec![Vec::new(); n] },
+                    node_secs: vec![0.0; n],
+                    makespan: tr.run_secs,
+                },
+                failure: tr.failure.map(|(node, at)| NodeFailureRecord {
+                    node,
+                    at_iteration: at,
+                    retries_used: tr.requeues,
+                    absorbed: false,
+                }),
+                degraded: true,
+            },
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule(
+    cfg: &BatchConfig,
+    now: f64,
+    oracle: &mut Oracle,
+    fleet: &mut Fleet,
+    trackers: &mut BTreeMap<u64, Tracker>,
+    queue: &mut VecDeque<u64>,
+    running: &mut Vec<Running>,
+    records: &mut BTreeMap<u64, JobRecord>,
+    reservations: &mut BTreeMap<u64, ReservationRecord>,
+    conformance: &mut Vec<(u64, Report)>,
+    events: &mut Vec<BatchEvent>,
+    ctr: &Counters,
+) {
+    // Jobs wider than the surviving fleet can never start: degrade them
+    // instead of deadlocking the queue.
+    let alive = fleet.alive();
+    let unplaceable: Vec<u64> = queue
+        .iter()
+        .copied()
+        .filter(|id| trackers.get(id).is_some_and(|t| t.job.nodes_needed() > alive))
+        .collect();
+    if !unplaceable.is_empty() {
+        queue.retain(|id| !unplaceable.contains(id));
+        for id in unplaceable {
+            degrade(id, now, "unplaceable", fleet, trackers, records, events, ctr);
+        }
+    }
+
+    if cfg.discipline == Discipline::Sjf {
+        let mut v: Vec<u64> = queue.iter().copied().collect();
+        v.sort_by(|&a, &b| {
+            let (sa, sb) = (queued_service(oracle, trackers, a), queued_service(oracle, trackers, b));
+            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        *queue = v.into();
+    }
+
+    // Admit from the head while it fits.
+    loop {
+        let Some(&head) = queue.front() else { return };
+        let need = trackers.get(&head).map_or(0, |t| t.job.nodes_needed());
+        let free = fleet.free_ids();
+        if need > free.len() {
+            break;
+        }
+        queue.pop_front();
+        admit(head, &free[..need], now, false, cfg, oracle, fleet, trackers, running, conformance, events);
+    }
+
+    if cfg.discipline != Discipline::Easy || queue.is_empty() {
+        return;
+    }
+
+    // EASY backfill: reserve the head, let later jobs jump ahead iff they
+    // cannot delay it.
+    let Some(&head) = queue.front() else { return };
+    let head_need = trackers.get(&head).map_or(0, |t| t.job.nodes_needed());
+    let mut free = fleet.free_ids().len();
+    let mut ends: Vec<(f64, usize)> = running.iter().map(|r| (r.end, r.nodes.len())).collect();
+    ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut avail = free;
+    let mut shadow = f64::INFINITY;
+    for (end, n) in ends {
+        avail += n;
+        if avail >= head_need {
+            shadow = end;
+            break;
+        }
+    }
+    if shadow.is_infinite() {
+        // Head cannot be satisfied even when everything drains — it would
+        // have been dropped as unplaceable above; leave the queue alone.
+        return;
+    }
+    reservations
+        .entry(head)
+        .or_insert(ReservationRecord { job: head, at: now, shadow });
+    // Nodes free at the shadow instant beyond what the head will take.
+    let mut spare = avail - head_need;
+
+    let candidates: Vec<u64> = queue.iter().copied().skip(1).collect();
+    let mut admitted: Vec<u64> = Vec::new();
+    for id in candidates {
+        let Some(tr) = trackers.get(&id) else { continue };
+        let need = tr.job.nodes_needed();
+        if need > free {
+            continue;
+        }
+        let svc = queued_service(oracle, trackers, id);
+        let fits_before_shadow = now + svc <= shadow + EPS;
+        let fits_in_spare = need <= spare;
+        if !fits_before_shadow && !fits_in_spare {
+            continue;
+        }
+        if !fits_before_shadow {
+            spare -= need;
+        }
+        free -= need;
+        admitted.push(id);
+    }
+    for id in admitted {
+        queue.retain(|&q| q != id);
+        let free_ids = fleet.free_ids();
+        let need = trackers.get(&id).map_or(0, |t| t.job.nodes_needed());
+        admit(id, &free_ids[..need], now, true, cfg, oracle, fleet, trackers, running, conformance, events);
+    }
+}
+
+/// Effective service of a queued job: measured segment time plus any
+/// restart overhead owed from a requeue.
+fn queued_service(oracle: &mut Oracle, trackers: &BTreeMap<u64, Tracker>, id: u64) -> f64 {
+    trackers
+        .get(&id)
+        .map_or(0.0, |t| oracle.service(id, &t.remaining) + t.restart_due)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    id: u64,
+    alloc: &[usize],
+    now: f64,
+    backfilled: bool,
+    cfg: &BatchConfig,
+    oracle: &mut Oracle,
+    fleet: &mut Fleet,
+    trackers: &mut BTreeMap<u64, Tracker>,
+    running: &mut Vec<Running>,
+    conformance: &mut Vec<(u64, Report)>,
+    events: &mut Vec<BatchEvent>,
+) {
+    let Some(tr) = trackers.get_mut(&id) else {
+        // INVARIANT: admit is only called with queued ids, which always
+        // have trackers.
+        return;
+    };
+    let run = oracle.measure(id, &tr.remaining);
+    if cfg.verify_jobs && tr.requeues == 0 {
+        for rep in &run.reports {
+            conformance.push((id, rep.clone()));
+        }
+    }
+    let service = run.service + tr.restart_due;
+    tr.restart_due = 0.0;
+    if tr.first_start.is_none() {
+        tr.first_start = Some(now);
+    }
+    if backfilled {
+        tr.backfilled = true;
+    }
+    for &n in alloc {
+        fleet.busy[n] = true;
+    }
+    events.push(BatchEvent::Start {
+        t: now,
+        job: id,
+        nodes: alloc.to_vec(),
+        backfilled,
+    });
+    running.push(Running { id, nodes: alloc.to_vec(), start: now, end: now + service, run });
+}

@@ -1,0 +1,82 @@
+//! Fleet-wide outcome statistics.
+
+use serde::Serialize;
+
+use crate::sim::BatchOutcome;
+
+/// Aggregated queue metrics over one batch run. Wait/turnaround/slowdown
+/// means cover *completed* jobs; utilization and throughput are fleet-wide.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FleetStats {
+    pub jobs: usize,
+    pub completed: usize,
+    pub degraded: usize,
+    pub backfilled: usize,
+    pub requeued: usize,
+    /// Mean queue wait (first start − arrival), seconds.
+    pub mean_wait: f64,
+    pub max_wait: f64,
+    pub mean_turnaround: f64,
+    /// Mean bounded slowdown: turnaround over clean service time.
+    pub mean_slowdown: f64,
+    /// Last event timestamp, seconds.
+    pub makespan: f64,
+    /// Node·seconds held by jobs over fleet capacity × makespan.
+    pub utilization: f64,
+    /// Backfilled share of completed jobs.
+    pub backfill_rate: f64,
+    /// Jobs completed per simulated second — the bench trajectory figure.
+    pub throughput: f64,
+}
+
+impl FleetStats {
+    pub fn from_outcome(out: &BatchOutcome) -> FleetStats {
+        let completed: Vec<_> = out.jobs.iter().filter(|j| !j.outcome.degraded).collect();
+        let n = completed.len();
+        let degraded = out.jobs.len() - n;
+        let mean = |f: &dyn Fn(&&crate::sim::JobRecord) -> f64| -> f64 {
+            if n == 0 {
+                return 0.0;
+            }
+            completed.iter().map(f).sum::<f64>() / n as f64
+        };
+        let held: f64 = out.jobs.iter().map(|j| j.node_secs_held).sum();
+        let capacity = out.config_nodes as f64 * out.makespan;
+        FleetStats {
+            jobs: out.jobs.len(),
+            completed: n,
+            degraded,
+            backfilled: completed.iter().filter(|j| j.backfilled).count(),
+            requeued: out.jobs.iter().filter(|j| j.requeues > 0).count(),
+            mean_wait: mean(&|j| j.wait),
+            max_wait: completed.iter().map(|j| j.wait).fold(0.0, f64::max),
+            mean_turnaround: mean(&|j| j.turnaround),
+            mean_slowdown: mean(&|j| j.slowdown),
+            makespan: out.makespan,
+            utilization: if capacity > 0.0 { held / capacity } else { 0.0 },
+            backfill_rate: if n > 0 {
+                completed.iter().filter(|j| j.backfilled).count() as f64 / n as f64
+            } else {
+                0.0
+            },
+            throughput: if out.makespan > 0.0 { n as f64 / out.makespan } else { 0.0 },
+        }
+    }
+
+    /// One fixed-width summary line for experiment output.
+    pub fn render_row(&self, label: &str) -> String {
+        format!(
+            "{label:<18} jobs {:>4} done {:>4} degr {:>2} | wait {:>8.3}s turn {:>8.3}s slow {:>6.2} | makespan {:>8.2}s util {:>5.1}% bf {:>5.1}% thru {:>6.2}/s",
+            self.jobs,
+            self.completed,
+            self.degraded,
+            self.mean_wait,
+            self.mean_turnaround,
+            self.mean_slowdown,
+            self.makespan,
+            self.utilization * 100.0,
+            self.backfill_rate * 100.0,
+            self.throughput,
+        )
+    }
+}

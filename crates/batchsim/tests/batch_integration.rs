@@ -1,0 +1,158 @@
+//! End-to-end batch runs: determinism, discipline behaviour, fault
+//! degradation, and per-job kernel conformance.
+
+use batchsim::{
+    heavy_light_mix, run_batch, BatchConfig, BatchEvent, BatchFault, BatchJob, Discipline,
+    FleetStats,
+};
+use cluster::{JobSpec, LocalSched};
+
+fn cfg(discipline: Discipline) -> BatchConfig {
+    BatchConfig { discipline, ..Default::default() }
+}
+
+fn start_order(out: &batchsim::BatchOutcome) -> Vec<u64> {
+    out.events
+        .iter()
+        .filter_map(|e| match e {
+            BatchEvent::Start { job, .. } => Some(*job),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn fcfs_stream_completes_and_is_deterministic() {
+    let jobs = heavy_light_mix(2008, 24);
+    let a = run_batch(&jobs, &cfg(Discipline::Fcfs), None);
+    let b = run_batch(&jobs, &cfg(Discipline::Fcfs), None);
+    assert_eq!(a.jobs.len(), 24);
+    assert!(a.jobs.iter().all(|j| !j.outcome.degraded));
+    assert_eq!(a.render_trace(), b.render_trace(), "byte-identical traces");
+    let stats = FleetStats::from_outcome(&a);
+    assert_eq!(stats.completed, 24);
+    assert!(stats.makespan > 0.0 && stats.utilization > 0.0);
+    assert_eq!(a.metrics.counter("batch.jobs.submitted"), 24);
+    assert_eq!(a.metrics.counter("batch.jobs.completed"), 24);
+    assert_eq!(a.metrics.counter("batch.jobs.degraded"), 0);
+}
+
+#[test]
+fn fcfs_starts_in_arrival_order() {
+    let jobs = heavy_light_mix(5, 16);
+    let out = run_batch(&jobs, &cfg(Discipline::Fcfs), None);
+    let order = start_order(&out);
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(order, sorted, "FCFS never reorders: {order:?}");
+}
+
+#[test]
+fn sjf_runs_the_shortest_queued_job_first() {
+    // One node; three jobs queue up behind the first while it runs.
+    let mk = |id: u64, iters: u32, arrival: f64| {
+        BatchJob::new(id, JobSpec::new(format!("j{id}"), vec![0.05; 4], iters), arrival)
+    };
+    let jobs = vec![mk(0, 2, 0.01), mk(1, 6, 0.02), mk(2, 1, 0.03), mk(3, 3, 0.04)];
+    let one_node = BatchConfig { num_nodes: 1, discipline: Discipline::Sjf, ..Default::default() };
+    let out = run_batch(&jobs, &one_node, None);
+    assert_eq!(start_order(&out), vec![0, 2, 3, 1], "shortest first after the head");
+}
+
+#[test]
+fn easy_backfills_and_lowers_mean_wait_vs_fcfs() {
+    let jobs = heavy_light_mix(2008, 40);
+    let fcfs = FleetStats::from_outcome(&run_batch(&jobs, &cfg(Discipline::Fcfs), None));
+    let easy_out = run_batch(&jobs, &cfg(Discipline::Easy), None);
+    let easy = FleetStats::from_outcome(&easy_out);
+    assert!(easy.backfilled > 0, "mix must exercise backfill");
+    assert!(
+        easy.mean_wait < fcfs.mean_wait,
+        "EASY wait {:.4}s must beat FCFS {:.4}s",
+        easy.mean_wait,
+        fcfs.mean_wait
+    );
+    assert_eq!(
+        easy_out.metrics.counter("batch.jobs.backfilled"),
+        easy.backfilled as u64
+    );
+}
+
+#[test]
+fn node_failure_mid_queue_degrades_cleanly() {
+    let jobs = heavy_light_mix(11, 20);
+    let fault = BatchFault { node: 1, after_completions: 3, max_retries: 2, restart_secs: 0.2 };
+    for discipline in Discipline::ALL {
+        let out = run_batch(&jobs, &cfg(discipline), Some(&fault));
+        assert_eq!(out.failed_nodes, vec![1], "{discipline:?}");
+        assert_eq!(out.jobs.len(), 20, "{discipline:?}: every job accounted");
+        // Wide (3-node) jobs still fit the 3 survivors; everything that
+        // degrades must say so in its ClusterOutcome, never panic.
+        for j in &out.jobs {
+            if j.outcome.degraded {
+                assert!(j.outcome.failure.is_some() || j.first_start.is_none());
+            }
+        }
+        assert_eq!(out.metrics.counter("batch.nodes.failed"), 1);
+    }
+}
+
+#[test]
+fn fleet_shrunk_below_widest_job_drops_it_degraded() {
+    // 2-node fleet, wide job needs 2 nodes; after the failure it can
+    // never be placed and must degrade instead of deadlocking.
+    let jobs = vec![
+        BatchJob::new(0, JobSpec::new("narrow", vec![0.05; 4], 2), 0.01),
+        BatchJob::new(1, JobSpec::new("wide", vec![0.05; 8], 2), 0.02),
+        BatchJob::new(2, JobSpec::new("tail", vec![0.05; 2], 1), 0.03),
+    ];
+    let two = BatchConfig { num_nodes: 2, ..Default::default() };
+    let fault = BatchFault { node: 0, after_completions: 1, max_retries: 1, restart_secs: 0.1 };
+    let out = run_batch(&jobs, &two, Some(&fault));
+    let wide = &out.jobs[1];
+    assert!(wide.outcome.degraded, "wide job cannot fit one survivor");
+    let tail = &out.jobs[2];
+    assert!(!tail.outcome.degraded, "narrow tail still completes");
+}
+
+#[test]
+fn requeued_job_pays_restart_and_finishes_absorbed() {
+    // Single long job running when its node dies; it requeues onto the
+    // survivor and completes with an absorbed NodeFailureRecord.
+    let jobs = vec![
+        BatchJob::new(0, JobSpec::new("a", vec![0.05; 4], 1), 0.01),
+        BatchJob::new(1, JobSpec::new("b", vec![0.05; 4], 6), 0.02),
+    ];
+    let two = BatchConfig { num_nodes: 2, ..Default::default() };
+    let fault = BatchFault { node: 1, after_completions: 1, max_retries: 2, restart_secs: 0.3 };
+    let out = run_batch(&jobs, &two, Some(&fault));
+    let b = &out.jobs[1];
+    if b.requeues > 0 {
+        assert!(!b.outcome.degraded, "survivor absorbs the requeue");
+        let rec = b.outcome.failure.expect("failure recorded");
+        assert!(rec.absorbed);
+        assert_eq!(rec.node, 1);
+        assert_eq!(out.metrics.counter("batch.jobs.requeues"), 1);
+    }
+}
+
+#[test]
+fn per_job_kernels_are_conformance_clean() {
+    let jobs = heavy_light_mix(3, 8);
+    for sched in LocalSched::ALL {
+        let c = BatchConfig { verify_jobs: true, sched, ..Default::default() };
+        let out = run_batch(&jobs, &c, None);
+        assert!(!out.conformance.is_empty(), "{sched:?}: traces collected");
+        for (id, rep) in &out.conformance {
+            assert!(rep.is_clean(), "{sched:?} job {id}:\n{}", rep.render());
+        }
+    }
+}
+
+#[test]
+fn telemetry_wait_histogram_reconciles_with_records() {
+    let jobs = heavy_light_mix(17, 15);
+    let out = run_batch(&jobs, &cfg(Discipline::Easy), None);
+    let hist = out.metrics.histogram("batch.wait_us").expect("wait histogram present");
+    assert_eq!(hist.count as usize, out.jobs.len(), "one wait sample per completed job");
+}

@@ -26,6 +26,9 @@ pub mod placement;
 pub mod sim;
 
 pub use job::JobSpec;
+pub use node::{
+    run_node, run_node_sched, run_node_traced, static_prios, LocalSched, NodeRun, TracedNodeRun,
+};
 pub use placement::{place, Placement, PlacementError, PlacementStrategy};
 pub use sim::{
     run_cluster, run_cluster_faulted, ClusterConfig, ClusterOutcome, ClusterResult, NodeFailure,

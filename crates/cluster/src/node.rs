@@ -3,10 +3,58 @@
 
 use hpcsched::HpcKernelBuilder;
 use mpisim::{Mpi, MpiConfig};
-use power5::CpuId;
-use schedsim::{Kernel, SchedPolicy, SpawnOptions, TaskId};
+use power5::{CpuId, HwPriority};
+use schedsim::{Kernel, SchedPolicy, SharedSink, SpawnOptions, TaskId, TraceRecord};
 use simcore::SimDuration;
+use telemetry::MetricsSnapshot;
 use workloads::synthetic::BarrierGang;
+
+/// The node-local scheduler a job's ranks run under — the three regimes the
+/// paper compares, at per-node granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LocalSched {
+    /// Plain CFS without the HPC class: the "Linux-like" baseline.
+    Cfs,
+    /// Fixed hardware priorities derived from the load estimate at spawn
+    /// (heavy ranks HIGH, the rest MEDIUM) — the paper's earlier static
+    /// prioritization, with no dynamic rebalancing.
+    Static,
+    /// The full HPC scheduling class with dynamic priority balancing.
+    Hpc,
+}
+
+impl LocalSched {
+    pub const ALL: [LocalSched; 3] = [LocalSched::Cfs, LocalSched::Static, LocalSched::Hpc];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            LocalSched::Cfs => "cfs",
+            LocalSched::Static => "static",
+            LocalSched::Hpc => "hpc",
+        }
+    }
+
+    /// Parse a CLI label; accepts the `linux` alias for [`LocalSched::Cfs`].
+    pub fn parse(s: &str) -> Option<LocalSched> {
+        match s {
+            "cfs" | "linux" => Some(LocalSched::Cfs),
+            "static" => Some(LocalSched::Static),
+            "hpc" => Some(LocalSched::Hpc),
+            _ => None,
+        }
+    }
+}
+
+/// Static hardware priorities for a slot-load vector: ranks within 1% of
+/// the heaviest get HIGH, everyone else MEDIUM (mirrors the static mode of
+/// the MetBench experiments).
+pub fn static_prios(loads: &[f64]) -> Vec<HwPriority> {
+    let max = loads.iter().cloned().fold(0.0_f64, f64::max);
+    loads
+        .iter()
+        .map(|&l| if l >= 0.99 * max { HwPriority::HIGH } else { HwPriority::MEDIUM })
+        .collect()
+}
 
 /// Result of one node's run.
 #[derive(Clone, Debug)]
@@ -16,14 +64,65 @@ pub struct NodeRun {
     pub final_prios: Vec<u8>,
 }
 
+/// A node run with its full kernel trace and telemetry snapshot attached,
+/// for conformance checking of batch-scheduled jobs.
+#[derive(Clone, Debug)]
+pub struct TracedNodeRun {
+    pub run: NodeRun,
+    pub records: Vec<TraceRecord>,
+    pub metrics: MetricsSnapshot,
+}
+
 /// Run `loads` (one per CPU slot, in slot order) for `iterations`
 /// barrier-synchronized iterations on a fresh node.
 pub fn run_node(loads: &[f64], iterations: u32, hpc: bool, seed: u64) -> NodeRun {
+    let sched = if hpc { LocalSched::Hpc } else { LocalSched::Cfs };
+    run_node_sched(loads, iterations, sched, seed)
+}
+
+/// [`run_node`] generalized over all three node-local scheduler modes.
+pub fn run_node_sched(loads: &[f64], iterations: u32, sched: LocalSched, seed: u64) -> NodeRun {
+    run_node_impl(loads, iterations, sched, seed, None).0
+}
+
+/// Like [`run_node_sched`], but with a trace sink attached and the
+/// kernel's telemetry snapshotted, so the caller can conformance-check the
+/// node-local schedule (C001–C005).
+pub fn run_node_traced(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+) -> TracedNodeRun {
+    let sink = SharedSink::new();
+    let (run, metrics) = run_node_impl(loads, iterations, sched, seed, Some(sink.clone()));
+    TracedNodeRun { run, records: sink.snapshot(), metrics }
+}
+
+fn run_node_impl(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+    sink: Option<SharedSink>,
+) -> (NodeRun, MetricsSnapshot) {
     assert!(!loads.is_empty() && loads.len() <= 4, "a node has 4 slots");
     let builder = HpcKernelBuilder::new().seed(seed);
-    let mut kernel: Kernel =
-        if hpc { builder.build() } else { builder.without_hpc_class().build() };
-    let policy = if hpc { SchedPolicy::Hpc } else { SchedPolicy::Normal };
+    let mut kernel: Kernel = match sched {
+        LocalSched::Hpc => builder.build(),
+        LocalSched::Cfs | LocalSched::Static => builder.without_hpc_class().build(),
+    };
+    if let Some(sink) = sink {
+        kernel.observe(Box::new(sink));
+    }
+    let policy = match sched {
+        LocalSched::Hpc => SchedPolicy::Hpc,
+        LocalSched::Cfs | LocalSched::Static => SchedPolicy::Normal,
+    };
+    let prios = match sched {
+        LocalSched::Static => Some(static_prios(loads)),
+        LocalSched::Cfs | LocalSched::Hpc => None,
+    };
     let mpi = Mpi::new(loads.len(), MpiConfig::default());
     let ids: Vec<TaskId> = loads
         .iter()
@@ -33,17 +132,23 @@ pub fn run_node(loads: &[f64], iterations: u32, hpc: bool, seed: u64) -> NodeRun
                 format!("slot{slot}"),
                 policy,
                 Box::new(BarrierGang::new(mpi.clone(), slot, load, iterations)),
-                SpawnOptions { affinity: Some(vec![CpuId(slot)]), ..Default::default() },
+                SpawnOptions {
+                    affinity: Some(vec![CpuId(slot)]),
+                    hw_prio: prios.as_ref().map(|p| p[slot]),
+                    ..Default::default()
+                },
             )
         })
         .collect();
     let end = kernel
         .run_until_exited(&ids, SimDuration::from_secs(36_000))
         .expect("node run finishes");
-    NodeRun {
+    let run = NodeRun {
         exec_secs: end.as_secs_f64(),
         final_prios: ids.iter().map(|&t| kernel.task(t).hw_prio.value()).collect(),
-    }
+    };
+    let metrics = kernel.metrics_registry().snapshot();
+    (run, metrics)
 }
 
 #[cfg(test)]
@@ -72,5 +177,25 @@ mod tests {
         let r = run_node(&[0.1, 0.1], 3, true, 1);
         assert!(r.exec_secs > 0.0);
         assert_eq!(r.final_prios.len(), 2);
+    }
+
+    #[test]
+    fn static_mode_pins_heavy_ranks_high() {
+        let prios = static_prios(&[0.32, 0.08, 0.32, 0.08]);
+        assert_eq!(
+            prios,
+            vec![HwPriority::HIGH, HwPriority::MEDIUM, HwPriority::HIGH, HwPriority::MEDIUM]
+        );
+        let r = run_node_sched(&[0.32, 0.08, 0.32, 0.08], 3, LocalSched::Static, 1);
+        assert_eq!(r.final_prios, vec![6, 4, 6, 4], "static prios never move");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_carries_records() {
+        let plain = run_node_sched(&[0.1, 0.05], 3, LocalSched::Hpc, 9);
+        let traced = run_node_traced(&[0.1, 0.05], 3, LocalSched::Hpc, 9);
+        assert_eq!(plain.exec_secs, traced.run.exec_secs, "observer must not perturb");
+        assert!(!traced.records.is_empty());
+        assert_eq!(traced.metrics.counter("kernel.task_exits"), 2);
     }
 }

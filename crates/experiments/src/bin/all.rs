@@ -1,12 +1,14 @@
 //! Run the full evaluation: every table and figure, with paper-vs-measured
 //! summaries. Writes machine-readable outputs to `experiments_output/`.
 
+use experiments::cli::CliFlags;
 use experiments::paper::{BTMZ, METBENCH, METBENCHVAR, SIESTA};
-use experiments::report::{maybe_print_telemetry, maybe_verify, report, save_outputs};
+use experiments::report::{report, save_outputs};
 use experiments::runner::run_modes;
 use experiments::{ExperimentMode, WorkloadKind};
 
 fn main() {
+    let flags = CliFlags::from_env();
     let dir = std::path::Path::new("experiments_output");
     let all = ExperimentMode::ALL;
     let no_static =
@@ -23,8 +25,7 @@ fn main() {
         let results = run_modes(&wl, modes, 2008);
         let title = format!("{} (paper vs measured)", wl.name());
         print!("{}", report(&title, paper, &results, false));
-        maybe_print_telemetry(&results);
-        maybe_verify(&results);
+        flags.epilogue(&results);
         if let Err(e) = save_outputs(dir, slug, &results) {
             eprintln!("warning: could not save outputs for {slug}: {e}");
         }

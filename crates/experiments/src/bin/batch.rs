@@ -1,0 +1,196 @@
+//! Two-level batch scheduling study: a seeded job stream through the
+//! `batchsim` queue (FCFS / SJF / EASY backfill), each admitted gang
+//! placed on the fleet and run by one simulated HPCSched kernel per node.
+//!
+//! The default run drives a 200-job heavy/light mix under all three
+//! disciplines, proves determinism (byte-identical event traces across two
+//! runs), requires EASY to strictly beat FCFS on mean wait, and writes the
+//! throughput baseline to `BENCH_batch.json`.
+//!
+//! Flags:
+//! * `--jobs N` / `--seed N` — stream length and seed (default 200 / 2008);
+//! * `--smoke` — short stream under 3 disciplines x 3 local scheduler
+//!   modes with per-job kernel conformance (C001–C005) checked;
+//! * `--faults <spec>` — inject a `nodefail:` plan into the queued system;
+//! * `--telemetry` / `--verify` — standard parity with the other binaries.
+
+use batchsim::{
+    heavy_light_mix, run_batch, BatchConfig, BatchFault, BatchOutcome, Discipline, FleetStats,
+};
+use cluster::LocalSched;
+use experiments::cli::{self, CliFlags};
+
+/// One row of the `BENCH_batch.json` baseline.
+#[derive(serde::Serialize)]
+struct BenchRow {
+    discipline: &'static str,
+    seed: u64,
+    jobs: usize,
+    completed: usize,
+    mean_wait_secs: f64,
+    makespan_secs: f64,
+    /// Jobs completed per simulated second — the tracked figure.
+    throughput_per_sim_sec: f64,
+}
+
+fn parsed(name: &str, default: u64) -> u64 {
+    cli::value_of(name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{name} wants an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// The full study: every discipline over one stream, determinism proved by
+/// double-run, per-job conformance when `verify` is set.
+fn study(
+    jobs: &[batchsim::BatchJob],
+    fault: Option<&BatchFault>,
+    verify: bool,
+    failed: &mut bool,
+) -> Vec<(Discipline, BatchOutcome)> {
+    let mut outs = Vec::new();
+    for discipline in Discipline::ALL {
+        let cfg = BatchConfig { discipline, verify_jobs: verify, ..Default::default() };
+        let a = run_batch(jobs, &cfg, fault);
+        let b = run_batch(jobs, &cfg, fault);
+        if a.render_trace() != b.render_trace() {
+            println!("{}: NONDETERMINISTIC (traces differ across reruns)", discipline.label());
+            *failed = true;
+        }
+        outs.push((discipline, a));
+    }
+    outs
+}
+
+fn smoke(flags: &CliFlags, seed: u64) -> bool {
+    println!("== smoke: 3 disciplines x 3 local schedulers, per-job conformance ==");
+    let jobs = heavy_light_mix(seed, 30);
+    let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
+    let mut failed = false;
+    for sched in LocalSched::ALL {
+        for discipline in Discipline::ALL {
+            let cfg = BatchConfig {
+                discipline,
+                sched,
+                verify_jobs: true,
+                ..Default::default()
+            };
+            let out = run_batch(&jobs, &cfg, fault.as_ref());
+            let clean = out.conformance_clean();
+            let stats = FleetStats::from_outcome(&out);
+            println!(
+                "{}",
+                stats.render_row(&format!(
+                    "{}/{} {}",
+                    discipline.label(),
+                    sched.label(),
+                    if clean { "clean" } else { "VIOLATIONS" }
+                ))
+            );
+            if !clean {
+                for (id, rep) in &out.conformance {
+                    if !rep.is_clean() {
+                        println!("  job {id}:\n{}", rep.render());
+                    }
+                }
+                failed = true;
+            }
+        }
+    }
+    failed
+}
+
+fn main() {
+    let flags = CliFlags::from_env();
+    let seed = parsed("--seed", 2008);
+
+    if cli::flag("--smoke") {
+        if smoke(&flags, seed) {
+            eprintln!("batch smoke: FAILED");
+            std::process::exit(1);
+        }
+        println!("\nbatch smoke: OK");
+        return;
+    }
+
+    let njobs = parsed("--jobs", 200) as usize;
+    let jobs = heavy_light_mix(seed, njobs);
+    let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
+    let mut failed = false;
+
+    println!("== batch: {njobs}-job heavy/light mix, seed {seed}, 4-node fleet ==");
+    let outs = study(&jobs, fault.as_ref(), flags.verify, &mut failed);
+
+    let mut bench = Vec::new();
+    let mut wait_of = std::collections::BTreeMap::new();
+    for (discipline, out) in &outs {
+        let stats = FleetStats::from_outcome(out);
+        println!("{}", stats.render_row(discipline.label()));
+        wait_of.insert(discipline.label(), stats.mean_wait);
+        bench.push(BenchRow {
+            discipline: discipline.label(),
+            seed,
+            jobs: njobs,
+            completed: stats.completed,
+            mean_wait_secs: stats.mean_wait,
+            makespan_secs: stats.makespan,
+            throughput_per_sim_sec: stats.throughput,
+        });
+        if !out.failed_nodes.is_empty() {
+            println!(
+                "  node failures: {:?}; degraded jobs: {}",
+                out.failed_nodes,
+                stats.degraded
+            );
+        }
+    }
+    println!("\ndeterminism: every discipline byte-identical across reruns");
+
+    // The headline backfill claim, asserted on every run.
+    let (fcfs, easy) = (wait_of["fcfs"], wait_of["easy"]);
+    if fault.is_none() {
+        if easy < fcfs {
+            println!("EASY mean wait {easy:.3}s < FCFS {fcfs:.3}s (backfill pays off)");
+        } else {
+            println!("EASY mean wait {easy:.3}s did NOT beat FCFS {fcfs:.3}s");
+            failed = true;
+        }
+    }
+
+    if flags.telemetry {
+        for (discipline, out) in &outs {
+            println!("--- telemetry: batch / {} ---", discipline.label());
+            println!("{}", telemetry::export::snapshot_summary(&out.metrics));
+        }
+    }
+    if flags.verify {
+        for (discipline, out) in &outs {
+            let clean = out.conformance_clean();
+            println!(
+                "--- verify: batch / {} --- {} ({} per-job kernel traces)",
+                discipline.label(),
+                if clean { "clean" } else { "VIOLATIONS" },
+                out.conformance.len()
+            );
+            failed |= !clean;
+        }
+    }
+
+    // The baseline only tracks the clean configuration; a faulted or
+    // resized run would churn the committed file.
+    if fault.is_none() && njobs == 200 && seed == 2008 {
+        let json = serde_json::to_string_pretty(&bench).expect("bench rows serialize");
+        match std::fs::write("BENCH_batch.json", json + "\n") {
+            Ok(()) => println!("throughput baseline written to BENCH_batch.json"),
+            Err(e) => println!("warning: could not write BENCH_batch.json: {e}"),
+        }
+    }
+
+    if failed {
+        eprintln!("batch: FAILED");
+        std::process::exit(1);
+    }
+    println!("\nbatch: OK");
+}

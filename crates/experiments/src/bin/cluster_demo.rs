@@ -2,17 +2,39 @@
 //! (§VI): assign groups of tasks to nodes knowing the local HPCSched can
 //! dynamically rebalance inside each node.
 //!
-//! Compares three placement strategies × two local schedulers on skewed
-//! SPMD jobs. Expected shape: (1) HPCSched nodes beat CFS nodes under any
-//! placement; (2) the SMT-aware placement — which deliberately pairs heavy
-//! and light ranks on SMT siblings because the hardware-priority boost can
-//! exploit exactly that — matches or beats classic load-oblivious and
+//! The demo jobs are submitted as a tiny FCFS stream through `batchsim`
+//! (the two-level batch layer); each gang is placed with the chosen
+//! strategy and runs one simulated kernel per node. Expected shape:
+//! (1) HPCSched nodes beat CFS nodes under any placement; (2) the
+//! SMT-aware placement — which deliberately pairs heavy and light ranks
+//! on SMT siblings because the hardware-priority boost can exploit
+//! exactly that — matches or beats classic load-oblivious and
 //! load-balancing placements.
 
-use cluster::{run_cluster, ClusterConfig, JobSpec, PlacementStrategy};
+use batchsim::{run_batch, BatchConfig, BatchJob, Discipline, FleetStats};
+use cluster::{JobSpec, LocalSched, PlacementStrategy};
+use experiments::cli::CliFlags;
 use simcore::SimRng;
 
+/// One FCFS batch of the demo jobs on a `nodes`-node fleet.
+fn run_fcfs(
+    jobs: &[BatchJob],
+    nodes: usize,
+    strategy: PlacementStrategy,
+    sched: LocalSched,
+) -> batchsim::BatchOutcome {
+    let cfg = BatchConfig {
+        num_nodes: nodes,
+        discipline: Discipline::Fcfs,
+        sched,
+        placement: strategy,
+        ..Default::default()
+    };
+    run_batch(jobs, &cfg, None)
+}
+
 fn main() {
+    let flags = CliFlags::from_env();
     let strategies = [
         PlacementStrategy::RoundRobin,
         PlacementStrategy::GreedyLpt,
@@ -40,39 +62,42 @@ fn main() {
             "{:<12} {:>14} {:>14} {:>12}",
             "placement", "CFS nodes (s)", "HPC nodes (s)", "HPC gain"
         );
+        let stream = [BatchJob::new(0, job.clone(), 0.01)];
         for s in strategies {
-            let cfs = run_cluster(
-                job,
-                s,
-                &ClusterConfig { num_nodes: nodes, hpcsched_nodes: false, ..Default::default() },
-            )
-            .expect("demo jobs fit their clusters");
-            let hpc = run_cluster(
-                job,
-                s,
-                &ClusterConfig { num_nodes: nodes, hpcsched_nodes: true, ..Default::default() },
-            )
-            .expect("demo jobs fit their clusters");
+            let cfs = run_fcfs(&stream, nodes, s, LocalSched::Cfs);
+            let hpc = run_fcfs(&stream, nodes, s, LocalSched::Hpc);
+            let (cfs, hpc) =
+                (cfs.jobs[0].outcome.result.makespan, hpc.jobs[0].outcome.result.makespan);
             println!(
                 "{:<12} {:>14.3} {:>14.3} {:>11.1}%",
                 format!("{s:?}"),
-                cfs.makespan,
-                hpc.makespan,
-                100.0 * (cfs.makespan - hpc.makespan) / cfs.makespan
+                cfs,
+                hpc,
+                100.0 * (cfs - hpc) / cfs
             );
         }
         println!();
     }
+
+    // Both jobs through one queue: the bimodal gang holds 2 of 4 nodes
+    // while the irregular gang (4 nodes wide) waits behind it — the
+    // batch layer's wait/turnaround accounting on a toy stream.
+    let stream =
+        vec![BatchJob::new(0, bimodal, 0.01), BatchJob::new(1, irregular, 0.02)];
+    let out = run_fcfs(&stream, 4, PlacementStrategy::SmtAware, LocalSched::Hpc);
+    let stats = FleetStats::from_outcome(&out);
+    println!("== both jobs, one FCFS queue (4 nodes, SmtAware, HPCSched) ==");
+    println!("{}", stats.render_row("fcfs"));
+
     println!(
-        "The SMT-aware gang scheduler and the local HPCSched compose: the\n\
+        "\nThe SMT-aware gang scheduler and the local HPCSched compose: the\n\
          placement engineers per-core imbalance that the hardware priorities\n\
-         then absorb — the coordination the paper's future work envisions."
+         then absorb — the coordination the paper's future work envisions.\n\
+         The `batch` binary runs the full two-level study (disciplines,\n\
+         arrival streams, node failures)."
     );
-    if std::env::args().any(|a| a == "--telemetry") {
-        println!(
-            "\n(--telemetry: node kernels run inside the cluster crate and are\n\
-             not exposed here; use the single-node binaries — metbench, btmz,\n\
-             siesta — for kernel telemetry)"
-        );
+    if flags.telemetry {
+        println!("--- telemetry: batch / fcfs ---");
+        println!("{}", telemetry::export::snapshot_summary(&out.metrics));
     }
 }

@@ -12,7 +12,5 @@ fn main() {
     println!("The class walk is strict: no task of a lower class runs while a");
     println!("higher class has runnable tasks, preserving real-time semantics");
     println!("and giving HPC processes priority over normal tasks (paper IV).");
-    if std::env::args().any(|a| a == "--telemetry") {
-        println!("\n(--telemetry: this binary runs no scheduler kernel; nothing to report)");
-    }
+    experiments::cli::CliFlags::from_env().note_no_kernel();
 }

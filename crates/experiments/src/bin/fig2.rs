@@ -1,10 +1,12 @@
 //! Paper Figure 2: the iterative run/wait behaviour of one HPC task.
 
+use experiments::cli::CliFlags;
 use experiments::{run, ExperimentMode, WorkloadKind};
 use tracefmt::{render_timeline, AsciiOptions};
 use workloads::metbench::MetBenchConfig;
 
 fn main() {
+    let flags = CliFlags::from_env();
     let cfg = MetBenchConfig {
         loads: vec![0.3, 1.2, 0.3, 1.2],
         iterations: 6,
@@ -19,6 +21,5 @@ fn main() {
     for (i, (t, u)) in tl.iterations.iter().enumerate().skip(1) {
         println!("  iteration {:>2} ended at {:>8.3}s  Ui = {:>5.1}%", i, t.as_secs_f64(), u * 100.0);
     }
-    experiments::report::maybe_print_telemetry(std::slice::from_ref(&r));
-    experiments::report::maybe_verify(std::slice::from_ref(&r));
+    flags.epilogue(std::slice::from_ref(&r));
 }

@@ -7,10 +7,12 @@
 //! reports whether Hybrid stays competitive with the better of the two on
 //! each.
 
+use experiments::cli::CliFlags;
 use experiments::runner::run_modes;
 use experiments::{ExperimentMode, WorkloadKind};
 
 fn main() {
+    let flags = CliFlags::from_env();
     let modes = [
         ExperimentMode::Baseline,
         ExperimentMode::Uniform,
@@ -33,8 +35,7 @@ fn main() {
     let mut hybrid_ok = true;
     for wl in &cells {
         let results = run_modes(wl, &modes, 2008);
-        experiments::report::maybe_print_telemetry(&results);
-        experiments::report::maybe_verify(&results);
+        flags.epilogue(&results);
         let secs: Vec<f64> = results.iter().map(|r| r.exec_secs).collect();
         let (base, unif, adapt, hybrid) = (secs[0], secs[1], secs[2], secs[3]);
         let best = unif.min(adapt);

@@ -72,6 +72,7 @@ fn run(noise: NoiseConfig, hpc: bool) -> LatencyReport {
 }
 
 fn main() {
+    let flags = experiments::cli::CliFlags::from_env();
     println!("Wakeup→dispatch latency, SIESTA-like workload (microseconds)\n");
     println!(
         "{:<26} {:>10} {:>12} {:>14} {:>10}",
@@ -92,7 +93,7 @@ fn main() {
                 r.daemon_mean_us,
                 r.exec_secs,
             );
-            if experiments::report::telemetry_requested() {
+            if flags.telemetry {
                 println!(
                     "--- telemetry: {} / {} ---\n{}",
                     if hpc { "SCHED_HPC" } else { "CFS" },

@@ -1,20 +1,17 @@
 //! Paper Table IV / Figure 4 — MetBenchVar.
 
+use experiments::cli::CliFlags;
 use experiments::paper::METBENCHVAR;
-use experiments::report::{
-    faults_requested, maybe_print_faults, maybe_print_telemetry, maybe_verify, report, save_outputs,
-};
+use experiments::report::{report, save_outputs};
 use experiments::runner::run_modes_faulted;
 use experiments::{ExperimentMode, WorkloadKind};
 
 fn main() {
     let wl = WorkloadKind::MetBenchVar(Default::default());
-    let faults = faults_requested();
-    let results = run_modes_faulted(&wl, &ExperimentMode::ALL, 2008, faults.as_ref());
+    let flags = CliFlags::from_env();
+    let results = run_modes_faulted(&wl, &ExperimentMode::ALL, 2008, flags.faults.as_ref());
     print!("{}", report("Table IV / Figure 4 — MetBenchVar", METBENCHVAR, &results, true));
-    maybe_print_faults(&results);
-    maybe_print_telemetry(&results);
-    maybe_verify(&results);
+    flags.epilogue(&results);
     let dir = std::path::Path::new("experiments_output");
     if let Err(e) = save_outputs(dir, "metbenchvar", &results) {
         eprintln!("warning: could not save outputs: {e}");

@@ -1,25 +1,22 @@
 //! Paper Table VI / Figure 6 — SIESTA.
 
+use experiments::cli::CliFlags;
 use experiments::paper::SIESTA;
-use experiments::report::{
-    faults_requested, maybe_print_faults, maybe_print_telemetry, maybe_verify, report, save_outputs,
-};
+use experiments::report::{report, save_outputs};
 use experiments::runner::run_modes_faulted;
 use experiments::{ExperimentMode, WorkloadKind};
 
 fn main() {
     let wl = WorkloadKind::Siesta(Default::default());
-    let faults = faults_requested();
+    let flags = CliFlags::from_env();
     let results = run_modes_faulted(
         &wl,
         &[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive],
         2008,
-        faults.as_ref(),
+        flags.faults.as_ref(),
     );
     print!("{}", report("Table VI / Figure 6 — SIESTA", SIESTA, &results, true));
-    maybe_print_faults(&results);
-    maybe_print_telemetry(&results);
-    maybe_verify(&results);
+    flags.epilogue(&results);
     let dir = std::path::Path::new("experiments_output");
     if let Err(e) = save_outputs(dir, "siesta", &results) {
         eprintln!("warning: could not save outputs: {e}");

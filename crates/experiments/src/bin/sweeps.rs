@@ -92,7 +92,7 @@ fn main() {
          measurement noise and churn priorities."
     );
 
-    if experiments::report::telemetry_requested() {
+    if experiments::cli::CliFlags::from_env().telemetry {
         // Kernel metrics for one representative cell (paper-default
         // MetBench under Uniform).
         let wl = experiments::WorkloadKind::MetBench(Default::default());

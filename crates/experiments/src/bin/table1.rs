@@ -40,7 +40,5 @@ fn main() {
         println!("{:>10} {:>4} {:>16} {:>16}  ({},{})", d, r, ca, cb, paper_high, paper_low);
     }
     println!("\nAll measured windows match paper Table I.");
-    if std::env::args().any(|a| a == "--telemetry") {
-        println!("\n(--telemetry: this binary runs no scheduler kernel; nothing to report)");
-    }
+    experiments::cli::CliFlags::from_env().note_no_kernel();
 }

@@ -25,7 +25,5 @@ fn main() {
         );
     }
     println!("\nNote: priority 0 (thread off) has no or-nop encoding; the\nhypervisor switches threads off through the thread-control facility.");
-    if std::env::args().any(|a| a == "--telemetry") {
-        println!("\n(--telemetry: this binary runs no scheduler kernel; nothing to report)");
-    }
+    experiments::cli::CliFlags::from_env().note_no_kernel();
 }

@@ -1,0 +1,136 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary supports the same three flags; parsing lives here once
+//! instead of per-bin:
+//!
+//! * `--telemetry` — append each run's kernel metrics to the report;
+//! * `--verify` — print each run's conformance report and exit nonzero on
+//!   any invariant violation;
+//! * `--faults <spec>` — inject a [`faultsim::FaultPlan`] (see the spec
+//!   grammar in `faultsim::plan`); a malformed spec is a usage error.
+
+use crate::report::{fault_report, telemetry_report, verify_report};
+use crate::runner::RunResult;
+
+/// The standard experiment flags, parsed once at startup.
+#[derive(Debug, Default)]
+pub struct CliFlags {
+    pub telemetry: bool,
+    pub verify: bool,
+    pub faults: Option<faultsim::FaultPlan>,
+}
+
+impl CliFlags {
+    /// Parse the process arguments. A malformed or missing `--faults` spec
+    /// is a usage error: exit 2 rather than running un-faulted experiments
+    /// the caller did not ask for.
+    pub fn from_env() -> CliFlags {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match CliFlags::parse(&args) {
+            Ok(flags) => flags,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The testable core of [`CliFlags::from_env`].
+    pub fn parse(args: &[String]) -> Result<CliFlags, String> {
+        let mut flags = CliFlags::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--telemetry" => flags.telemetry = true,
+                "--verify" => flags.verify = true,
+                "--faults" => {
+                    let spec =
+                        it.next().ok_or_else(|| "--faults requires a spec argument".to_string())?;
+                    flags.faults =
+                        Some(faultsim::FaultPlan::parse(spec).map_err(|e| e.to_string())?);
+                }
+                _ => {}
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The standard end-of-report epilogue: fault summaries (when any run
+    /// carries one), telemetry (under `--telemetry`), and conformance
+    /// verdicts (under `--verify`, exiting 1 on violations).
+    pub fn epilogue(&self, results: &[RunResult]) {
+        if results.iter().any(|r| r.fault.is_some()) {
+            print!("{}", fault_report(results));
+        }
+        if self.telemetry {
+            print!("{}", telemetry_report(results));
+        }
+        if self.verify {
+            print!("{}", verify_report(results));
+            if results.iter().any(|r| !r.conformance.is_clean()) {
+                eprintln!("verify: invariant violations detected");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Note for binaries that run no scheduler kernel: acknowledge the
+    /// flag instead of silently ignoring it.
+    pub fn note_no_kernel(&self) {
+        if self.telemetry {
+            println!("\n(--telemetry: this binary runs no scheduler kernel; nothing to report)");
+        }
+    }
+}
+
+/// Generic `--name value` lookup for bin-specific options.
+pub fn value_of(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Generic boolean flag lookup for bin-specific options.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_three_standard_flags() {
+        let f = CliFlags::parse(&strs(&["--telemetry", "--verify"])).unwrap();
+        assert!(f.telemetry && f.verify && f.faults.is_none());
+        let f = CliFlags::parse(&strs(&[])).unwrap();
+        assert!(!f.telemetry && !f.verify);
+    }
+
+    #[test]
+    fn parses_a_fault_spec() {
+        let f = CliFlags::parse(&strs(&["--faults", "seed=7; slow:rank=1,at=100ms,factor=0.5"]))
+            .unwrap();
+        assert!(f.faults.is_some());
+    }
+
+    #[test]
+    fn malformed_faults_is_a_usage_error() {
+        assert!(CliFlags::parse(&strs(&["--faults"])).is_err());
+        assert!(CliFlags::parse(&strs(&["--faults", "nonsense:"])).is_err());
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let f = CliFlags::parse(&strs(&["--jobs", "200", "--verify"])).unwrap();
+        assert!(f.verify);
+    }
+}

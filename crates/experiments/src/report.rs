@@ -62,13 +62,6 @@ pub fn report(
     out
 }
 
-/// True when the process was invoked with `--telemetry`. Every experiment
-/// binary supports the flag; it appends the kernel metrics of each run to
-/// the report.
-pub fn telemetry_requested() -> bool {
-    std::env::args().any(|a| a == "--telemetry")
-}
-
 /// Render the end-of-run kernel metrics of each result: a JSON snapshot
 /// followed by a human-readable summary, per mode.
 pub fn telemetry_report(results: &[RunResult]) -> String {
@@ -79,39 +72,6 @@ pub fn telemetry_report(results: &[RunResult]) -> String {
         let _ = writeln!(out, "{}", telemetry::export::snapshot_summary(&r.metrics));
     }
     out
-}
-
-/// Print the telemetry report when `--telemetry` was passed on the command
-/// line; experiment binaries call this after their main report.
-pub fn maybe_print_telemetry(results: &[RunResult]) {
-    if telemetry_requested() {
-        print!("{}", telemetry_report(results));
-    }
-}
-
-/// The fault plan requested on the command line: `--faults <spec>` (see
-/// `faultsim::FaultPlan::parse` for the grammar). `None` without the flag;
-/// a malformed spec is a usage error and exits nonzero rather than running
-/// un-faulted experiments the caller did not ask for.
-pub fn faults_requested() -> Option<faultsim::FaultPlan> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a != "--faults" {
-            continue;
-        }
-        let Some(spec) = args.next() else {
-            eprintln!("--faults requires a spec argument");
-            std::process::exit(2);
-        };
-        match faultsim::FaultPlan::parse(&spec) {
-            Ok(plan) => return Some(plan),
-            Err(e) => {
-                eprintln!("{e}");
-                std::process::exit(2);
-            }
-        }
-    }
-    None
 }
 
 /// Render the fault summary of each fault-injected result.
@@ -126,20 +86,6 @@ pub fn fault_report(results: &[RunResult]) -> String {
     out
 }
 
-/// Print the fault summaries when any result carries one; experiment
-/// binaries call this after their main report.
-pub fn maybe_print_faults(results: &[RunResult]) {
-    if results.iter().any(|r| r.fault.is_some()) {
-        print!("{}", fault_report(results));
-    }
-}
-
-/// True when the process was invoked with `--verify`: print each run's
-/// invariant-conformance report and fail the process on any violation.
-pub fn verify_requested() -> bool {
-    std::env::args().any(|a| a == "--verify")
-}
-
 /// Render the conformance verdict of each result.
 pub fn verify_report(results: &[RunResult]) -> String {
     let mut out = String::new();
@@ -148,20 +94,6 @@ pub fn verify_report(results: &[RunResult]) -> String {
         let _ = writeln!(out, "{}", r.conformance.render().trim_end());
     }
     out
-}
-
-/// When `--verify` was passed, print the conformance report of each run and
-/// exit nonzero if any invariant was violated; experiment binaries call
-/// this after their main report.
-pub fn maybe_verify(results: &[RunResult]) {
-    if !verify_requested() {
-        return;
-    }
-    print!("{}", verify_report(results));
-    if results.iter().any(|r| !r.conformance.is_clean()) {
-        eprintln!("verify: invariant violations detected");
-        std::process::exit(1);
-    }
 }
 
 /// Persist machine-readable outputs of an experiment under `dir`.

@@ -12,7 +12,7 @@ use crate::observer::{KernelEvent, MetricEvent, Observer};
 use crate::policy::SchedPolicy;
 use crate::program::{Action, KernelApi, Program, TokenTable, WaitToken};
 use crate::task::{Task, TaskId, TaskState};
-use crate::trace::{TraceEvent, TraceRecord, TraceSink};
+use crate::trace::{TraceEvent, TraceRecord};
 use power5::{Chip, CpuId, HwPriority, PrivilegeLevel, TaskPerfTraits, Topology};
 use simcore::{EventId, EventQueue, EventQueueCounters, Histogram, SimDuration, SimRng, SimTime};
 use std::time::Instant;
@@ -143,9 +143,6 @@ pub struct Kernel {
     cpus: Vec<CpuState>,
     tokens: TokenTable,
     observers: Vec<Box<dyn Observer>>,
-    /// Sink installed through the deprecated `set_trace` API; kept separate
-    /// from `observers` so `take_trace` can still give it back.
-    legacy_trace: Option<Box<dyn TraceSink>>,
     rng: SimRng,
     registry: MetricsRegistry,
     counters: KernelCounters,
@@ -185,7 +182,6 @@ impl Kernel {
             cpus: (0..ncpus).map(|_| CpuState::new()).collect(),
             tokens: TokenTable::default(),
             observers: Vec::new(),
-            legacy_trace: None,
             rng,
             registry,
             counters,
@@ -225,18 +221,6 @@ impl Kernel {
     /// are deterministic (name-sorted).
     pub fn metrics_registry(&self) -> &MetricsRegistry {
         &self.registry
-    }
-
-    /// Attach a trace sink.
-    #[deprecated(note = "use `observe` — trace sinks are observers")]
-    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
-        self.legacy_trace = Some(sink);
-    }
-
-    /// Detach and return the trace sink.
-    #[deprecated(note = "use `observe` with a shared-handle sink instead")]
-    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
-        self.legacy_trace.take()
     }
 
     pub fn now(&self) -> SimTime {
@@ -1066,14 +1050,10 @@ impl Kernel {
             TraceEvent::Exit => self.counters.task_exits.inc(),
             _ => {}
         }
-        if self.observers.is_empty() && self.legacy_trace.is_none() {
+        if self.observers.is_empty() {
             return;
         }
-        let record = TraceRecord { time: self.now, task, event };
-        if let Some(sink) = self.legacy_trace.as_mut() {
-            sink.record(record.clone());
-        }
-        let kernel_event = KernelEvent::Trace(record);
+        let kernel_event = KernelEvent::Trace(TraceRecord { time: self.now, task, event });
         for obs in &mut self.observers {
             obs.on_event(&kernel_event);
         }
@@ -1417,26 +1397,6 @@ mod tests {
             .iter()
             .any(|e| matches!(e, TraceEvent::State { state: TaskState::Running, .. })));
         assert!(matches!(kinds.last(), Some(TraceEvent::Exit)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_set_take_trace_still_works() {
-        let mut k = kernel_1cpu();
-        k.set_trace(Box::new(crate::trace::VecSink::default()));
-        let t = k.spawn(
-            "legacy",
-            SchedPolicy::Normal,
-            Box::new(ScriptedProgram::compute_once(0.01)),
-            SpawnOptions::default(),
-        );
-        k.run_until_exited(&[t], SimDuration::from_secs(1)).unwrap();
-        let sink = k.take_trace().expect("sink still installed");
-        // The box comes back with the records it collected; downcasting is
-        // not possible through the trait object, but re-recording proves
-        // the returned sink is live.
-        drop(sink);
-        assert!(k.take_trace().is_none());
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl fmt::Display for Violation {
 }
 
 /// Everything a conformance pass found.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Report {
     pub violations: Vec<Violation>,
     pub records_checked: usize,

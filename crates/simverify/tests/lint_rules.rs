@@ -89,10 +89,11 @@ fn sv004_flags_deprecated_shims_anywhere_in_crates() {
 }
 
 #[test]
-fn sv004_exempts_the_shim_definitions_and_observe() {
-    // kernel.rs defines the shims; that is the one allowed home.
+fn sv004_flags_even_the_former_shim_home_and_passes_observe() {
+    // The shims are gone from kernel.rs, so its carve-out is gone too:
+    // a resurrected caller there is flagged like anywhere else.
     let src = "fn f(k: &mut Kernel) { k.set_trace(Box::new(NullSink)); }\n";
-    assert!(violations("crates/schedsim/src/kernel.rs", src).is_empty());
+    assert_eq!(violations("crates/schedsim/src/kernel.rs", src), vec!["SV004"]);
     let src = "fn f(k: &mut Kernel) { k.observe(Box::new(SharedSink::new())); }\n";
     assert!(violations("crates/workloads/src/metbench.rs", src).is_empty());
 }

@@ -28,5 +28,6 @@ pub mod metbenchvar;
 pub mod siesta;
 pub mod spawn;
 pub mod synthetic;
+pub mod templates;
 
 pub use spawn::{spawn_ranks, SchedulerSetup};

@@ -1,0 +1,71 @@
+//! Per-rank load *shapes* of the benchmark workloads, normalized to peak
+//! 1.0 — for callers (the batch layer) that need realistic heavy/light job
+//! mixes at arbitrary scale without instantiating the full MPI programs.
+//!
+//! A shape is a load vector divided by its maximum: multiply by a peak
+//! per-iteration work figure to get a [`cluster`]-style `rank_loads`
+//! vector with the same imbalance profile as the calibrated workload.
+
+use crate::btmz::BtMzConfig;
+use crate::metbench::MetBenchConfig;
+use crate::metbenchvar::MetBenchVarConfig;
+use crate::siesta::SiestaConfig;
+
+fn normalize(loads: &[f64]) -> Vec<f64> {
+    let max = loads.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return loads.to_vec();
+    }
+    loads.iter().map(|&l| l / max).collect()
+}
+
+/// MetBench's 1:4 SMT-sibling split (paper Table III profile).
+pub fn metbench_shape() -> Vec<f64> {
+    normalize(&MetBenchConfig::default().loads)
+}
+
+/// MetBenchVar's initial assignment (the variable-load variant).
+pub fn metbenchvar_shape() -> Vec<f64> {
+    normalize(&MetBenchVarConfig::default().base.loads)
+}
+
+/// BT-MZ's graded zone sizes.
+pub fn btmz_shape() -> Vec<f64> {
+    normalize(&BtMzConfig::default().zone_work)
+}
+
+/// SIESTA's hub-and-spokes profile, stretched to `ranks` ranks: rank 0 is
+/// the hub, spokes repeat the calibrated graded tail.
+pub fn siesta_shape(ranks: usize) -> Vec<f64> {
+    let base = normalize(&SiestaConfig::default().rank_work);
+    (0..ranks)
+        .map(|r| if r == 0 { base[0] } else { base[1 + (r - 1) % (base.len() - 1)] })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_peak_at_one() {
+        for shape in [metbench_shape(), metbenchvar_shape(), btmz_shape(), siesta_shape(8)] {
+            let max = shape.iter().cloned().fold(0.0_f64, f64::max);
+            assert!((max - 1.0).abs() < 1e-12, "{shape:?}");
+            assert!(shape.iter().all(|&l| l > 0.0));
+        }
+    }
+
+    #[test]
+    fn metbench_shape_keeps_sibling_split() {
+        assert_eq!(metbench_shape(), vec![0.25, 1.0, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn siesta_shape_stretches_hub_and_spokes() {
+        let s = siesta_shape(8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], 1.0, "hub is the heaviest");
+        assert!(s[1..].iter().all(|&l| l < 1.0));
+    }
+}
