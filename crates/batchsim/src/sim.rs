@@ -3,7 +3,8 @@
 //!
 //! # Determinism argument
 //!
-//! The whole simulation is a pure function of `(stream, config, fault)`:
+//! The whole simulation is a pure function of `(stream, config, fault)`,
+//! including [`BatchConfig::threads`]:
 //!
 //! * arrivals are a sorted input, ties broken by submission id;
 //! * every queue decision iterates jobs in a total order (discipline
@@ -13,12 +14,21 @@
 //!   time or the global node ids — so the oracle used for SJF ordering and
 //!   EASY shadow arithmetic returns exactly the duration the job will
 //!   take when it actually runs, whenever that is;
+//! * event timestamps are exact [`SimTime`] nanoseconds — equality and
+//!   ordering of completions, arrivals, and EASY shadow deadlines are
+//!   integer comparisons, with no float slack;
 //! * simulated time advances only to event timestamps (completions before
-//!   arrivals at equal times, both in id order).
+//!   arrivals at equal times, both in id order);
+//! * per-node kernel runs go through a [`simcore::Pool`]: each run is a
+//!   pure function of `(loads, iterations, sched, seed)` (see
+//!   [`cluster::node`]), per-node seeds are derived *serially* in node
+//!   order before anything is submitted, and the pool returns results in
+//!   submission order — so every reduction folds in node order and the
+//!   outcome is byte-identical at any thread count.
 //!
-//! The last two points make the EASY no-delay invariant *exact* rather
-//! than estimate-based: the reservation (shadow time) computed when the
-//! queue head blocks is the time the head actually starts, unless an
+//! The seed and timestamp points make the EASY no-delay invariant *exact*
+//! rather than estimate-based: the reservation (shadow time) computed when
+//! the queue head blocks is the time the head actually starts, unless an
 //! earlier completion improves it.
 
 use std::collections::{BTreeMap, VecDeque};
@@ -28,14 +38,12 @@ use cluster::{
     NodeFailureRecord, Placement, PlacementStrategy,
 };
 use faultsim::{NodeFailSpec, SplitMix64};
+use simcore::{Pool, PoolCounters, SimDuration, SimTime};
 use simverify::conformance::{check_with_metrics, CheckConfig, Report};
 use telemetry::{MetricsRegistry, MetricsSnapshot};
 
 use crate::discipline::Discipline;
 use crate::job::BatchJob;
-
-/// Float slack for comparing event timestamps and shadow deadlines.
-const EPS: f64 = 1e-9;
 
 /// Batch scheduler configuration.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +59,9 @@ pub struct BatchConfig {
     /// Trace every per-job kernel and conformance-check it (C001–C005);
     /// reports land in [`BatchOutcome::conformance`].
     pub verify_jobs: bool,
+    /// Worker threads for per-node kernel runs (1 = serial). Any value
+    /// produces byte-identical output; >1 only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for BatchConfig {
@@ -63,6 +74,7 @@ impl Default for BatchConfig {
             internode_latency: 20e-6,
             seed: 2008,
             verify_jobs: false,
+            threads: 1,
         }
     }
 }
@@ -93,33 +105,41 @@ impl BatchFault {
     }
 }
 
-/// One entry of the deterministic batch-level event trace.
+/// One entry of the deterministic batch-level event trace. Timestamps are
+/// exact simulated nanoseconds.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BatchEvent {
-    Submit { t: f64, job: u64, ranks: usize, nodes: usize },
-    Start { t: f64, job: u64, nodes: Vec<usize>, backfilled: bool },
-    Finish { t: f64, job: u64 },
-    NodeFail { t: f64, node: usize },
-    Requeue { t: f64, job: u64, remaining_iters: u32 },
-    Degraded { t: f64, job: u64, reason: &'static str },
+    Submit { t: SimTime, job: u64, ranks: usize, nodes: usize },
+    Start { t: SimTime, job: u64, nodes: Vec<usize>, backfilled: bool },
+    Finish { t: SimTime, job: u64 },
+    NodeFail { t: SimTime, node: usize },
+    Requeue { t: SimTime, job: u64, remaining_iters: u32 },
+    Degraded { t: SimTime, job: u64, reason: &'static str },
+}
+
+/// Exact seconds.nanoseconds rendering of an event timestamp — integer
+/// arithmetic only, so the text is a faithful image of the `SimTime`.
+fn render_t(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
 }
 
 impl BatchEvent {
     fn render(&self) -> String {
         match self {
             BatchEvent::Submit { t, job, ranks, nodes } => {
-                format!("{t:.9} submit job={job} ranks={ranks} nodes={nodes}")
+                format!("{} submit job={job} ranks={ranks} nodes={nodes}", render_t(*t))
             }
             BatchEvent::Start { t, job, nodes, backfilled } => {
-                format!("{t:.9} start job={job} nodes={nodes:?} backfilled={backfilled}")
+                format!("{} start job={job} nodes={nodes:?} backfilled={backfilled}", render_t(*t))
             }
-            BatchEvent::Finish { t, job } => format!("{t:.9} finish job={job}"),
-            BatchEvent::NodeFail { t, node } => format!("{t:.9} nodefail node={node}"),
+            BatchEvent::Finish { t, job } => format!("{} finish job={job}", render_t(*t)),
+            BatchEvent::NodeFail { t, node } => format!("{} nodefail node={node}", render_t(*t)),
             BatchEvent::Requeue { t, job, remaining_iters } => {
-                format!("{t:.9} requeue job={job} remaining={remaining_iters}")
+                format!("{} requeue job={job} remaining={remaining_iters}", render_t(*t))
             }
             BatchEvent::Degraded { t, job, reason } => {
-                format!("{t:.9} degraded job={job} reason={reason}")
+                format!("{} degraded job={job} reason={reason}", render_t(*t))
             }
         }
     }
@@ -131,12 +151,13 @@ impl BatchEvent {
 pub struct ReservationRecord {
     pub job: u64,
     /// When the reservation was made.
-    pub at: f64,
+    pub at: SimTime,
     /// The shadow time: earliest instant enough nodes free up.
-    pub shadow: f64,
+    pub shadow: SimTime,
 }
 
-/// Final per-job accounting.
+/// Final per-job accounting. Times here are derived *reporting* floats;
+/// the exact event clock lives in [`BatchEvent`].
 #[derive(Clone, Debug)]
 pub struct JobRecord {
     pub id: u64,
@@ -176,6 +197,11 @@ pub struct BatchOutcome {
     /// Last event timestamp.
     pub makespan: f64,
     pub metrics: MetricsSnapshot,
+    /// Executor-pool telemetry (batches, tasks, worker busy nanoseconds).
+    /// Busy time is *host* wall-clock: never fold this snapshot into
+    /// determinism or byte-identity comparisons — everything else in the
+    /// outcome is thread-count-invariant, this is not.
+    pub pool_metrics: MetricsSnapshot,
     /// Per-job kernel conformance reports (one per node segment), present
     /// when [`BatchConfig::verify_jobs`] is set.
     pub conformance: Vec<(u64, Report)>,
@@ -211,6 +237,10 @@ struct SegmentRun {
 /// iterations) segment once on real kernels and memoizes. Because seeds
 /// never involve time or global node ids, SJF ordering and EASY shadow
 /// arithmetic read the *exact* durations later admissions will take.
+///
+/// Node runs within a segment are independent and go through the pool;
+/// seeds are forked serially in node order first, so the fork sequence —
+/// part of the determinism contract — never depends on thread scheduling.
 struct Oracle {
     cache: BTreeMap<(u64, u32), SegmentRun>,
     sched: LocalSched,
@@ -218,6 +248,7 @@ struct Oracle {
     internode_latency: f64,
     seed: u64,
     verify_jobs: bool,
+    pool: Pool,
 }
 
 impl Oracle {
@@ -230,27 +261,55 @@ impl Oracle {
         // enough slots for every rank, so placement cannot fail here.
         let placement =
             place(spec, nodes_needed, self.placement).expect("sized allocation always fits");
-        let mut rng =
-            SplitMix64::new(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Fork per-node seeds serially, in node order, exactly as the
+        // serial loop did: empty slots draw nothing. Only then fan out.
+        let mut rng = SplitMix64::new(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seeds: Vec<Option<u64>> = placement
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(local, slots)| {
+                if slots.is_empty() {
+                    None
+                } else {
+                    Some(rng.fork(local as u64 + 1).next_u64())
+                }
+            })
+            .collect();
+        let sched = self.sched;
+        let verify = self.verify_jobs;
+        let iterations = spec.iterations;
+        let tasks: Vec<_> = placement
+            .nodes
+            .iter()
+            .zip(&seeds)
+            .map(|(slots, &seed)| {
+                let loads: Vec<f64> = slots.iter().map(|&r| spec.rank_loads[r]).collect();
+                move || match seed {
+                    None => (0.0, None),
+                    Some(seed) if verify => {
+                        let traced = run_node_traced(&loads, iterations, sched, seed);
+                        let report = check_with_metrics(
+                            &traced.records,
+                            &traced.metrics,
+                            &CheckConfig::default(),
+                        );
+                        (traced.run.exec_secs, Some(report))
+                    }
+                    Some(seed) => {
+                        (run_node_sched(&loads, iterations, sched, seed).exec_secs, None)
+                    }
+                }
+            })
+            .collect();
+        // Submission order == node order, so the merge below folds node
+        // results exactly as the serial loop would.
         let mut node_secs = Vec::with_capacity(placement.nodes.len());
         let mut reports = Vec::new();
-        for (local, slots) in placement.nodes.iter().enumerate() {
-            if slots.is_empty() {
-                node_secs.push(0.0);
-                continue;
-            }
-            let loads: Vec<f64> = slots.iter().map(|&r| spec.rank_loads[r]).collect();
-            let node_seed = rng.fork(local as u64 + 1).next_u64();
-            if self.verify_jobs {
-                let traced = run_node_traced(&loads, spec.iterations, self.sched, node_seed);
-                reports.push(check_with_metrics(
-                    &traced.records,
-                    &traced.metrics,
-                    &CheckConfig::default(),
-                ));
-                node_secs.push(traced.run.exec_secs);
-            } else {
-                node_secs.push(run_node_sched(&loads, spec.iterations, self.sched, node_seed).exec_secs);
+        for (secs, report) in self.pool.run(tasks) {
+            node_secs.push(secs);
+            if let Some(r) = report {
+                reports.push(r);
             }
         }
         let slowest = node_secs.iter().cloned().fold(0.0, f64::max);
@@ -274,7 +333,7 @@ struct Tracker {
     /// The spec of the next (or currently running) segment; iterations
     /// shrink when a node failure forces a requeue.
     remaining: JobSpec,
-    first_start: Option<f64>,
+    first_start: Option<SimTime>,
     node_secs_held: f64,
     run_secs: f64,
     iters_done: u32,
@@ -289,8 +348,8 @@ struct Tracker {
 struct Running {
     id: u64,
     nodes: Vec<usize>,
-    start: f64,
-    end: f64,
+    start: SimTime,
+    end: SimTime,
     run: SegmentRun,
 }
 
@@ -336,6 +395,11 @@ impl Counters {
     }
 }
 
+/// A job's submission instant on the exact event clock.
+fn arrival_time(job: &BatchJob) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs_f64(job.arrival)
+}
+
 /// Run a batch stream to completion. Never panics on the fault path: jobs
 /// that cannot be (re)placed degrade with partial accounting instead.
 pub fn run_batch(
@@ -345,15 +409,16 @@ pub fn run_batch(
 ) -> BatchOutcome {
     let registry = MetricsRegistry::new();
     let ctr = Counters::new(&registry);
+    // Pool telemetry includes host wall-clock busy time, so it lives on
+    // its own registry, snapshotted into the (non-deterministic)
+    // `pool_metrics` field rather than the byte-compared `metrics`.
+    let pool_registry = MetricsRegistry::new();
+    let pool =
+        Pool::with_counters(cfg.threads, PoolCounters::register(&pool_registry, "exec.pool"));
 
     let mut arrivals: VecDeque<BatchJob> = {
         let mut v: Vec<BatchJob> = stream.to_vec();
-        v.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        v.sort_by_key(|j| (arrival_time(j), j.id));
         v.into()
     };
 
@@ -364,6 +429,7 @@ pub fn run_batch(
         internode_latency: cfg.internode_latency,
         seed: cfg.seed,
         verify_jobs: cfg.verify_jobs,
+        pool,
     };
     let mut fleet = Fleet { up: vec![true; cfg.num_nodes], busy: vec![false; cfg.num_nodes] };
     let mut trackers: BTreeMap<u64, Tracker> = BTreeMap::new();
@@ -375,7 +441,7 @@ pub fn run_batch(
     let mut conformance: Vec<(u64, Report)> = Vec::new();
     let mut completions: u32 = 0;
     let mut fault_armed = fault.filter(|f| f.node < cfg.num_nodes).copied();
-    let mut now = 0.0_f64;
+    let mut now = SimTime::ZERO;
 
     // A fault at zero completions hits an idle fleet before any admission.
     maybe_fire_fault(
@@ -407,22 +473,20 @@ pub fn run_batch(
             &ctr,
         );
 
-        let next_finish = running
-            .iter()
-            .map(|r| r.end)
-            .fold(f64::INFINITY, f64::min);
-        let next_arrival = arrivals.front().map_or(f64::INFINITY, |j| j.arrival);
-        if next_finish.is_infinite() && next_arrival.is_infinite() {
+        let next_finish = running.iter().map(|r| r.end).min().unwrap_or(SimTime::MAX);
+        let next_arrival = arrivals.front().map_or(SimTime::MAX, arrival_time);
+        if next_finish == SimTime::MAX && next_arrival == SimTime::MAX {
             break;
         }
         now = next_finish.min(next_arrival);
 
         // Completions first (freeing nodes for same-instant arrivals), in
-        // id order for determinism.
+        // id order for determinism. Timestamps are exact nanoseconds, so
+        // "same instant" is integer equality.
         let mut finished: Vec<Running> = Vec::new();
         let mut keep: Vec<Running> = Vec::new();
         for r in running.drain(..) {
-            if r.end <= now + EPS {
+            if r.end <= now {
                 finished.push(r);
             } else {
                 keep.push(r);
@@ -447,7 +511,7 @@ pub fn run_batch(
             );
         }
 
-        while arrivals.front().is_some_and(|j| j.arrival <= now + EPS) {
+        while arrivals.front().is_some_and(|j| arrival_time(j) <= now) {
             // INVARIANT: guarded by the is_some_and above.
             let job = arrivals.pop_front().expect("front checked");
             ctr.submitted.inc();
@@ -481,7 +545,8 @@ pub fn run_batch(
         }
     }
 
-    let makespan = events.iter().map(event_time).fold(0.0, f64::max);
+    let makespan =
+        events.iter().map(event_time).max().map_or(0.0, |t| t.as_secs_f64());
     let mut jobs: Vec<JobRecord> = records.into_values().collect();
     jobs.sort_by_key(|r| r.id);
     BatchOutcome {
@@ -492,11 +557,12 @@ pub fn run_batch(
         failed_nodes: (0..cfg.num_nodes).filter(|&n| !fleet.up[n]).collect(),
         makespan,
         metrics: registry.snapshot(),
+        pool_metrics: pool_registry.snapshot(),
         conformance,
     }
 }
 
-fn event_time(e: &BatchEvent) -> f64 {
+fn event_time(e: &BatchEvent) -> SimTime {
     match e {
         BatchEvent::Submit { t, .. }
         | BatchEvent::Start { t, .. }
@@ -510,7 +576,7 @@ fn event_time(e: &BatchEvent) -> f64 {
 #[allow(clippy::too_many_arguments)]
 fn complete(
     seg: Running,
-    now: f64,
+    now: SimTime,
     fleet: &mut Fleet,
     trackers: &mut BTreeMap<u64, Tracker>,
     records: &mut BTreeMap<u64, JobRecord>,
@@ -528,14 +594,14 @@ fn complete(
         // if the map was corrupted, and degrading silently beats a panic.
         return;
     };
-    let held = (now - seg.start) * seg.nodes.len() as f64;
-    tr.node_secs_held += held;
-    tr.run_secs += now - seg.start;
+    let ran = now.saturating_since(seg.start).as_secs_f64();
+    tr.node_secs_held += ran * seg.nodes.len() as f64;
+    tr.run_secs += ran;
     tr.iters_done += tr.remaining.iterations;
     let full_service = oracle.service(tr.job.id, &tr.job.spec);
     let first_start = tr.first_start.unwrap_or(seg.start);
-    let wait = first_start - tr.job.arrival;
-    let turnaround = now - tr.job.arrival;
+    let wait = first_start.saturating_since(arrival_time(&tr.job)).as_secs_f64();
+    let turnaround = now.saturating_since(arrival_time(&tr.job)).as_secs_f64();
     ctr.wait_us.record((wait * 1e6) as u64);
     ctr.turnaround_us.record((turnaround * 1e6) as u64);
     if tr.backfilled {
@@ -547,9 +613,9 @@ fn complete(
             id: seg.id,
             name: tr.job.spec.name.clone(),
             ranks: tr.job.spec.ranks(),
-            arrival: tr.job.arrival,
-            first_start: Some(first_start),
-            end: now,
+            arrival: arrival_time(&tr.job).as_secs_f64(),
+            first_start: Some(first_start.as_secs_f64()),
+            end: now.as_secs_f64(),
             wait,
             turnaround,
             slowdown: if full_service > 0.0 { turnaround / full_service } else { 1.0 },
@@ -578,7 +644,7 @@ fn complete(
 fn maybe_fire_fault(
     fault: &mut Option<BatchFault>,
     completions: u32,
-    now: f64,
+    now: SimTime,
     fleet: &mut Fleet,
     running: &mut Vec<Running>,
     trackers: &mut BTreeMap<u64, Tracker>,
@@ -614,11 +680,12 @@ fn maybe_fire_fault(
         // INVARIANT: every running segment has a tracker (see `complete`).
         return;
     };
-    let elapsed = now - seg.start;
+    let elapsed = now.saturating_since(seg.start).as_secs_f64();
     tr.node_secs_held += elapsed * seg.nodes.len() as f64;
     tr.run_secs += elapsed;
     let iters = tr.remaining.iterations;
-    let frac = if seg.end > seg.start { elapsed / (seg.end - seg.start) } else { 0.0 };
+    let span = seg.end.saturating_since(seg.start).as_secs_f64();
+    let frac = if span > 0.0 { elapsed / span } else { 0.0 };
     let iters_done = ((frac * iters as f64) as u32).min(iters.saturating_sub(1));
     tr.iters_done += iters_done;
     let remaining_iters = iters - iters_done;
@@ -643,7 +710,7 @@ fn maybe_fire_fault(
 #[allow(clippy::too_many_arguments)]
 fn degrade(
     id: u64,
-    now: f64,
+    now: SimTime,
     reason: &'static str,
     fleet: &Fleet,
     trackers: &mut BTreeMap<u64, Tracker>,
@@ -664,11 +731,11 @@ fn degrade(
             id,
             name: tr.job.spec.name.clone(),
             ranks: tr.job.spec.ranks(),
-            arrival: tr.job.arrival,
-            first_start: tr.first_start,
-            end: now,
+            arrival: arrival_time(&tr.job).as_secs_f64(),
+            first_start: tr.first_start.map(SimTime::as_secs_f64),
+            end: now.as_secs_f64(),
             wait: 0.0,
-            turnaround: now - tr.job.arrival,
+            turnaround: now.saturating_since(arrival_time(&tr.job)).as_secs_f64(),
             slowdown: 0.0,
             backfilled: tr.backfilled,
             requeues: tr.requeues,
@@ -694,7 +761,7 @@ fn degrade(
 #[allow(clippy::too_many_arguments)]
 fn schedule(
     cfg: &BatchConfig,
-    now: f64,
+    now: SimTime,
     oracle: &mut Oracle,
     fleet: &mut Fleet,
     trackers: &mut BTreeMap<u64, Tracker>,
@@ -751,22 +818,22 @@ fn schedule(
     let Some(&head) = queue.front() else { return };
     let head_need = trackers.get(&head).map_or(0, |t| t.job.nodes_needed());
     let mut free = fleet.free_ids().len();
-    let mut ends: Vec<(f64, usize)> = running.iter().map(|r| (r.end, r.nodes.len())).collect();
-    ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ends: Vec<(SimTime, usize)> = running.iter().map(|r| (r.end, r.nodes.len())).collect();
+    ends.sort_by_key(|&(end, _)| end);
     let mut avail = free;
-    let mut shadow = f64::INFINITY;
+    let mut shadow: Option<SimTime> = None;
     for (end, n) in ends {
         avail += n;
         if avail >= head_need {
-            shadow = end;
+            shadow = Some(end);
             break;
         }
     }
-    if shadow.is_infinite() {
+    let Some(shadow) = shadow else {
         // Head cannot be satisfied even when everything drains — it would
         // have been dropped as unplaceable above; leave the queue alone.
         return;
-    }
+    };
     reservations
         .entry(head)
         .or_insert(ReservationRecord { job: head, at: now, shadow });
@@ -782,7 +849,9 @@ fn schedule(
             continue;
         }
         let svc = queued_service(oracle, trackers, id);
-        let fits_before_shadow = now + svc <= shadow + EPS;
+        // Exact nanosecond comparison: the candidate's completion instant
+        // is computed the same way `admit` will compute it.
+        let fits_before_shadow = now + SimDuration::from_secs_f64(svc) <= shadow;
         let fits_in_spare = need <= spare;
         if !fits_before_shadow && !fits_in_spare {
             continue;
@@ -813,7 +882,7 @@ fn queued_service(oracle: &mut Oracle, trackers: &BTreeMap<u64, Tracker>, id: u6
 fn admit(
     id: u64,
     alloc: &[usize],
-    now: f64,
+    now: SimTime,
     backfilled: bool,
     cfg: &BatchConfig,
     oracle: &mut Oracle,
@@ -851,5 +920,11 @@ fn admit(
         nodes: alloc.to_vec(),
         backfilled,
     });
-    running.push(Running { id, nodes: alloc.to_vec(), start: now, end: now + service, run });
+    running.push(Running {
+        id,
+        nodes: alloc.to_vec(),
+        start: now,
+        end: now + SimDuration::from_secs_f64(service),
+        run,
+    });
 }

@@ -89,12 +89,13 @@ proptest! {
                 BatchEvent::Start { t, job, .. } if *job == r.job => Some(*t),
                 _ => None,
             });
-            // Without faults a reserved head always starts.
+            // Without faults a reserved head always starts. Timestamps are
+            // exact nanoseconds now, so the invariant needs no slack.
             prop_assert!(start.is_some(), "reserved job {} never started", r.job);
-            let start = start.unwrap_or(f64::INFINITY);
+            let start = start.unwrap_or(simcore::SimTime::MAX);
             prop_assert!(
-                start <= r.shadow + 1e-9,
-                "job {} reserved at {:.6} for shadow {:.6} but started {:.6}",
+                start <= r.shadow,
+                "job {} reserved at {} for shadow {} but started {}",
                 r.job, r.at, r.shadow, start
             );
         }
@@ -107,14 +108,14 @@ proptest! {
         let jobs = heavy_light_mix(seed ^ 0xb00c, 10);
         let out = run_batch(&jobs, &small_cfg(Discipline::Easy), None);
         prop_assert!(out.jobs.iter().all(|j| !j.outcome.degraded));
-        // Monotone event times (the batch-level C002 analogue).
-        let times: Vec<f64> = out.events.iter().map(|e| match e {
+        // Monotone event times (the batch-level C002 analogue) — exact.
+        let times: Vec<simcore::SimTime> = out.events.iter().map(|e| match e {
             BatchEvent::Submit { t, .. } | BatchEvent::Start { t, .. }
             | BatchEvent::Finish { t, .. } | BatchEvent::NodeFail { t, .. }
             | BatchEvent::Requeue { t, .. } | BatchEvent::Degraded { t, .. } => *t,
         }).collect();
         for w in times.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-9, "event time went backwards");
+            prop_assert!(w[1] >= w[0], "event time went backwards");
         }
     }
 }

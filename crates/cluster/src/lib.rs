@@ -31,6 +31,6 @@ pub use node::{
 };
 pub use placement::{place, Placement, PlacementError, PlacementStrategy};
 pub use sim::{
-    run_cluster, run_cluster_faulted, ClusterConfig, ClusterOutcome, ClusterResult, NodeFailure,
-    NodeFailureRecord,
+    run_cluster, run_cluster_faulted, run_cluster_faulted_with, run_cluster_with, ClusterConfig,
+    ClusterOutcome, ClusterResult, NodeFailure, NodeFailureRecord,
 };

@@ -1,5 +1,15 @@
 //! Per-node execution: run one node's assigned ranks on a real simulated
 //! kernel and measure the node's completion time.
+//!
+//! # Purity contract
+//!
+//! Every entry point here ([`run_node`], [`run_node_sched`],
+//! [`run_node_traced`]) is a *pure function* of `(loads, iterations, sched,
+//! seed)`: the kernel, MPI fabric, and barrier gang are constructed fresh
+//! inside the call, nothing escapes, and no global mutable state is read or
+//! written. That is what lets `cluster::sim` and `batchsim` submit node runs
+//! to [`simcore::Pool`] from any thread — the result depends only on the
+//! arguments, never on which thread ran it or when.
 
 use hpcsched::HpcKernelBuilder;
 use mpisim::{Mpi, MpiConfig};
@@ -98,6 +108,14 @@ pub fn run_node_traced(
     let (run, metrics) = run_node_impl(loads, iterations, sched, seed, Some(sink.clone()));
     TracedNodeRun { run, records: sink.snapshot(), metrics }
 }
+
+// Compile-time guard for the purity contract's `Send` half: node-run
+// results must cross pool-thread boundaries.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<NodeRun>();
+    assert_send::<TracedNodeRun>();
+};
 
 fn run_node_impl(
     loads: &[f64],

@@ -11,6 +11,7 @@ use crate::job::JobSpec;
 use crate::node::run_node;
 use crate::placement::{place, Placement, PlacementError, PlacementStrategy};
 use serde::{Deserialize, Serialize};
+use simcore::Pool;
 
 /// Cluster parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -83,25 +84,48 @@ pub struct ClusterOutcome {
     pub degraded: bool,
 }
 
-/// Place and run `job` on the cluster.
+/// Place and run `job` on the cluster, serially.
 pub fn run_cluster(
     job: &JobSpec,
     strategy: PlacementStrategy,
     cfg: &ClusterConfig,
 ) -> Result<ClusterResult, PlacementError> {
+    run_cluster_with(job, strategy, cfg, &Pool::serial())
+}
+
+/// [`run_cluster`] with the per-node kernel runs submitted to `pool`.
+///
+/// Each node run is a pure function of `(loads, iterations, sched, seed)` —
+/// see [`crate::node`] — and the per-node seed is `cfg.seed ^ node`, fixed
+/// before any run starts, so node runs are independent. The pool returns
+/// results in node order, which keeps the `node_secs` vector and the
+/// makespan reduction byte-identical to the serial loop at any thread count.
+pub fn run_cluster_with(
+    job: &JobSpec,
+    strategy: PlacementStrategy,
+    cfg: &ClusterConfig,
+    pool: &Pool,
+) -> Result<ClusterResult, PlacementError> {
     let placement = place(job, cfg.num_nodes, strategy)?;
-    let node_secs: Vec<f64> = placement
+    let tasks: Vec<_> = placement
         .nodes
         .iter()
         .enumerate()
         .map(|(n, slots)| {
-            if slots.is_empty() {
-                return 0.0;
-            }
             let loads: Vec<f64> = slots.iter().map(|&r| job.rank_loads[r]).collect();
-            run_node(&loads, job.iterations, cfg.hpcsched_nodes, cfg.seed ^ n as u64).exec_secs
+            let iterations = job.iterations;
+            let hpc = cfg.hpcsched_nodes;
+            let seed = cfg.seed ^ n as u64;
+            move || {
+                if loads.is_empty() {
+                    0.0
+                } else {
+                    run_node(&loads, iterations, hpc, seed).exec_secs
+                }
+            }
         })
         .collect();
+    let node_secs = pool.run(tasks);
     let slowest = node_secs.iter().cloned().fold(0.0, f64::max);
     let makespan = slowest + cfg.internode_latency * job.iterations as f64;
     Ok(ClusterResult { placement, node_secs, makespan })
@@ -120,13 +144,27 @@ pub fn run_cluster_faulted(
     cfg: &ClusterConfig,
     failure: Option<&NodeFailure>,
 ) -> Result<ClusterOutcome, PlacementError> {
+    run_cluster_faulted_with(job, strategy, cfg, failure, &Pool::serial())
+}
+
+/// [`run_cluster_faulted`] with node runs submitted to `pool`. The recovery
+/// phases stay sequential (phase 2 depends on phase 1's placement), but the
+/// node runs inside each phase parallelize; determinism follows from
+/// [`run_cluster_with`]'s ordered merge.
+pub fn run_cluster_faulted_with(
+    job: &JobSpec,
+    strategy: PlacementStrategy,
+    cfg: &ClusterConfig,
+    failure: Option<&NodeFailure>,
+    pool: &Pool,
+) -> Result<ClusterOutcome, PlacementError> {
     let fires = failure
         .filter(|f| f.node < cfg.num_nodes && f.at_iteration < job.iterations);
     let Some(f) = fires else {
         // No failure (or it targets a node / iteration outside the run):
         // identical to the plain path.
         return Ok(ClusterOutcome {
-            result: run_cluster(job, strategy, cfg)?,
+            result: run_cluster_with(job, strategy, cfg, pool)?,
             failure: None,
             degraded: false,
         });
@@ -139,7 +177,7 @@ pub fn run_cluster_faulted(
         ClusterResult { placement, node_secs, makespan: 0.0 }
     } else {
         let done = JobSpec::new(job.name.clone(), job.rank_loads.clone(), f.at_iteration);
-        run_cluster(&done, strategy, cfg)?
+        run_cluster_with(&done, strategy, cfg, pool)?
     };
 
     // Phase 2: requeue the remaining iterations on the survivors, bounded
@@ -150,7 +188,7 @@ pub fn run_cluster_faulted(
     let mut retries_used = 0;
     while retries_used < f.max_retries {
         retries_used += 1;
-        match run_cluster(&remaining, strategy, &survivors) {
+        match run_cluster_with(&remaining, strategy, &survivors, pool) {
             Ok(rest) => {
                 let makespan =
                     pre.makespan + retries_used as f64 * f.restart_secs + rest.makespan;
@@ -295,6 +333,39 @@ mod tests {
         let out = run_cluster_faulted(&job, PlacementStrategy::RoundRobin, &cfg(1, true), Some(&f))
             .expect("initial placement fits");
         assert!(out.degraded, "zero survivors can never absorb");
+    }
+
+    #[test]
+    fn parallel_cluster_run_is_bit_identical_to_serial() {
+        let job = heavy_light_job();
+        let c = cfg(2, true);
+        let serial = run_cluster(&job, PlacementStrategy::SmtAware, &c).expect("fits");
+        for threads in [2, 4, 8] {
+            let par = run_cluster_with(&job, PlacementStrategy::SmtAware, &c, &Pool::new(threads))
+                .expect("fits");
+            assert_eq!(par.node_secs, serial.node_secs, "threads={threads}");
+            assert_eq!(par.makespan, serial.makespan, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_faulted_run_is_bit_identical_to_serial() {
+        let job = JobSpec::new("j", vec![0.05; 6], 6);
+        let f = NodeFailure { node: 1, at_iteration: 3, max_retries: 2, restart_secs: 0.5 };
+        let c = cfg(3, true);
+        let serial =
+            run_cluster_faulted(&job, PlacementStrategy::GreedyLpt, &c, Some(&f)).expect("fits");
+        let par = run_cluster_faulted_with(
+            &job,
+            PlacementStrategy::GreedyLpt,
+            &c,
+            Some(&f),
+            &Pool::new(4),
+        )
+        .expect("fits");
+        assert_eq!(par.result.makespan, serial.result.makespan);
+        assert_eq!(par.result.node_secs, serial.result.node_secs);
+        assert_eq!(par.degraded, serial.degraded);
     }
 
     #[test]

@@ -4,15 +4,20 @@
 //!
 //! The default run drives a 200-job heavy/light mix under all three
 //! disciplines, proves determinism (byte-identical event traces across two
-//! runs), requires EASY to strictly beat FCFS on mean wait, and writes the
-//! throughput baseline to `BENCH_batch.json`.
+//! serial runs *and* against a parallel run), requires EASY to strictly
+//! beat FCFS on mean wait, and writes the throughput baseline to
+//! `BENCH_batch.json`.
 //!
 //! Flags:
 //! * `--jobs N` / `--seed N` — stream length and seed (default 200 / 2008);
 //! * `--smoke` — short stream under 3 disciplines x 3 local scheduler
 //!   modes with per-job kernel conformance (C001–C005) checked;
 //! * `--faults <spec>` — inject a `nodefail:` plan into the queued system;
+//! * `--threads N` — per-node kernel runs on N pool workers (default 1;
+//!   the study always cross-checks serial vs. parallel byte-identity);
 //! * `--telemetry` / `--verify` — standard parity with the other binaries.
+
+use std::time::Instant;
 
 use batchsim::{
     heavy_light_mix, run_batch, BatchConfig, BatchFault, BatchOutcome, Discipline, FleetStats,
@@ -20,7 +25,11 @@ use batchsim::{
 use cluster::LocalSched;
 use experiments::cli::{self, CliFlags};
 
-/// One row of the `BENCH_batch.json` baseline.
+/// Thread count the study benchmarks against serial when the user did not
+/// ask for a specific one.
+const BENCH_THREADS: usize = 4;
+
+/// One per-discipline row of the `BENCH_batch.json` baseline.
 #[derive(serde::Serialize)]
 struct BenchRow {
     discipline: &'static str,
@@ -29,8 +38,33 @@ struct BenchRow {
     completed: usize,
     mean_wait_secs: f64,
     makespan_secs: f64,
-    /// Jobs completed per simulated second — the tracked figure.
+    /// Jobs completed per simulated second — the tracked figure. Identical
+    /// at every thread count (the simulation is thread-count-invariant).
     throughput_per_sim_sec: f64,
+}
+
+/// The parallel-execution section of the baseline. Wall-clock fields are
+/// host measurements and excluded from the CI baseline diff.
+#[derive(serde::Serialize)]
+struct ParallelBench {
+    threads: usize,
+    /// Serial and parallel traces/metrics matched byte-for-byte.
+    byte_identical: bool,
+    /// Jobs per simulated second across the whole study — the same at 1
+    /// and `threads` workers by construction; recorded once as the shared
+    /// deterministic figure.
+    jobs_per_sim_sec: f64,
+    host_cpus: usize,
+    wall_secs_serial: f64,
+    wall_secs_parallel: f64,
+    /// wall_secs_serial / wall_secs_parallel.
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Bench {
+    disciplines: Vec<BenchRow>,
+    parallel: ParallelBench,
 }
 
 fn parsed(name: &str, default: u64) -> u64 {
@@ -42,17 +76,32 @@ fn parsed(name: &str, default: u64) -> u64 {
     })
 }
 
+/// 64-bit FNV-1a over a rendered trace — a stable fingerprint CI can diff
+/// across serial and parallel jobs without shipping the whole trace.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The full study: every discipline over one stream, determinism proved by
-/// double-run, per-job conformance when `verify` is set.
+/// a serial double-run plus a parallel run that must match byte-for-byte.
+/// Returns the per-discipline outcomes and the serial/parallel wall times.
 fn study(
     jobs: &[batchsim::BatchJob],
     fault: Option<&BatchFault>,
     verify: bool,
+    threads: usize,
     failed: &mut bool,
-) -> Vec<(Discipline, BatchOutcome)> {
+) -> (Vec<(Discipline, BatchOutcome)>, f64, f64) {
     let mut outs = Vec::new();
+    let serial_started = Instant::now();
     for discipline in Discipline::ALL {
-        let cfg = BatchConfig { discipline, verify_jobs: verify, ..Default::default() };
+        let cfg =
+            BatchConfig { discipline, verify_jobs: verify, threads: 1, ..Default::default() };
         let a = run_batch(jobs, &cfg, fault);
         let b = run_batch(jobs, &cfg, fault);
         if a.render_trace() != b.render_trace() {
@@ -61,11 +110,48 @@ fn study(
         }
         outs.push((discipline, a));
     }
-    outs
+    // The double-run above is two full serial passes.
+    let wall_serial = serial_started.elapsed().as_secs_f64() / 2.0;
+
+    let parallel_started = Instant::now();
+    for (discipline, serial) in &outs {
+        let cfg = BatchConfig {
+            discipline: *discipline,
+            verify_jobs: verify,
+            threads,
+            ..Default::default()
+        };
+        let par = run_batch(jobs, &cfg, fault);
+        if par.render_trace() != serial.render_trace() {
+            println!(
+                "{}: PARALLEL DIVERGENCE (trace at {} threads differs from serial)",
+                discipline.label(),
+                threads
+            );
+            *failed = true;
+        }
+        if par.metrics != serial.metrics {
+            println!(
+                "{}: PARALLEL DIVERGENCE (metrics at {} threads differ from serial)",
+                discipline.label(),
+                threads
+            );
+            *failed = true;
+        }
+        if par.makespan != serial.makespan {
+            println!("{}: PARALLEL DIVERGENCE (makespan differs)", discipline.label());
+            *failed = true;
+        }
+    }
+    let wall_parallel = parallel_started.elapsed().as_secs_f64();
+    (outs, wall_serial, wall_parallel)
 }
 
 fn smoke(flags: &CliFlags, seed: u64) -> bool {
-    println!("== smoke: 3 disciplines x 3 local schedulers, per-job conformance ==");
+    println!(
+        "== smoke: 3 disciplines x 3 local schedulers, per-job conformance, {} thread(s) ==",
+        flags.threads
+    );
     let jobs = heavy_light_mix(seed, 30);
     let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
     let mut failed = false;
@@ -75,6 +161,7 @@ fn smoke(flags: &CliFlags, seed: u64) -> bool {
                 discipline,
                 sched,
                 verify_jobs: true,
+                threads: flags.threads,
                 ..Default::default()
             };
             let out = run_batch(&jobs, &cfg, fault.as_ref());
@@ -88,6 +175,14 @@ fn smoke(flags: &CliFlags, seed: u64) -> bool {
                     sched.label(),
                     if clean { "clean" } else { "VIOLATIONS" }
                 ))
+            );
+            // Thread-count-invariant fingerprint: CI diffs these lines
+            // between the serial and --threads 4 smoke runs.
+            println!(
+                "trace-hash {}/{} {:016x}",
+                discipline.label(),
+                sched.label(),
+                fnv1a(&out.render_trace())
             );
             if !clean {
                 for (id, rep) in &out.conformance {
@@ -118,18 +213,23 @@ fn main() {
     let njobs = parsed("--jobs", 200) as usize;
     let jobs = heavy_light_mix(seed, njobs);
     let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
+    let bench_threads = if flags.threads > 1 { flags.threads } else { BENCH_THREADS };
     let mut failed = false;
 
     println!("== batch: {njobs}-job heavy/light mix, seed {seed}, 4-node fleet ==");
-    let outs = study(&jobs, fault.as_ref(), flags.verify, &mut failed);
+    let (outs, wall_serial, wall_parallel) =
+        study(&jobs, fault.as_ref(), flags.verify, bench_threads, &mut failed);
 
-    let mut bench = Vec::new();
+    let mut rows = Vec::new();
     let mut wait_of = std::collections::BTreeMap::new();
+    let (mut total_completed, mut total_sim_secs) = (0usize, 0.0f64);
     for (discipline, out) in &outs {
         let stats = FleetStats::from_outcome(out);
         println!("{}", stats.render_row(discipline.label()));
         wait_of.insert(discipline.label(), stats.mean_wait);
-        bench.push(BenchRow {
+        total_completed += stats.completed;
+        total_sim_secs += stats.makespan;
+        rows.push(BenchRow {
             discipline: discipline.label(),
             seed,
             jobs: njobs,
@@ -146,7 +246,18 @@ fn main() {
             );
         }
     }
-    println!("\ndeterminism: every discipline byte-identical across reruns");
+    if !failed {
+        println!(
+            "\ndeterminism: every discipline byte-identical across serial reruns \
+             and at {bench_threads} threads"
+        );
+    }
+    let speedup = if wall_parallel > 0.0 { wall_serial / wall_parallel } else { 1.0 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "parallel: {bench_threads} threads on {host_cpus} host cpu(s): \
+         serial {wall_serial:.2}s, parallel {wall_parallel:.2}s ({speedup:.2}x)"
+    );
 
     // The headline backfill claim, asserted on every run.
     let (fcfs, easy) = (wait_of["fcfs"], wait_of["easy"]);
@@ -163,6 +274,8 @@ fn main() {
         for (discipline, out) in &outs {
             println!("--- telemetry: batch / {} ---", discipline.label());
             println!("{}", telemetry::export::snapshot_summary(&out.metrics));
+            println!("--- pool telemetry: batch / {} ---", discipline.label());
+            println!("{}", telemetry::export::snapshot_summary(&out.pool_metrics));
         }
     }
     if flags.verify {
@@ -181,6 +294,22 @@ fn main() {
     // The baseline only tracks the clean configuration; a faulted or
     // resized run would churn the committed file.
     if fault.is_none() && njobs == 200 && seed == 2008 {
+        let bench = Bench {
+            disciplines: rows,
+            parallel: ParallelBench {
+                threads: bench_threads,
+                byte_identical: !failed,
+                jobs_per_sim_sec: if total_sim_secs > 0.0 {
+                    total_completed as f64 / total_sim_secs
+                } else {
+                    0.0
+                },
+                host_cpus,
+                wall_secs_serial: wall_serial,
+                wall_secs_parallel: wall_parallel,
+                speedup,
+            },
+        };
         let json = serde_json::to_string_pretty(&bench).expect("bench rows serialize");
         match std::fs::write("BENCH_batch.json", json + "\n") {
             Ok(()) => println!("throughput baseline written to BENCH_batch.json"),

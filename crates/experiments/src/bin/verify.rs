@@ -10,10 +10,17 @@
 //! run without faultsim wired in; a heavily faulted run must still be
 //! deterministic; and a cluster node failure must be absorbed or degrade
 //! gracefully. The measured fault baseline lands in `BENCH_faults.json`.
+//!
+//! The parallel section re-runs a batch stream at `--threads N` (default
+//! 4) and requires the rendered event trace and the metrics snapshot to be
+//! byte-identical to the serial run — the executor-pool determinism
+//! contract, checked end to end.
 
+use batchsim::{heavy_light_mix, run_batch, BatchConfig, Discipline};
 use cluster::{
-    run_cluster_faulted, ClusterConfig, JobSpec, NodeFailure, PlacementStrategy,
+    run_cluster_faulted, ClusterConfig, JobSpec, LocalSched, NodeFailure, PlacementStrategy,
 };
+use experiments::cli::CliFlags;
 use experiments::runner::{run, run_with_faults, ExperimentMode, WorkloadKind};
 use faultsim::{FaultError, FaultPlan};
 use workloads::metbench::MetBenchConfig;
@@ -50,6 +57,7 @@ const FAULT_MATRIX: [(&str, &str); 5] = [
 
 fn main() {
     const SEED: u64 = 2008;
+    let flags = CliFlags::from_env();
     let wl = small_metbench();
     let mut failed = false;
 
@@ -193,6 +201,36 @@ fn main() {
         }
         other => {
             println!("2 nodes    expected degraded outcome, got {other:?}");
+            failed = true;
+        }
+    }
+
+    let par_threads = if flags.threads > 1 { flags.threads } else { 4 };
+    println!("\n== parallel: batch at {par_threads} threads is byte-identical to serial ==");
+    let stream = heavy_light_mix(SEED, 24);
+    for discipline in Discipline::ALL {
+        let cfg = BatchConfig {
+            discipline,
+            sched: LocalSched::Cfs,
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = run_batch(&stream, &cfg, None);
+        let par = run_batch(&stream, &BatchConfig { threads: par_threads, ..cfg }, None);
+        let trace_ok = simverify::determinism::check_identical(
+            "trace",
+            &serial.render_trace(),
+            &par.render_trace(),
+        );
+        match trace_ok {
+            Ok(n) => println!("{:<10} trace identical ({n} events)", discipline.label()),
+            Err(d) => {
+                println!("{:<10} PARALLEL DIVERGENCE\n{d}", discipline.label());
+                failed = true;
+            }
+        }
+        if serial.metrics != par.metrics {
+            println!("{:<10} PARALLEL DIVERGENCE (metrics snapshots differ)", discipline.label());
             failed = true;
         }
     }

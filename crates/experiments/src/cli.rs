@@ -7,17 +7,28 @@
 //! * `--verify` — print each run's conformance report and exit nonzero on
 //!   any invariant violation;
 //! * `--faults <spec>` — inject a [`faultsim::FaultPlan`] (see the spec
-//!   grammar in `faultsim::plan`); a malformed spec is a usage error.
+//!   grammar in `faultsim::plan`); a malformed spec is a usage error;
+//! * `--threads <n>` — worker threads for per-node kernel runs (default 1
+//!   = serial). Output is byte-identical at any value; only wall-clock
+//!   time changes.
 
 use crate::report::{fault_report, telemetry_report, verify_report};
 use crate::runner::RunResult;
 
 /// The standard experiment flags, parsed once at startup.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CliFlags {
     pub telemetry: bool,
     pub verify: bool,
     pub faults: Option<faultsim::FaultPlan>,
+    /// Worker threads for per-node kernel runs; 1 means serial.
+    pub threads: usize,
+}
+
+impl Default for CliFlags {
+    fn default() -> Self {
+        CliFlags { telemetry: false, verify: false, faults: None, threads: 1 }
+    }
 }
 
 impl CliFlags {
@@ -48,6 +59,16 @@ impl CliFlags {
                         it.next().ok_or_else(|| "--faults requires a spec argument".to_string())?;
                     flags.faults =
                         Some(faultsim::FaultPlan::parse(spec).map_err(|e| e.to_string())?);
+                }
+                "--threads" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| "--threads requires a count argument".to_string())?;
+                    flags.threads = n
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--threads: expected a count >= 1, got {n:?}"))?;
                 }
                 _ => {}
             }
@@ -132,5 +153,18 @@ mod tests {
     fn unknown_arguments_are_ignored() {
         let f = CliFlags::parse(&strs(&["--jobs", "200", "--verify"])).unwrap();
         assert!(f.verify);
+    }
+
+    #[test]
+    fn parses_threads_and_defaults_to_serial() {
+        assert_eq!(CliFlags::parse(&strs(&[])).unwrap().threads, 1);
+        assert_eq!(CliFlags::parse(&strs(&["--threads", "4"])).unwrap().threads, 4);
+    }
+
+    #[test]
+    fn bad_threads_is_a_usage_error() {
+        assert!(CliFlags::parse(&strs(&["--threads"])).is_err());
+        assert!(CliFlags::parse(&strs(&["--threads", "0"])).is_err());
+        assert!(CliFlags::parse(&strs(&["--threads", "many"])).is_err());
     }
 }

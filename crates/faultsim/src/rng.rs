@@ -35,6 +35,13 @@ impl SplitMix64 {
 
     /// Derive an independent child stream, so each fault clause gets its own
     /// sequence and adding one clause never perturbs the others.
+    ///
+    /// Forking *consumes* one draw from the parent, so the fork sequence is
+    /// part of the determinism contract: callers that fan work out (e.g.
+    /// `batchsim`'s per-node seed derivation) must fork all children
+    /// serially, in a fixed order, *before* handing work to any thread
+    /// pool — fork order, including which salts are skipped, decides every
+    /// child stream.
     pub fn fork(&mut self, salt: u64) -> SplitMix64 {
         let base = self.next_u64();
         let mut z = base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -72,6 +79,24 @@ mod tests {
             let v = rng.unit();
             assert!((0.0..1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn fork_order_decides_child_streams() {
+        // fork() consumes a parent draw: forking the same salts in a
+        // different order must give different children, while the same
+        // order always reproduces them. This is the contract parallel
+        // callers rely on when they pre-derive seeds serially.
+        let mut fwd = SplitMix64::new(11);
+        let a1 = fwd.fork(1).next_u64();
+        let a2 = fwd.fork(2).next_u64();
+        let mut rev = SplitMix64::new(11);
+        let b2 = rev.fork(2).next_u64();
+        let b1 = rev.fork(1).next_u64();
+        assert_ne!((a1, a2), (b1, b2), "fork order must matter");
+        let mut again = SplitMix64::new(11);
+        assert_eq!(again.fork(1).next_u64(), a1);
+        assert_eq!(again.fork(2).next_u64(), a2);
     }
 
     #[test]

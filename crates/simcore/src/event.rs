@@ -8,7 +8,9 @@
 //!    simulation never depends on binary-heap internals.
 //! 2. **Cancellation** — timers (scheduler ticks, RR time slices, message
 //!    deliveries) are frequently re-armed; [`EventQueue::cancel`] is O(1)
-//!    (lazy deletion: cancelled entries are skipped at pop time).
+//!    amortized (lazy deletion: cancelled entries are skipped at pop time,
+//!    and the heap is compacted whenever cancelled entries outnumber live
+//!    ones, so a cancel/re-arm loop cannot grow the backlog without bound).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -84,8 +86,13 @@ impl EventQueueCounters {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Pending-but-cancelled sequence numbers, skipped lazily at pop time.
+    /// Every cancelled sequence number, ever. Entries stay here after the
+    /// heap drops them (skim or compaction) so a second `cancel` of the
+    /// same id always reports `false`.
     cancelled: std::collections::HashSet<u64>,
+    /// Cancelled entries still physically in the heap — the quantity the
+    /// compaction trigger compares against the heap length.
+    dead_in_heap: usize,
     /// Sequence numbers that already fired; cancelling one is a no-op and
     /// must report `false`, which a heap alone cannot tell apart from a
     /// pending id without scanning.
@@ -107,6 +114,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
+            dead_in_heap: 0,
             fired: std::collections::HashSet::new(),
             live: 0,
             last_popped: SimTime::ZERO,
@@ -160,11 +168,37 @@ impl<E> EventQueue<E> {
             return false;
         }
         self.cancelled.insert(id.0);
+        self.dead_in_heap += 1;
         self.live = self.live.saturating_sub(1);
         if let Some(c) = &self.counters {
             c.cancelled.inc();
         }
+        self.maybe_compact();
         true
+    }
+
+    /// Physical heap length including not-yet-skimmed cancelled entries —
+    /// the quantity compaction bounds. Diagnostic/test use.
+    pub fn backlog(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Rebuild the heap without its cancelled entries once they outnumber
+    /// the live ones. Rebuilding is O(n); the 50% trigger plus the size
+    /// floor amortizes it to O(1) per cancel and keeps the backlog under
+    /// `2 × live + COMPACT_MIN` however long a cancel/re-arm loop runs.
+    /// Pop order is unaffected: entries keep their `(time, seq)` keys, which
+    /// form a total order independent of heap internals.
+    fn maybe_compact(&mut self) {
+        const COMPACT_MIN: usize = 64;
+        if self.heap.len() < COMPACT_MIN || self.dead_in_heap * 2 <= self.heap.len() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let kept: Vec<Entry<E>> =
+            entries.into_iter().filter(|e| !self.cancelled.contains(&e.seq)).collect();
+        self.heap = BinaryHeap::from(kept);
+        self.dead_in_heap = 0;
     }
 
     /// Timestamp of the next live event, if any.
@@ -186,11 +220,14 @@ impl<E> EventQueue<E> {
         Some(ScheduledEvent { time: entry.time, id: EventId(entry.seq), payload: entry.payload })
     }
 
-    /// Discard cancelled entries sitting at the top of the heap.
+    /// Discard cancelled entries sitting at the top of the heap. The seqs
+    /// stay in `cancelled` so a later `cancel` of the same id is still a
+    /// reported no-op.
     fn skim(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.seq) {
+            if self.cancelled.contains(&top.seq) {
                 self.heap.pop();
+                self.dead_in_heap = self.dead_in_heap.saturating_sub(1);
             } else {
                 break;
             }
@@ -201,6 +238,7 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.cancelled.clear();
+        self.dead_in_heap = 0;
         self.live = 0;
     }
 }
@@ -301,6 +339,50 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_rearm_loop_keeps_backlog_bounded() {
+        // A timer wheel pattern: every iteration cancels the armed timer
+        // and re-arms it later. Lazy deletion alone would grow the heap by
+        // one dead entry per iteration; compaction must keep it bounded.
+        let mut q = EventQueue::new();
+        let mut armed = q.schedule(t(10), 0u32);
+        let mut peak = 0;
+        for i in 0..10_000u64 {
+            assert!(q.cancel(armed));
+            armed = q.schedule(t(10 + i), 1);
+            peak = peak.max(q.backlog());
+        }
+        assert_eq!(q.len(), 1, "exactly one live timer");
+        assert!(peak <= 130, "backlog must stay bounded, peaked at {peak}");
+        assert_eq!(q.pop().unwrap().payload, 1, "the live timer still fires");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn compaction_preserves_pop_order_and_cancel_semantics() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        let mut dead = Vec::new();
+        for i in 0..200u64 {
+            let id = q.schedule(t(1000 - i), i);
+            if i % 4 == 0 {
+                keep.push((1000 - i, i));
+            } else {
+                dead.push(id);
+            }
+        }
+        for id in &dead {
+            assert!(q.cancel(*id));
+        }
+        assert!(q.backlog() <= 100, "cancelled majority must have been compacted away");
+        for id in dead {
+            assert!(!q.cancel(id), "compacted entries still report already-cancelled");
+        }
+        keep.sort();
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(popped, keep.iter().map(|&(_, i)| i).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Deterministic parallel executor: a scoped-thread work pool for
+//! embarrassingly parallel simulation work (per-node kernel runs).
+//!
+//! # Determinism contract
+//!
+//! [`Pool::run`] executes a batch of `Send` closures and returns their
+//! results **in submission order**, whatever the thread count. Workers
+//! claim tasks through one atomic cursor, so *which* worker runs a task
+//! (and when, in wall-clock terms) is nondeterministic — but as long as
+//! every task is a pure function of its captured inputs, the returned
+//! `Vec` is bit-identical to what a serial loop over the same closures
+//! would produce. Callers therefore get order-stable reductions for
+//! free: fold the result vector left-to-right and the outcome cannot
+//! depend on the thread count.
+//!
+//! With `threads == 1` the pool spawns nothing and runs the closures
+//! inline, in order — exactly the pre-pool serial behaviour, with no
+//! thread or synchronization overhead.
+//!
+//! # Telemetry
+//!
+//! A pool optionally carries [`PoolCounters`] registered on a
+//! [`telemetry::MetricsRegistry`]: batches and tasks executed
+//! (deterministic) plus total worker busy nanoseconds (host wall-clock,
+//! *not* simulated time — never fold it into simulation results or
+//! byte-identity checks).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use telemetry::{Counter, MetricsRegistry};
+
+/// Telemetry handles for one executor pool.
+#[derive(Clone)]
+pub struct PoolCounters {
+    /// Batches submitted through [`Pool::run`].
+    pub batches: Counter,
+    /// Tasks executed (sum of batch sizes) — deterministic.
+    pub tasks: Counter,
+    /// Total wall-clock nanoseconds workers spent inside task closures.
+    /// Host-side measurement; excluded from determinism comparisons.
+    pub busy_ns: Counter,
+}
+
+impl PoolCounters {
+    /// Register the pool counters under `prefix` (e.g. `exec.pool`).
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> PoolCounters {
+        PoolCounters {
+            batches: registry.counter(&format!("{prefix}.batches")),
+            tasks: registry.counter(&format!("{prefix}.tasks")),
+            busy_ns: registry.counter(&format!("{prefix}.busy_ns")),
+        }
+    }
+}
+
+/// A fixed-width scoped-thread work pool. Cheap to construct (it holds no
+/// threads between batches); every [`Pool::run`] call opens one
+/// `std::thread::scope`, so borrowed task captures work naturally.
+pub struct Pool {
+    threads: usize,
+    counters: Option<PoolCounters>,
+}
+
+impl Pool {
+    /// A pool running `threads` workers per batch; 0 is clamped to 1.
+    pub fn new(threads: usize) -> Pool {
+        Pool { threads: threads.max(1), counters: None }
+    }
+
+    /// The serial pool: tasks run inline, in order.
+    pub fn serial() -> Pool {
+        Pool::new(1)
+    }
+
+    /// [`Pool::new`] with telemetry attached.
+    pub fn with_counters(threads: usize, counters: PoolCounters) -> Pool {
+        Pool { threads: threads.max(1), counters: Some(counters) }
+    }
+
+    /// Worker width of this pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every task and return the results in submission order.
+    ///
+    /// Results are byte-identical to a serial `tasks.map(|f| f())` as long
+    /// as each task is a pure function of its captures. A panicking task
+    /// propagates the panic to the caller, as it would serially.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if let Some(c) = &self.counters {
+            c.batches.inc();
+            c.tasks.add(n as u64);
+        }
+        if self.threads <= 1 || n <= 1 {
+            return self.run_inline(tasks);
+        }
+
+        // Self-scheduling: workers claim task indices through one atomic
+        // cursor; each slot is taken exactly once, and every worker tags
+        // results with the submission index so the merge below restores
+        // submission order regardless of which worker ran what.
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<F>>> =
+            tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        let workers = self.threads.min(n);
+        let mut merged: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut busy_total: u64 = 0;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut produced: Vec<(usize, T)> = Vec::new();
+                        let mut busy_ns: u64 = 0;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            // INVARIANT: index i was claimed exclusively by
+                            // this fetch_add, so the slot still holds its
+                            // task; a poisoned lock cannot corrupt an
+                            // Option, recover its contents.
+                            let task = slots[i]
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .take();
+                            let Some(task) = task else { continue };
+                            let started = Instant::now();
+                            let value = task();
+                            busy_ns += started.elapsed().as_nanos() as u64;
+                            produced.push((i, value));
+                        }
+                        (produced, busy_ns)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok((produced, busy_ns)) => {
+                        busy_total += busy_ns;
+                        for (i, value) in produced {
+                            merged[i] = Some(value);
+                        }
+                    }
+                    // A worker panicked mid-task: re-raise on the caller's
+                    // thread so a panicking task behaves as it would have
+                    // serially.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        if let Some(c) = &self.counters {
+            c.busy_ns.add(busy_total);
+        }
+        merged
+            .into_iter()
+            .map(|slot| {
+                // INVARIANT: every index below the cursor was claimed and
+                // produced exactly once; a hole would mean a worker died,
+                // which resume_unwind above already surfaced.
+                slot.expect("every submitted task produced a result")
+            })
+            .collect()
+    }
+
+    fn run_inline<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T,
+    {
+        let started = Instant::now();
+        let out: Vec<T> = tasks.into_iter().map(|f| f()).collect();
+        if let Some(c) = &self.counters {
+            c.busy_ns.add(started.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            let tasks: Vec<_> = (0..57u64)
+                .map(|i| move || i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let got = pool.run(tasks);
+            let want: Vec<u64> =
+                (0..57u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_byte_for_byte() {
+        let serial = Pool::serial();
+        let make = || (0..24u64).map(|i| move || format!("task-{i}:{}", i * i)).collect::<Vec<_>>();
+        let want = serial.run(make());
+        for threads in 2..=8 {
+            assert_eq!(Pool::new(threads).run(make()), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_task_batches_work() {
+        let pool = Pool::new(4);
+        let empty: Vec<fn() -> u32> = Vec::new();
+        assert!(pool.run(empty).is_empty());
+        assert_eq!(pool.run(vec![|| 41u32 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn telemetry_counts_batches_and_tasks() {
+        let registry = MetricsRegistry::new();
+        let pool = Pool::with_counters(3, PoolCounters::register(&registry, "exec.pool"));
+        pool.run((0..10).map(|i| move || i).collect::<Vec<_>>());
+        pool.run((0..5).map(|i| move || i).collect::<Vec<_>>());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("exec.pool.batches"), 2);
+        assert_eq!(snap.counter("exec.pool.tasks"), 15);
+    }
+
+    #[test]
+    fn borrowed_captures_are_accepted() {
+        let data: Vec<u64> = (0..32).collect();
+        let pool = Pool::new(4);
+        let tasks: Vec<_> = data.chunks(5).map(|c| move || c.iter().sum::<u64>()).collect();
+        let sums = pool.run(tasks);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum());
+    }
+
+    #[test]
+    fn clamps_zero_threads_to_serial() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panic_propagates_to_caller() {
+        let pool = Pool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8u32)
+            .map(|i| {
+                Box::new(move || if i == 5 { panic!("boom") } else { i }) as _
+            })
+            .collect();
+        pool.run(tasks);
+    }
+}

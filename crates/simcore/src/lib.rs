@@ -12,7 +12,10 @@
 //!   OS-noise models need,
 //!
 //! plus small online-statistics utilities ([`stats`]) used by the scheduler
-//! metrics and by the experiment harness.
+//! metrics and by the experiment harness, and [`exec`] — a deterministic
+//! scoped-thread work pool that runs independent simulation pieces (one
+//! node-level kernel per task) in parallel while keeping every reduction
+//! order-stable and byte-identical to serial execution.
 //!
 //! # Determinism
 //!
@@ -22,11 +25,13 @@
 //! on heap internals, and [`SimRng`] is an explicitly-seeded `SmallRng`.
 
 pub mod event;
+pub mod exec;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventId, EventQueue, EventQueueCounters, ScheduledEvent};
+pub use exec::{Pool, PoolCounters};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, UtilizationTracker};
 pub use time::{SimDuration, SimTime};

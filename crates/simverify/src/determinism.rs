@@ -56,3 +56,99 @@ pub fn check<F: FnMut() -> Vec<TraceRecord>>(mut run: F) -> Result<usize, Diverg
         Some(d) => Err(d),
     }
 }
+
+/// The first line where two rendered text artifacts (event traces, metric
+/// dumps) disagree — the byte-identity analogue of [`Divergence`] for
+/// serial-vs-parallel comparisons.
+#[derive(Clone, Debug)]
+pub struct TextDivergence {
+    /// What was being compared (e.g. `"trace"`, `"metrics"`).
+    pub artifact: String,
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// That line in the first artifact (`None`: it ended early).
+    pub first: Option<String>,
+    /// That line in the second artifact.
+    pub second: Option<String>,
+}
+
+impl fmt::Display for TextDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} diverges at line {}:", self.artifact, self.line)?;
+        match &self.first {
+            Some(l) => writeln!(f, "  run 1: {l}")?,
+            None => writeln!(f, "  run 1: <ended at line {}>", self.line)?,
+        }
+        match &self.second {
+            Some(l) => write!(f, "  run 2: {l}"),
+            None => write!(f, "  run 2: <ended at line {}>", self.line),
+        }
+    }
+}
+
+/// Compare two rendered artifacts line-by-line.
+pub fn first_text_divergence(artifact: &str, a: &str, b: &str) -> Option<TextDivergence> {
+    let (la, lb): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    let n = la.len().max(lb.len());
+    for i in 0..n {
+        if la.get(i) != lb.get(i) {
+            return Some(TextDivergence {
+                artifact: artifact.to_string(),
+                line: i + 1,
+                first: la.get(i).map(|s| s.to_string()),
+                second: lb.get(i).map(|s| s.to_string()),
+            });
+        }
+    }
+    None
+}
+
+/// Require two rendered artifacts to be byte-identical. Returns the line
+/// count on success; the first diverging line otherwise.
+pub fn check_identical(artifact: &str, a: &str, b: &str) -> Result<usize, TextDivergence> {
+    if a == b {
+        return Ok(a.lines().count());
+    }
+    match first_text_divergence(artifact, a, b) {
+        Some(d) => Err(d),
+        // Same lines but different trailing bytes (e.g. a missing final
+        // newline) — still a divergence, pinned past the last line.
+        None => Err(TextDivergence {
+            artifact: artifact.to_string(),
+            line: a.lines().count() + 1,
+            first: Some(format!("<{} bytes>", a.len())),
+            second: Some(format!("<{} bytes>", b.len())),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_text_passes() {
+        assert_eq!(check_identical("trace", "a\nb\n", "a\nb\n").unwrap(), 2);
+    }
+
+    #[test]
+    fn first_differing_line_is_reported() {
+        let d = check_identical("trace", "a\nb\nc\n", "a\nX\nc\n").unwrap_err();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.first.as_deref(), Some("b"));
+        assert_eq!(d.second.as_deref(), Some("X"));
+    }
+
+    #[test]
+    fn early_end_is_reported() {
+        let d = check_identical("trace", "a\n", "a\nb\n").unwrap_err();
+        assert_eq!(d.line, 2);
+        assert!(d.first.is_none());
+        assert_eq!(d.second.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn trailing_byte_difference_is_still_a_divergence() {
+        assert!(check_identical("trace", "a\nb", "a\nb\n").is_err());
+    }
+}
