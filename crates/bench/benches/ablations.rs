@@ -7,8 +7,9 @@ use bench::small_metbench;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use experiments::WorkloadKind;
 use hpcsched::prelude::*;
-use hpcsched::runtime::PerfModelChoice;
-use hpcsched::HpcSchedConfig;
+use schedsim::builder::PerfModelChoice;
+use schedsim::policies::Table1Balancer;
+use schedsim::{BalancedClass, HpcSchedConfig};
 use workloads::metbench::MetBenchConfig;
 use workloads::SchedulerSetup;
 
@@ -20,7 +21,7 @@ fn mb_cfg(wl: &WorkloadKind) -> MetBenchConfig {
 }
 
 /// Run MetBench with a fully custom builder.
-fn run_custom(cfg: &MetBenchConfig, builder: HpcKernelBuilder, hpc: bool) -> f64 {
+fn run_custom(cfg: &MetBenchConfig, builder: KernelBuilder, hpc: bool) -> f64 {
     let (mut kernel, setup) = if hpc {
         (builder.build(), SchedulerSetup::Hpc)
     } else {
@@ -46,7 +47,7 @@ fn ablation_priority_range(c: &mut Criterion) {
         let mk = || {
             let mut hpc = HpcSchedConfig::default();
             hpc.tunables.set("max_prio", max_prio).unwrap();
-            HpcKernelBuilder::new().hpc_config(hpc)
+            KernelBuilder::new().hpc_config(hpc)
         };
         let secs = run_custom(&cfg, mk(), true);
         println!("  max diff {label}: {secs:.3}s");
@@ -76,12 +77,15 @@ fn ablation_idle_mode(c: &mut Criterion) {
                 let tun = std::sync::Arc::new(std::sync::Mutex::new(
                     hpcsched::HpcTunables::default(),
                 ));
-                kernel.install_class_after_rt(Box::new(hpcsched::HpcClass::new(
-                    HpcPolicyKind::Rr,
-                    SimDuration::from_millis(100),
+                let balancer = Table1Balancer::new(
                     Box::new(hpcsched::UniformHeuristic),
                     Box::new(hpcsched::Power5Mechanism),
                     tun,
+                );
+                kernel.install_class_after_rt(Box::new(BalancedClass::new(
+                    HpcPolicyKind::Rr,
+                    SimDuration::from_millis(100),
+                    Box::new(balancer),
                 )));
                 SchedulerSetup::Hpc
             } else {
@@ -114,7 +118,7 @@ fn ablation_perf_model(c: &mut Criterion) {
     for (label, model) in
         [("table", PerfModelChoice::Table), ("analytic_k3", PerfModelChoice::Analytic { k: 3.0 })]
     {
-        let mk = move || HpcKernelBuilder::new().perf_model(model);
+        let mk = move || KernelBuilder::new().perf_model(model);
         let base = run_custom(&cfg, mk(), false);
         let hpc = run_custom(&cfg, mk(), true);
         println!("  model={label}: baseline {base:.3}s  hpc {hpc:.3}s  gain {:+.1}%",
@@ -135,8 +139,7 @@ fn ablation_policy(c: &mut Criterion) {
     let mut outcomes = Vec::new();
     for (label, policy) in [("rr", HpcPolicyKind::Rr), ("fifo", HpcPolicyKind::Fifo)] {
         let mk = move || {
-            HpcKernelBuilder::new()
-                .hpc_config(HpcSchedConfig { policy, ..Default::default() })
+            KernelBuilder::new().hpc_config(HpcSchedConfig { policy, ..Default::default() })
         };
         let secs = run_custom(&cfg, mk(), true);
         println!("  policy={label}: {secs:.3}s");

@@ -74,7 +74,7 @@ fn bench_kernel_paths(c: &mut Criterion) {
     // CFS, 100ms of simulated time (≈ tens of switches + ticks).
     g.bench_function("cfs_timeslice_cycle_100ms", |b| {
         b.iter(|| {
-            let mut k = HpcKernelBuilder::new()
+            let mut k = KernelBuilder::new()
                 .topology(Topology::single_core_st())
                 .without_hpc_class()
                 .build();
@@ -94,7 +94,7 @@ fn bench_kernel_paths(c: &mut Criterion) {
     // Wakeup → priority decision → dispatch: an HPC ping-pong pair.
     g.bench_function("hpc_iteration_pipeline_64_iters", |b| {
         b.iter(|| {
-            let mut k = HpcKernelBuilder::new().build();
+            let mut k = KernelBuilder::new().build();
             let mpi = mpisim::Mpi::new(2, mpisim::MpiConfig::default());
             let mut ids = Vec::new();
             for rank in 0..2usize {

@@ -11,10 +11,11 @@
 //! to [`simcore::Pool`] from any thread — the result depends only on the
 //! arguments, never on which thread ran it or when.
 
-use hpcsched::HpcKernelBuilder;
 use mpisim::{Mpi, MpiConfig};
 use power5::{CpuId, HwPriority};
-use schedsim::{Kernel, SchedPolicy, SharedSink, SpawnOptions, TaskId, TraceRecord};
+use schedsim::{
+    Kernel, KernelBuilder, SchedError, SchedPolicy, SharedSink, SpawnOptions, TaskId, TraceRecord,
+};
 use simcore::SimDuration;
 use telemetry::MetricsSnapshot;
 use workloads::synthetic::BarrierGang;
@@ -31,6 +32,10 @@ pub enum LocalSched {
     Static,
     /// The full HPC scheduling class with dynamic priority balancing.
     Hpc,
+    /// The HPC scheduling class driven by a named
+    /// [`schedsim::policies::registry`] balancing policy (the `--policy`
+    /// CLI axis, reaching the whole zoo).
+    Policy(&'static str),
 }
 
 impl LocalSched {
@@ -41,16 +46,20 @@ impl LocalSched {
             LocalSched::Cfs => "cfs",
             LocalSched::Static => "static",
             LocalSched::Hpc => "hpc",
+            LocalSched::Policy(p) => p,
         }
     }
 
     /// Parse a CLI label; accepts the `linux` alias for [`LocalSched::Cfs`].
+    /// Labels that are not one of the three builtin regimes resolve through
+    /// the policy registry (builtin names win: `static` is the pinned-prio
+    /// CFS regime here, not the zoo's placement-only policy).
     pub fn parse(s: &str) -> Option<LocalSched> {
         match s {
             "cfs" | "linux" => Some(LocalSched::Cfs),
             "static" => Some(LocalSched::Static),
             "hpc" => Some(LocalSched::Hpc),
-            _ => None,
+            other => schedsim::policies::canonical(other).map(LocalSched::Policy),
         }
     }
 }
@@ -90,9 +99,24 @@ pub fn run_node(loads: &[f64], iterations: u32, hpc: bool, seed: u64) -> NodeRun
     run_node_sched(loads, iterations, sched, seed)
 }
 
-/// [`run_node`] generalized over all three node-local scheduler modes.
+/// [`run_node`] generalized over the node-local scheduler modes.
 pub fn run_node_sched(loads: &[f64], iterations: u32, sched: LocalSched, seed: u64) -> NodeRun {
-    run_node_impl(loads, iterations, sched, seed, None).0
+    // INVARIANT: panicking wrapper by documented contract — the batch and
+    // cluster drivers construct slot vectors ≤ 4 and builtin scheds by
+    // construction; fallible callers (CLI-fed configs) use try_run_node_sched.
+    try_run_node_sched(loads, iterations, sched, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_node_sched`]: rejects a slot vector that does not fit the
+/// node and an unregistered [`LocalSched::Policy`] name as typed
+/// [`SchedError`]s instead of panicking.
+pub fn try_run_node_sched(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+) -> Result<NodeRun, SchedError> {
+    Ok(try_run_node_impl(loads, iterations, sched, seed, None)?.0)
 }
 
 /// Like [`run_node_sched`], but with a trace sink attached and the
@@ -104,9 +128,21 @@ pub fn run_node_traced(
     sched: LocalSched,
     seed: u64,
 ) -> TracedNodeRun {
+    // INVARIANT: panicking wrapper by documented contract; see
+    // `run_node_sched`. Fallible callers use `try_run_node_traced`.
+    try_run_node_traced(loads, iterations, sched, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_node_traced`].
+pub fn try_run_node_traced(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+) -> Result<TracedNodeRun, SchedError> {
     let sink = SharedSink::new();
-    let (run, metrics) = run_node_impl(loads, iterations, sched, seed, Some(sink.clone()));
-    TracedNodeRun { run, records: sink.snapshot(), metrics }
+    let (run, metrics) = try_run_node_impl(loads, iterations, sched, seed, Some(sink.clone()))?;
+    Ok(TracedNodeRun { run, records: sink.snapshot(), metrics })
 }
 
 // Compile-time guard for the purity contract's `Send` half: node-run
@@ -117,56 +153,62 @@ const _: () = {
     assert_send::<TracedNodeRun>();
 };
 
-fn run_node_impl(
+fn try_run_node_impl(
     loads: &[f64],
     iterations: u32,
     sched: LocalSched,
     seed: u64,
     sink: Option<SharedSink>,
-) -> (NodeRun, MetricsSnapshot) {
-    assert!(!loads.is_empty() && loads.len() <= 4, "a node has 4 slots");
-    let builder = HpcKernelBuilder::new().seed(seed);
+) -> Result<(NodeRun, MetricsSnapshot), SchedError> {
+    if loads.is_empty() || loads.len() > 4 {
+        return Err(SchedError::InvalidTopology(format!(
+            "a node has 4 CPU slots, got a {}-slot load vector",
+            loads.len()
+        )));
+    }
+    let builder = KernelBuilder::new().seed(seed);
     let mut kernel: Kernel = match sched {
-        LocalSched::Hpc => builder.build(),
-        LocalSched::Cfs | LocalSched::Static => builder.without_hpc_class().build(),
+        LocalSched::Hpc => builder.try_build()?,
+        LocalSched::Policy(p) => builder.policy(p).try_build()?,
+        LocalSched::Cfs | LocalSched::Static => builder.without_hpc_class().try_build()?,
     };
     if let Some(sink) = sink {
         kernel.observe(Box::new(sink));
     }
     let policy = match sched {
-        LocalSched::Hpc => SchedPolicy::Hpc,
+        LocalSched::Hpc | LocalSched::Policy(_) => SchedPolicy::Hpc,
         LocalSched::Cfs | LocalSched::Static => SchedPolicy::Normal,
     };
     let prios = match sched {
         LocalSched::Static => Some(static_prios(loads)),
-        LocalSched::Cfs | LocalSched::Hpc => None,
+        _ => None,
     };
     let mpi = Mpi::new(loads.len(), MpiConfig::default());
-    let ids: Vec<TaskId> = loads
-        .iter()
-        .enumerate()
-        .map(|(slot, &load)| {
-            kernel.spawn(
-                format!("slot{slot}"),
-                policy,
-                Box::new(BarrierGang::new(mpi.clone(), slot, load, iterations)),
-                SpawnOptions {
-                    affinity: Some(vec![CpuId(slot)]),
-                    hw_prio: prios.as_ref().map(|p| p[slot]),
-                    ..Default::default()
-                },
-            )
-        })
-        .collect();
+    let mut ids: Vec<TaskId> = Vec::with_capacity(loads.len());
+    for (slot, &load) in loads.iter().enumerate() {
+        ids.push(kernel.try_spawn(
+            format!("slot{slot}"),
+            policy,
+            Box::new(BarrierGang::new(mpi.clone(), slot, load, iterations)),
+            SpawnOptions {
+                affinity: Some(vec![CpuId(slot)]),
+                hw_prio: prios.as_ref().map(|p| p[slot]),
+                ..Default::default()
+            },
+        )?);
+    }
     let end = kernel
         .run_until_exited(&ids, SimDuration::from_secs(36_000))
+        // INVARIANT: the 10-simulated-hour deadline is three orders of
+        // magnitude above any real node run; hitting it is a simulator bug,
+        // not a caller error, so it stays a panic even on the try_ path.
         .expect("node run finishes");
     let run = NodeRun {
         exec_secs: end.as_secs_f64(),
         final_prios: ids.iter().map(|&t| kernel.task(t).hw_prio.value()).collect(),
     };
     let metrics = kernel.metrics_registry().snapshot();
-    (run, metrics)
+    Ok((run, metrics))
 }
 
 #[cfg(test)]
@@ -206,6 +248,30 @@ mod tests {
         );
         let r = run_node_sched(&[0.32, 0.08, 0.32, 0.08], 3, LocalSched::Static, 1);
         assert_eq!(r.final_prios, vec![6, 4, 6, 4], "static prios never move");
+    }
+
+    #[test]
+    fn oversized_slot_vector_is_a_typed_error() {
+        let err = try_run_node_sched(&[0.1; 5], 2, LocalSched::Hpc, 1);
+        assert!(matches!(err, Err(SchedError::InvalidTopology(_))), "got {err:?}");
+        let err = try_run_node_sched(&[], 2, LocalSched::Cfs, 1);
+        assert!(matches!(err, Err(SchedError::InvalidTopology(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn policy_sched_runs_and_parses() {
+        assert_eq!(LocalSched::parse("worksteal"), Some(LocalSched::Policy("worksteal")));
+        assert_eq!(LocalSched::parse("static"), Some(LocalSched::Static), "builtin name wins");
+        assert_eq!(LocalSched::parse("nope"), None);
+        let r = run_node_sched(&[0.32, 0.08], 3, LocalSched::Policy("ss"), 1);
+        assert!(r.exec_secs > 0.0);
+        assert_eq!(r.final_prios.len(), 2);
+    }
+
+    #[test]
+    fn unknown_policy_name_is_a_typed_error() {
+        let err = try_run_node_sched(&[0.1], 2, LocalSched::Policy("lottery"), 1);
+        assert!(matches!(err, Err(SchedError::UnknownPolicy(_))), "got {err:?}");
     }
 
     #[test]

@@ -1,146 +1,4 @@
-//! The HPC workload balancer (paper §IV-A).
-//!
-//! "Our workload balancer tries to balance the number of tasks at each
-//! domain level": a core domain running fewer HPC tasks than another core
-//! pulls tasks over until counts are even; the same logic repeats at chip
-//! and system level. Balancing moves *queued* tasks only.
+//! Deprecated location: the domain-level workload balancer moved to
+//! [`schedsim::balance`].
 
-use power5::{CpuId, DomainLevel, Topology};
-use schedsim::class::Migration;
-use schedsim::TaskId;
-
-/// A snapshot of HPC task placement, as the balancer sees it.
-pub struct BalanceView<'a> {
-    pub topology: &'a Topology,
-    /// HPC tasks (queued + running) per CPU.
-    pub counts: &'a [usize],
-    /// Queued (migratable) HPC tasks per CPU, front = next to run.
-    pub queued: &'a [std::collections::VecDeque<TaskId>],
-}
-
-/// Decide at most one pull migration for `cpu`.
-///
-/// `idle` relaxes the imbalance threshold: an idle CPU pulls whenever any
-/// domain has work queued for it (the paper: "the idle CPU tries to pull
-/// tasks from other, busiest run queue lists").
-pub fn plan_pull(
-    view: &BalanceView<'_>,
-    cpu: CpuId,
-    idle: bool,
-    allowed: impl Fn(TaskId, CpuId) -> bool,
-) -> Option<Migration> {
-    for level in [DomainLevel::Core, DomainLevel::Chip, DomainLevel::System] {
-        let my_cpus = view.topology.domain_cpus(cpu, level);
-        let my_count: usize = my_cpus.iter().map(|c| view.counts[c.0]).sum();
-
-        // Enumerate sibling domains at this level by representative CPU.
-        let mut best: Option<(usize, Vec<CpuId>)> = None;
-        for other in view.topology.cpus() {
-            if my_cpus.contains(&other) {
-                continue;
-            }
-            let dom = view.topology.domain_cpus(other, level);
-            // Skip domains already visited (identified by first CPU).
-            if dom[0] != other {
-                continue;
-            }
-            let count: usize = dom.iter().map(|c| view.counts[c.0]).sum();
-            if best.as_ref().map(|(c, _)| count > *c).unwrap_or(true) {
-                best = Some((count, dom));
-            }
-        }
-        let Some((busiest_count, busiest_dom)) = best else { continue };
-
-        // Pull when moving one task strictly reduces the imbalance:
-        // after the move, source has busiest-1 ≥ my+1 tasks ⇔
-        // busiest ≥ my + 2. An idle CPU (my context empty) also pulls
-        // queued work whenever the source keeps at least one task.
-        let should_pull = busiest_count >= my_count + 2
-            || (idle && view.counts[cpu.0] == 0 && busiest_count > my_count);
-        if !should_pull {
-            continue;
-        }
-        // Source: the CPU in the busiest domain with the most queued tasks.
-        let src = busiest_dom
-            .iter()
-            .copied()
-            .filter(|c| !view.queued[c.0].is_empty())
-            .max_by_key(|c| view.queued[c.0].len())?;
-        let task = view.queued[src.0].iter().copied().find(|&t| allowed(t, cpu))?;
-        return Some(Migration { task, from: src, to: cpu });
-    }
-    None
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::collections::VecDeque;
-
-    fn queued_on(per_cpu: &[&[usize]]) -> Vec<VecDeque<TaskId>> {
-        per_cpu.iter().map(|ids| ids.iter().map(|&i| TaskId(i)).collect()).collect()
-    }
-
-    #[test]
-    fn paper_example_core_pull() {
-        // Paper §IV-A: core 0 has 1 HPC task, core 1 has 3 → core 0 pulls
-        // one so each core has 2.
-        let topo = Topology::openpower_710();
-        let counts = [1usize, 0, 2, 1]; // core0: 1, core1: 3
-        let queued = queued_on(&[&[], &[], &[10], &[]]);
-        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
-        let m = plan_pull(&view, CpuId(1), true, |_, _| true).expect("pull");
-        assert_eq!(m.from, CpuId(2));
-        assert_eq!(m.to, CpuId(1));
-        assert_eq!(m.task, TaskId(10));
-    }
-
-    #[test]
-    fn balanced_domains_do_not_pull() {
-        let topo = Topology::openpower_710();
-        let counts = [1usize, 1, 1, 1];
-        let queued = queued_on(&[&[], &[], &[], &[]]);
-        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
-        assert!(plan_pull(&view, CpuId(0), false, |_, _| true).is_none());
-    }
-
-    #[test]
-    fn one_task_difference_is_tolerated() {
-        // 2 vs 1 across cores: moving one only inverts the imbalance.
-        let topo = Topology::openpower_710();
-        let counts = [1usize, 0, 1, 1];
-        let queued = queued_on(&[&[], &[], &[7], &[]]);
-        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
-        assert!(plan_pull(&view, CpuId(0), false, |_, _| true).is_none());
-    }
-
-    #[test]
-    fn idle_cpu_pulls_even_small_imbalance() {
-        let topo = Topology::openpower_710();
-        // CPU 0 idle; its core has 0; core 1 has 2 (one queued on cpu 2).
-        let counts = [0usize, 0, 2, 0];
-        let queued = queued_on(&[&[], &[], &[5], &[]]);
-        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
-        let m = plan_pull(&view, CpuId(0), true, |_, _| true).expect("idle pull");
-        assert_eq!(m.task, TaskId(5));
-    }
-
-    #[test]
-    fn affinity_blocks_pull() {
-        let topo = Topology::openpower_710();
-        let counts = [0usize, 0, 2, 1];
-        let queued = queued_on(&[&[], &[], &[5, 6], &[]]);
-        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
-        assert!(plan_pull(&view, CpuId(0), true, |_, _| false).is_none());
-    }
-
-    #[test]
-    fn no_queued_tasks_means_no_pull() {
-        // Counts say imbalance but everything is running (not migratable).
-        let topo = Topology::openpower_710();
-        let counts = [0usize, 0, 2, 2];
-        let queued = queued_on(&[&[], &[], &[], &[]]);
-        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
-        assert!(plan_pull(&view, CpuId(0), true, |_, _| true).is_none());
-    }
-}
+pub use schedsim::balance::*;

@@ -1,578 +1,14 @@
-//! The `SCHED_HPC` scheduling class (paper §IV).
+//! Deprecated location: the `SCHED_HPC` class now lives in
+//! [`schedsim::classes::balanced`] as a thin driver over a pluggable
+//! [`schedsim::Balancer`], with the paper's Table-I decision logic in
+//! [`schedsim::policies::table1`].
 //!
-//! Inserted between the real-time and CFS classes, so HPC processes always
-//! run in preference to normal tasks (and, crucially, wake with near-zero
-//! scheduler latency) while real-time semantics are preserved.
-//!
-//! The run queue is deliberately simple: with the usual one-MPI-process-per-
-//! CPU deployment there is no point in a red-black tree, so the class uses
-//! per-CPU round-robin lists with either FIFO or RR policy (paper §IV-A;
-//! the paper reports no measurable difference between the two and uses RR).
+//! This module re-exports the moved types so existing imports keep
+//! compiling for one release; new code should import from `schedsim`.
 
-use crate::balance::{plan_pull, BalanceView};
-use crate::detector::LoadImbalanceDetector;
-use crate::heuristics::Heuristic;
-use crate::mechanism::PrioMechanism;
-use crate::tunables::HpcTunables;
-use power5::{CpuId, HwPriority};
-use schedsim::class::{ClassCtx, EnqueueKind, Migration, SchedClass};
-use schedsim::{SchedPolicy, TaskId};
-use simcore::SimDuration;
-use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+pub use schedsim::classes::{BalancedClass, HpcPolicyKind};
+pub use schedsim::policies::SharedTunables;
 
-/// Intra-class scheduling policy for HPC tasks.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum HpcPolicyKind {
-    /// Selected task runs until it blocks or yields.
-    Fifo,
-    /// Predefined time slice, rotation on expiry.
-    Rr,
-}
-
-/// Shared, runtime-adjustable tunables handle (the simulated sysfs mount).
-pub type SharedTunables = Arc<Mutex<HpcTunables>>;
-
-/// Telemetry handles for the class's balancing decisions. Registered once
-/// via [`HpcClass::attach_telemetry`]; recording is a relaxed atomic add.
-struct HpcTelemetry {
-    /// Priority proposals the mechanism applied (the task's register moved).
-    accepted: telemetry::Counter,
-    /// Proposals the mechanism refused or clamped into a no-op.
-    rejected: telemetry::Counter,
-    /// Detector verdicts per completed iteration.
-    balanced: telemetry::Counter,
-    imbalanced: telemetry::Counter,
-    /// Unusable iteration samples (zero wall / non-finite utilization) that
-    /// triggered the uniform-priority fallback.
-    degraded: telemetry::Counter,
-}
-
-/// The HPC scheduling class.
-pub struct HpcClass {
-    policy: HpcPolicyKind,
-    slice: SimDuration,
-    rqs: Vec<VecDeque<TaskId>>,
-    detector: LoadImbalanceDetector,
-    heuristic: Box<dyn Heuristic>,
-    mechanism: Box<dyn PrioMechanism>,
-    tunables: SharedTunables,
-    /// Priority changes applied so far (diagnostics / Figure annotations).
-    prio_changes: u64,
-    /// When false, the detector still tracks iterations but priorities are
-    /// never changed (isolates the pure class-placement benefit).
-    dynamic_prio: bool,
-    /// Whether the application was balanced at the last check; a
-    /// balanced→imbalanced transition is a behaviour change and resets the
-    /// detector's history.
-    was_balanced: bool,
-    telemetry: Option<HpcTelemetry>,
-}
-
-impl HpcClass {
-    pub fn new(
-        policy: HpcPolicyKind,
-        slice: SimDuration,
-        heuristic: Box<dyn Heuristic>,
-        mechanism: Box<dyn PrioMechanism>,
-        tunables: SharedTunables,
-    ) -> Self {
-        HpcClass {
-            policy,
-            slice,
-            rqs: Vec::new(),
-            detector: LoadImbalanceDetector::new(),
-            heuristic,
-            mechanism,
-            tunables,
-            prio_changes: 0,
-            dynamic_prio: true,
-            was_balanced: false,
-            telemetry: None,
-        }
-    }
-
-    /// Register the class's decision counters in `registry`:
-    /// `hpc.decisions.<heuristic>.accepted` / `.rejected` count priority
-    /// proposals the mechanism applied vs refused, and
-    /// `hpc.detector.balanced` / `.imbalanced` count detector verdicts.
-    pub fn attach_telemetry(&mut self, registry: &telemetry::MetricsRegistry) {
-        let h = self.heuristic.name();
-        self.telemetry = Some(HpcTelemetry {
-            accepted: registry.counter(&format!("hpc.decisions.{h}.accepted")),
-            rejected: registry.counter(&format!("hpc.decisions.{h}.rejected")),
-            balanced: registry.counter("hpc.detector.balanced"),
-            imbalanced: registry.counter("hpc.detector.imbalanced"),
-            degraded: registry.counter("hpc.detector.degraded"),
-        });
-    }
-
-    /// Disable dynamic prioritization (keep only the scheduling-policy
-    /// benefit). Used by the SIESTA-style ablation.
-    pub fn with_static_priorities(mut self) -> Self {
-        self.dynamic_prio = false;
-        self
-    }
-
-    pub fn detector(&self) -> &LoadImbalanceDetector {
-        &self.detector
-    }
-
-    pub fn priority_changes(&self) -> u64 {
-        self.prio_changes
-    }
-
-    /// HPC tasks per CPU: queued plus the running one, needed by the
-    /// domain balancer.
-    fn hpc_counts(&self, ctx: &ClassCtx<'_>) -> Vec<usize> {
-        (0..self.rqs.len())
-            .map(|cpu| {
-                let running_hpc = ctx.running[cpu]
-                    .map(|t| ctx.tasks[t.0].policy == SchedPolicy::Hpc)
-                    .unwrap_or(false);
-                self.rqs[cpu].len() + usize::from(running_hpc)
-            })
-            .collect()
-    }
-
-    /// Graceful degradation ("do no harm" floor, DESIGN.md §9): the
-    /// detector produced no usable sample for this task, so stop steering
-    /// it — drop its hardware priority back to the uniform default instead
-    /// of letting a decision made on stale data stand. The kernel's trace
-    /// layer records the transition like any other priority change.
-    fn degrade(&mut self, ctx: &mut ClassCtx<'_>, task: TaskId) {
-        if let Some(t) = &self.telemetry {
-            t.degraded.inc();
-        }
-        if !self.dynamic_prio {
-            return;
-        }
-        let current = ctx.task(task).hw_prio;
-        if current == HwPriority::MEDIUM {
-            return;
-        }
-        if let Ok(effective) = self.mechanism.validate(HwPriority::MEDIUM) {
-            if effective != current {
-                ctx.task_mut(task).hw_prio = effective;
-                self.prio_changes += 1;
-            }
-        }
-    }
-}
-
-impl SchedClass for HpcClass {
-    fn name(&self) -> &'static str {
-        "hpc"
-    }
-
-    fn handles(&self, policy: SchedPolicy) -> bool {
-        policy == SchedPolicy::Hpc
-    }
-
-    fn init_cpus(&mut self, num_cpus: usize) {
-        self.rqs = (0..num_cpus).map(|_| VecDeque::new()).collect();
-    }
-
-    fn enqueue(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId, _kind: EnqueueKind) {
-        if self.policy == HpcPolicyKind::Rr {
-            let t = ctx.task_mut(task);
-            if t.slice_left.is_zero() {
-                t.slice_left = self.slice;
-            }
-        }
-        self.rqs[cpu.0].push_back(task);
-    }
-
-    fn dequeue(&mut self, _ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId) {
-        if let Some(pos) = self.rqs[cpu.0].iter().position(|&t| t == task) {
-            self.rqs[cpu.0].remove(pos);
-        } else {
-            debug_assert!(false, "dequeue of unqueued HPC task");
-        }
-    }
-
-    fn pick_next(&mut self, _ctx: &mut ClassCtx<'_>, cpu: CpuId) -> Option<TaskId> {
-        self.rqs[cpu.0].pop_front()
-    }
-
-    fn put_prev(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId) {
-        match self.policy {
-            HpcPolicyKind::Fifo => self.rqs[cpu.0].push_front(task),
-            HpcPolicyKind::Rr => {
-                let t = ctx.task_mut(task);
-                if t.slice_left.is_zero() {
-                    t.slice_left = self.slice;
-                    self.rqs[cpu.0].push_back(task);
-                } else {
-                    self.rqs[cpu.0].push_front(task);
-                }
-            }
-        }
-    }
-
-    fn on_yield(&mut self, _ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId) {
-        self.rqs[cpu.0].push_back(task);
-    }
-
-    fn charge(&mut self, ctx: &mut ClassCtx<'_>, _cpu: CpuId, task: TaskId, delta: SimDuration) {
-        if self.policy == HpcPolicyKind::Rr {
-            let t = ctx.task_mut(task);
-            t.slice_left = t.slice_left.saturating_sub(delta);
-        }
-    }
-
-    fn task_tick(&mut self, ctx: &mut ClassCtx<'_>, cpu: CpuId, task: TaskId) -> bool {
-        if self.policy != HpcPolicyKind::Rr {
-            return false;
-        }
-        ctx.task(task).slice_left.is_zero() && !self.rqs[cpu.0].is_empty()
-    }
-
-    fn wakeup_preempt(&self, _ctx: &ClassCtx<'_>, _curr: TaskId, _woken: TaskId) -> bool {
-        // Within the class, woken tasks queue round-robin; no preemption.
-        false
-    }
-
-    fn task_woken(
-        &mut self,
-        ctx: &mut ClassCtx<'_>,
-        task: TaskId,
-        iter_run: SimDuration,
-        iter_wall: SimDuration,
-    ) {
-        let Some(mut stats) = self.detector.record_iteration(task, iter_run, iter_wall) else {
-            self.degrade(ctx, task);
-            return;
-        };
-        if !self.dynamic_prio {
-            return;
-        }
-        let tun = *self.tunables.lock().expect("tunables poisoned");
-        // The Load Imbalance Detector gates the heuristic: once the
-        // application is balanced, stop touching priorities (paper §IV-B:
-        // "At the end of the second iteration, the Load Imbalance Detector
-        // detects no imbalance, thus there is no need of trying to balance
-        // again"). Balance is judged on the *latest* iteration — the
-        // heuristics' own metrics (global vs blended) only decide how a
-        // still-imbalanced task's priority moves.
-        let balanced = self.detector.is_balanced_recent(&tun);
-        if self.was_balanced && !balanced {
-            // Behaviour change: the balanced regime's history no longer
-            // describes the application; start the metrics afresh so even
-            // the slow global metric reacts within a couple of iterations
-            // (paper Figure 4(c)).
-            self.detector.reset_history();
-            if let Some(s) = self.detector.record_iteration(task, iter_run, iter_wall) {
-                // Same inputs as the accepted sample above, so this always
-                // re-records; the if-let just avoids a second unwrap path.
-                stats = s;
-            }
-        }
-        self.was_balanced = balanced;
-        if let Some(t) = &self.telemetry {
-            if balanced {
-                t.balanced.inc();
-            } else {
-                t.imbalanced.inc();
-            }
-        }
-        if balanced {
-            return;
-        }
-        let current = ctx.task(task).hw_prio;
-        let next = self.heuristic.next_priority(&stats, current, &tun);
-        if next == current {
-            return;
-        }
-        match self.mechanism.validate(next) {
-            Ok(effective) => {
-                if effective != current {
-                    ctx.task_mut(task).hw_prio = effective;
-                    self.prio_changes += 1;
-                    if let Some(t) = &self.telemetry {
-                        t.accepted.inc();
-                    }
-                } else if let Some(t) = &self.telemetry {
-                    // Clamped into a no-op: the heuristic's proposal was
-                    // effectively refused.
-                    t.rejected.inc();
-                }
-            }
-            Err(_) => {
-                // Architecture refused (e.g. range restriction): keep the
-                // old priority, exactly like a failed or-nop.
-                if let Some(t) = &self.telemetry {
-                    t.rejected.inc();
-                }
-            }
-        }
-    }
-
-    fn task_exited(&mut self, _ctx: &mut ClassCtx<'_>, task: TaskId) {
-        self.detector.forget(task);
-    }
-
-    fn load_balance(
-        &mut self,
-        ctx: &mut ClassCtx<'_>,
-        cpu: CpuId,
-        idle: bool,
-    ) -> Vec<Migration> {
-        let counts = self.hpc_counts(ctx);
-        let view = BalanceView { topology: ctx.topology, counts: &counts, queued: &self.rqs };
-        let plan = plan_pull(&view, cpu, idle, |t, c| ctx.tasks[t.0].allowed_on(c));
-        plan.into_iter().collect()
-    }
-
-    fn nr_runnable(&self, cpu: CpuId) -> usize {
-        self.rqs[cpu.0].len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::heuristics::UniformHeuristic;
-    use crate::mechanism::Power5Mechanism;
-    use power5::{HwPriority, Topology};
-    use schedsim::program::ScriptedProgram;
-    use schedsim::task::Task;
-    use simcore::SimTime;
-
-    fn mk_class(policy: HpcPolicyKind) -> HpcClass {
-        let mut c = HpcClass::new(
-            policy,
-            SimDuration::from_millis(100),
-            Box::new(UniformHeuristic),
-            Box::new(Power5Mechanism),
-            Arc::new(Mutex::new(HpcTunables::default())),
-        );
-        c.init_cpus(4);
-        c
-    }
-
-    fn mk_tasks(n: usize) -> Vec<Task> {
-        (0..n)
-            .map(|i| {
-                Task::new(
-                    TaskId(i),
-                    format!("rank{i}"),
-                    SchedPolicy::Hpc,
-                    Box::new(ScriptedProgram::compute_once(1.0)),
-                    SimTime::ZERO,
-                )
-            })
-            .collect()
-    }
-
-    fn ctx<'a>(tasks: &'a mut Vec<Task>, topo: &'a Topology) -> ClassCtx<'a> {
-        ClassCtx { now: SimTime::ZERO, tasks, topology: topo, running: vec![None; 4] }
-    }
-
-    fn ms(v: u64) -> SimDuration {
-        SimDuration::from_millis(v)
-    }
-
-    #[test]
-    fn round_robin_queue_order() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(3);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let mut cx = ctx(&mut tasks, &topo);
-        for i in 0..3 {
-            c.enqueue(&mut cx, CpuId(0), TaskId(i), EnqueueKind::New);
-        }
-        assert_eq!(c.pick_next(&mut cx, CpuId(0)), Some(TaskId(0)));
-        assert_eq!(c.nr_runnable(CpuId(0)), 2);
-    }
-
-    #[test]
-    fn rr_slice_rotation() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let mut cx = ctx(&mut tasks, &topo);
-        c.enqueue(&mut cx, CpuId(0), TaskId(0), EnqueueKind::New);
-        c.enqueue(&mut cx, CpuId(0), TaskId(1), EnqueueKind::New);
-        let first = c.pick_next(&mut cx, CpuId(0)).unwrap();
-        c.charge(&mut cx, CpuId(0), first, ms(100));
-        assert!(c.task_tick(&mut cx, CpuId(0), first));
-        c.put_prev(&mut cx, CpuId(0), first);
-        assert_eq!(c.pick_next(&mut cx, CpuId(0)), Some(TaskId(1)), "rotated to tail");
-    }
-
-    #[test]
-    fn fifo_keeps_head_even_after_long_run() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Fifo);
-        let mut cx = ctx(&mut tasks, &topo);
-        c.enqueue(&mut cx, CpuId(0), TaskId(0), EnqueueKind::New);
-        c.enqueue(&mut cx, CpuId(0), TaskId(1), EnqueueKind::New);
-        let first = c.pick_next(&mut cx, CpuId(0)).unwrap();
-        c.charge(&mut cx, CpuId(0), first, ms(500));
-        assert!(!c.task_tick(&mut cx, CpuId(0), first), "FIFO never expires");
-        c.put_prev(&mut cx, CpuId(0), first);
-        assert_eq!(c.pick_next(&mut cx, CpuId(0)), Some(first));
-    }
-
-    #[test]
-    fn imbalanced_iterations_raise_priority_of_busy_task() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let mut cx = ctx(&mut tasks, &topo);
-        // Task 0: 25% utilization; task 1: 100%.
-        c.task_woken(&mut cx, TaskId(0), ms(25), ms(100));
-        c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
-        assert_eq!(cx.task(TaskId(0)).hw_prio, HwPriority::MEDIUM, "low-util stays at min");
-        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::MEDIUM_HIGH, "+1 step");
-        // Second identical round: the busy task reaches MAX_PRIO.
-        c.task_woken(&mut cx, TaskId(0), ms(25), ms(100));
-        c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
-        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::HIGH);
-        assert_eq!(c.priority_changes(), 2);
-    }
-
-    #[test]
-    fn balanced_application_freezes_priorities() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let mut cx = ctx(&mut tasks, &topo);
-        // Both ~95%: spread below threshold → no changes even though both
-        // are above HIGH_UTIL.
-        c.task_woken(&mut cx, TaskId(0), ms(95), ms(100));
-        c.task_woken(&mut cx, TaskId(1), ms(98), ms(100));
-        assert_eq!(cx.task(TaskId(0)).hw_prio, HwPriority::MEDIUM);
-        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::MEDIUM);
-        assert_eq!(c.priority_changes(), 0);
-    }
-
-    #[test]
-    fn static_mode_never_touches_priorities() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Rr).with_static_priorities();
-        let mut cx = ctx(&mut tasks, &topo);
-        c.task_woken(&mut cx, TaskId(0), ms(10), ms(100));
-        c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
-        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::MEDIUM);
-        assert_eq!(c.detector().tracked(), 2, "detector still observes");
-    }
-
-    #[test]
-    fn exited_task_forgotten_by_detector() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let mut cx = ctx(&mut tasks, &topo);
-        c.task_woken(&mut cx, TaskId(0), ms(10), ms(100));
-        c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
-        assert_eq!(c.detector().tracked(), 2);
-        c.task_exited(&mut cx, TaskId(0));
-        assert_eq!(c.detector().tracked(), 1);
-    }
-
-    #[test]
-    fn balancer_pulls_across_cores() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(3);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let mut cx = ctx(&mut tasks, &topo);
-        // Three HPC tasks queued on CPU 2 (core 1); CPU 0 (core 0) is empty.
-        for i in 0..3 {
-            c.enqueue(&mut cx, CpuId(2), TaskId(i), EnqueueKind::New);
-        }
-        let migs = c.load_balance(&mut cx, CpuId(0), true);
-        assert_eq!(migs.len(), 1);
-        assert_eq!(migs[0].from, CpuId(2));
-        assert_eq!(migs[0].to, CpuId(0));
-    }
-
-    #[test]
-    fn running_tasks_count_toward_domain_balance() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(3);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        // CPU 2 runs an HPC task and has one queued; CPU 0 idle.
-        let mut cx = ctx(&mut tasks, &topo);
-        cx.running[2] = Some(TaskId(0));
-        c.enqueue(&mut cx, CpuId(2), TaskId(1), EnqueueKind::New);
-        let migs = c.load_balance(&mut cx, CpuId(0), true);
-        assert_eq!(migs.len(), 1, "2 tasks on core1 vs 0 on core0");
-        assert_eq!(migs[0].task, TaskId(1), "only the queued task can move");
-    }
-
-    #[test]
-    fn telemetry_counts_decisions_and_verdicts() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let registry = telemetry::MetricsRegistry::new();
-        c.attach_telemetry(&registry);
-        let mut cx = ctx(&mut tasks, &topo);
-        // Two imbalanced rounds (same shape as
-        // imbalanced_iterations_raise_priority_of_busy_task).
-        for _ in 0..2 {
-            c.task_woken(&mut cx, TaskId(0), ms(25), ms(100));
-            c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
-        }
-        let snap = registry.snapshot();
-        assert_eq!(
-            snap.counter("hpc.decisions.uniform.accepted"),
-            c.priority_changes(),
-            "every applied change is counted against the heuristic"
-        );
-        assert_eq!(snap.counter("hpc.decisions.uniform.rejected"), 0);
-        assert_eq!(
-            snap.counter("hpc.detector.balanced") + snap.counter("hpc.detector.imbalanced"),
-            4,
-            "one verdict per completed iteration"
-        );
-    }
-
-    #[test]
-    fn unusable_sample_degrades_to_uniform_priority() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(2);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let registry = telemetry::MetricsRegistry::new();
-        c.attach_telemetry(&registry);
-        let mut cx = ctx(&mut tasks, &topo);
-        // Drive task 1 to HIGH with two imbalanced rounds.
-        for _ in 0..2 {
-            c.task_woken(&mut cx, TaskId(0), ms(25), ms(100));
-            c.task_woken(&mut cx, TaskId(1), ms(100), ms(100));
-        }
-        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::HIGH);
-        // A zero-wall (unusable) sample: fall back to the uniform floor
-        // instead of keeping a priority decided on stale data.
-        c.task_woken(&mut cx, TaskId(1), SimDuration::ZERO, SimDuration::ZERO);
-        assert_eq!(cx.task(TaskId(1)).hw_prio, HwPriority::MEDIUM, "do-no-harm floor");
-        let snap = registry.snapshot();
-        assert_eq!(snap.counter("hpc.detector.degraded"), 1);
-        // The detector history is untouched by the bad sample.
-        assert_eq!(c.detector().stats_of(TaskId(1)).expect("history kept").iterations, 2);
-    }
-
-    #[test]
-    fn degraded_task_at_floor_stays_put() {
-        let topo = Topology::openpower_710();
-        let mut tasks = mk_tasks(1);
-        let mut c = mk_class(HpcPolicyKind::Rr);
-        let mut cx = ctx(&mut tasks, &topo);
-        c.task_woken(&mut cx, TaskId(0), SimDuration::ZERO, SimDuration::ZERO);
-        assert_eq!(cx.task(TaskId(0)).hw_prio, HwPriority::MEDIUM);
-        assert_eq!(c.priority_changes(), 0, "no change when already at the floor");
-    }
-
-    #[test]
-    fn handles_only_hpc_policy() {
-        let c = mk_class(HpcPolicyKind::Rr);
-        assert!(c.handles(SchedPolicy::Hpc));
-        assert!(!c.handles(SchedPolicy::Normal));
-        assert!(!c.handles(SchedPolicy::Fifo));
-        assert_eq!(c.name(), "hpc");
-    }
-}
+/// The old name of the `SCHED_HPC` class.
+#[deprecated(note = "use `schedsim::BalancedClass` driven by a `schedsim::policies` balancer")]
+pub type HpcClass = BalancedClass;

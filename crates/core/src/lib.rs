@@ -6,22 +6,24 @@
 //! transparently balances MPI applications on IBM POWER5 machines by
 //! steering the processor's hardware thread prioritization.
 //!
-//! The scheduler is built from the paper's three "mainly independent"
-//! components (§IV):
+//! # Where the implementation lives
 //!
-//! * **Scheduling policy** ([`class`]) — the `SCHED_HPC` class, inserted
-//!   between the real-time and CFS classes; FIFO and round-robin policies
-//!   over a simple per-CPU run queue, plus a domain-level workload balancer
-//!   that equalizes HPC task counts at core/chip/system level;
-//! * **Load Imbalance Detector and Heuristics** ([`detector`],
-//!   [`heuristics`]) — per-iteration CPU-utilization tracking
-//!   (`Ui = tR / ti`), an application-level imbalance check, and the two
-//!   heuristics of the paper: *Uniform* (global utilization with hysteresis
-//!   bounds `LOW_UTIL`/`HIGH_UTIL`) and *Adaptive* (recency-weighted
-//!   utilization `Ui = G·Ug(i−1) + L·Ul(i)`);
-//! * **Mechanism** ([`mechanism`]) — the only architecture-dependent part:
-//!   applying a hardware thread priority on dispatch, validated against the
-//!   POWER5 privilege rules (supervisor may set 1–6).
+//! As of the Balancer-trait refactor, the implementation is in the
+//! `schedsim` crate and this crate is a compatibility facade:
+//!
+//! * the `SCHED_HPC` class is [`schedsim::classes::BalancedClass`] — a thin
+//!   driver owning run queues and migration plumbing, generic over a
+//!   [`schedsim::Balancer`] policy;
+//! * the paper's Table-I policy (detector + heuristics + mechanism) is
+//!   [`schedsim::policies::Table1Balancer`], one entry in the policy zoo of
+//!   [`schedsim::policies::registry`] (`--policy <name>` on every
+//!   experiment binary);
+//! * kernels are assembled with [`schedsim::KernelBuilder`]; the old
+//!   [`HpcKernelBuilder`] remains as a deprecated delegating shim.
+//!
+//! The old module paths (`class`, `detector`, `heuristics`, `mechanism`,
+//! `tunables`, `balance`, `runtime`) re-export the moved items so existing
+//! imports keep compiling for one release.
 //!
 //! # Quick start
 //!
@@ -31,7 +33,7 @@
 //! // A POWER5 machine (2 cores × 2 SMT) running a kernel with the HPC class.
 //! // The builder validates tunables and topology up front; an invalid
 //! // configuration surfaces as a `SchedError` instead of a panic.
-//! let mut kernel = HpcKernelBuilder::new().try_build()?;
+//! let mut kernel = KernelBuilder::new().try_build()?;
 //!
 //! // An intentionally imbalanced pair on core 0: a long worker and a short
 //! // worker that barrier-waits for it every iteration would normally idle
@@ -53,23 +55,31 @@ pub mod mechanism;
 pub mod runtime;
 pub mod tunables;
 
-pub use class::{HpcClass, HpcPolicyKind};
+#[allow(deprecated)]
+pub use class::HpcClass;
+pub use class::{BalancedClass, HpcPolicyKind};
 pub use detector::{LoadImbalanceDetector, TaskIterStats};
 pub use heuristics::{AdaptiveHeuristic, Heuristic, HeuristicKind, HybridHeuristic, UniformHeuristic};
 pub use mechanism::{NullMechanism, Power5Mechanism, PrioMechanism};
-pub use runtime::{HpcKernelBuilder, HpcSchedConfig, PerfModelChoice};
+#[allow(deprecated)]
+pub use runtime::HpcKernelBuilder;
+pub use runtime::{HpcSchedConfig, PerfModelChoice};
 pub use tunables::HpcTunables;
 
 /// Common imports for users of the library.
 pub mod prelude {
-    pub use crate::class::{HpcClass, HpcPolicyKind};
+    #[allow(deprecated)]
+    pub use crate::class::HpcClass;
+    pub use crate::class::{BalancedClass, HpcPolicyKind};
     pub use crate::heuristics::{AdaptiveHeuristic, Heuristic, HeuristicKind, HybridHeuristic, UniformHeuristic};
-    pub use crate::runtime::{HpcKernelBuilder, HpcSchedConfig};
-    pub use crate::tunables::HpcTunables;
+    #[allow(deprecated)]
+    pub use crate::runtime::HpcKernelBuilder;
+    pub use crate::runtime::HpcSchedConfig;
     pub use power5::{Chip, CpuId, HwPriority, Topology};
+    pub use schedsim::policies::HpcTunables;
     pub use schedsim::{
-        Action, Kernel, KernelApi, KernelConfig, KernelEvent, MetricEvent, NoiseConfig, Observer,
-        Program, SchedError, SchedPolicy, SpawnOptions, TaskId,
+        Action, Balancer, Kernel, KernelApi, KernelBuilder, KernelConfig, KernelEvent, MetricEvent,
+        NoiseConfig, Observer, Program, SchedError, SchedPolicy, SpawnOptions, TaskId,
     };
     pub use telemetry::{MetricsRegistry, MetricsSnapshot};
     pub use simcore::{SimDuration, SimTime};

@@ -1,90 +1,4 @@
-//! The Mechanism (paper §IV-C): the only architecture-dependent component.
-//!
-//! The scheduling policy and heuristics are architecture-neutral; applying
-//! a hardware priority is not. On POWER5 the kernel issues a supervisor
-//! `or X,X,X` nop on the context the task is dispatched to; on machines
-//! without software-controlled prioritization the mechanism is a no-op and
-//! HPCSched still helps through its class placement alone (the paper makes
-//! exactly this point).
+//! Deprecated location: the hardware-priority mechanism moved to
+//! [`schedsim::policies::mechanism`].
 
-use power5::{priority, HwPriority, PriorityError, PrivilegeLevel};
-
-/// Applies heuristic decisions to the hardware.
-pub trait PrioMechanism: Send {
-    fn name(&self) -> &'static str;
-
-    /// Validate `prio` for this architecture and return the priority to
-    /// record on the task (applied by the dispatcher when the task next
-    /// runs). `Err` leaves the task's priority unchanged.
-    fn validate(&self, prio: HwPriority) -> Result<HwPriority, PriorityError>;
-
-    /// Whether this architecture actually varies resource allocation.
-    fn is_effective(&self) -> bool {
-        true
-    }
-}
-
-/// POWER5 mechanism: priorities are set from supervisor (OS) privilege, so
-/// only levels 1–6 are reachable; the heuristics' `[4,6]` working range is
-/// well inside that.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Power5Mechanism;
-
-impl PrioMechanism for Power5Mechanism {
-    fn name(&self) -> &'static str {
-        "power5"
-    }
-
-    fn validate(&self, prio: HwPriority) -> Result<HwPriority, PriorityError> {
-        priority::issue_or_nop(prio, PrivilegeLevel::Supervisor)
-    }
-}
-
-/// No-op mechanism for architectures without hardware prioritization: every
-/// request "succeeds" but resolves to the default Medium priority, so the
-/// chip model never sees a difference.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct NullMechanism;
-
-impl PrioMechanism for NullMechanism {
-    fn name(&self) -> &'static str {
-        "null"
-    }
-
-    fn validate(&self, _prio: HwPriority) -> Result<HwPriority, PriorityError> {
-        Ok(HwPriority::MEDIUM)
-    }
-
-    fn is_effective(&self) -> bool {
-        false
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn power5_accepts_supervisor_range() {
-        let m = Power5Mechanism;
-        for v in 1..=6u8 {
-            let p = HwPriority::new(v).unwrap();
-            assert_eq!(m.validate(p), Ok(p), "prio {v}");
-        }
-    }
-
-    #[test]
-    fn power5_rejects_hypervisor_levels() {
-        let m = Power5Mechanism;
-        assert!(m.validate(HwPriority::VERY_HIGH).is_err());
-        assert!(m.validate(HwPriority::OFF).is_err());
-    }
-
-    #[test]
-    fn null_mechanism_pins_medium() {
-        let m = NullMechanism;
-        assert_eq!(m.validate(HwPriority::HIGH), Ok(HwPriority::MEDIUM));
-        assert!(!m.is_effective());
-        assert!(Power5Mechanism.is_effective());
-    }
-}
+pub use schedsim::policies::mechanism::*;

@@ -1,176 +1,93 @@
-//! Convenience assembly: a simulated POWER5 machine running a kernel with
-//! the HPC scheduling class installed.
+//! Deprecated location: the kernel builder moved to [`schedsim::builder`]
+//! as the policy-aware [`schedsim::KernelBuilder`].
+//!
+//! [`HpcKernelBuilder`] remains as a thin delegating shim for one release.
+//! The only behavioral difference of the new builder is the tunables path:
+//! instead of the `try_build` / `try_build_with_tunables` split, the shared
+//! handle exists from construction on and is read with
+//! [`schedsim::KernelBuilder::tunables`].
 
-use crate::class::{HpcClass, HpcPolicyKind, SharedTunables};
-use crate::heuristics::{make_heuristic, HeuristicKind};
-use crate::mechanism::{NullMechanism, Power5Mechanism, PrioMechanism};
-use crate::tunables::HpcTunables;
-use power5::{AnalyticModel, Chip, TableModel, Topology};
-use schedsim::{Kernel, KernelConfig, SchedError};
-use simcore::SimDuration;
-use std::sync::{Arc, Mutex};
+use crate::class::SharedTunables;
+use crate::heuristics::HeuristicKind;
+use power5::Topology;
+use schedsim::{Kernel, KernelBuilder, KernelConfig, SchedError};
 
-/// Configuration of the HPC scheduling class.
-#[derive(Clone, Debug)]
-pub struct HpcSchedConfig {
-    pub policy: HpcPolicyKind,
-    /// RR time slice for HPC tasks.
-    pub slice: SimDuration,
-    pub heuristic: HeuristicKind,
-    pub tunables: HpcTunables,
-    /// Use the POWER5 mechanism (true) or the no-op mechanism for
-    /// architectures without hardware prioritization (false).
-    pub power5_mechanism: bool,
-    /// Disable the dynamic heuristic entirely (class placement only).
-    pub policy_only: bool,
-}
+pub use schedsim::builder::{HpcSchedConfig, PerfModelChoice};
 
-impl Default for HpcSchedConfig {
-    fn default() -> Self {
-        HpcSchedConfig {
-            policy: HpcPolicyKind::Rr,
-            slice: SimDuration::from_millis(100),
-            heuristic: HeuristicKind::Uniform,
-            tunables: HpcTunables::default(),
-            power5_mechanism: true,
-            policy_only: false,
-        }
-    }
-}
-
-/// Which SMT performance model the chip uses.
-#[derive(Clone, Copy, Debug)]
-pub enum PerfModelChoice {
-    /// The calibrated table model (default; DESIGN.md §3.2).
-    Table,
-    /// The analytic rational model with concavity `k` (ablations).
-    Analytic { k: f64 },
-}
-
-/// Builds a [`Kernel`] on a simulated POWER5 with (optionally) the HPC
-/// class installed — the standard entry point for examples, tests and
-/// experiments.
+/// The old name of the kernel builder, delegating to
+/// [`schedsim::KernelBuilder`].
+#[deprecated(note = "use `schedsim::KernelBuilder` (single `tunables()` path, `policy()` by name)")]
 pub struct HpcKernelBuilder {
-    topology: Topology,
-    kernel: KernelConfig,
-    hpc: Option<HpcSchedConfig>,
-    model: PerfModelChoice,
+    inner: KernelBuilder,
+    has_hpc: bool,
 }
 
+#[allow(deprecated)]
 impl Default for HpcKernelBuilder {
     fn default() -> Self {
         Self::new()
     }
 }
 
+#[allow(deprecated)]
 impl HpcKernelBuilder {
     /// Paper defaults: OpenPower 710 topology, Linux-2.6.24-like tunables,
     /// HPC class with the Uniform heuristic.
     pub fn new() -> Self {
-        HpcKernelBuilder {
-            topology: Topology::openpower_710(),
-            kernel: KernelConfig::default(),
-            hpc: Some(HpcSchedConfig::default()),
-            model: PerfModelChoice::Table,
-        }
+        HpcKernelBuilder { inner: KernelBuilder::new(), has_hpc: true }
     }
 
     pub fn topology(mut self, t: Topology) -> Self {
-        self.topology = t;
+        self.inner = self.inner.topology(t);
         self
     }
 
     pub fn kernel_config(mut self, c: KernelConfig) -> Self {
-        self.kernel = c;
+        self.inner = self.inner.kernel_config(c);
         self
     }
 
     pub fn noise(mut self, n: schedsim::NoiseConfig) -> Self {
-        self.kernel.noise = n;
+        self.inner = self.inner.noise(n);
         self
     }
 
     pub fn seed(mut self, seed: u64) -> Self {
-        self.kernel.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
     /// Baseline kernel: no HPC class (the paper's "standard CFS" runs).
     pub fn without_hpc_class(mut self) -> Self {
-        self.hpc = None;
+        self.inner = self.inner.without_hpc_class();
+        self.has_hpc = false;
         self
     }
 
     pub fn hpc_config(mut self, cfg: HpcSchedConfig) -> Self {
-        self.hpc = Some(cfg);
+        self.inner = self.inner.hpc_config(cfg);
+        self.has_hpc = true;
         self
     }
 
     pub fn heuristic(mut self, kind: HeuristicKind) -> Self {
-        if let Some(h) = self.hpc.as_mut() {
-            h.heuristic = kind;
-        }
+        self.inner = self.inner.heuristic(kind);
         self
     }
 
     pub fn perf_model(mut self, m: PerfModelChoice) -> Self {
-        self.model = m;
+        self.inner = self.inner.perf_model(m);
         self
     }
 
-    /// Build the kernel, validating the configuration first. Returns the
-    /// kernel and, when the HPC class is installed, the shared tunables
-    /// handle (the "sysfs mount") for runtime adjustment.
+    /// Build the kernel and, when the HPC class is installed, the shared
+    /// tunables handle.
     ///
     /// # Errors
-    /// [`SchedError::InvalidTopology`] if the topology has no CPUs, or if
-    /// the analytic model's concavity is not a positive finite number;
-    /// [`SchedError::InvalidTunables`] if the HPC tunables fail validation
-    /// (e.g. `low_util > high_util`).
+    /// Same conditions as [`schedsim::KernelBuilder::try_build`].
     pub fn try_build_with_tunables(self) -> Result<(Kernel, Option<SharedTunables>), SchedError> {
-        if self.topology.num_cpus() == 0 {
-            return Err(SchedError::InvalidTopology("topology has no CPUs".into()));
-        }
-        if let PerfModelChoice::Analytic { k } = self.model {
-            if !k.is_finite() || k <= 0.0 {
-                return Err(SchedError::InvalidTopology(format!(
-                    "analytic model concavity must be a positive finite number, got {k}"
-                )));
-            }
-        }
-        if let Some(cfg) = &self.hpc {
-            cfg.tunables
-                .validate()
-                .map_err(|e| SchedError::InvalidTunables(e.to_string()))?;
-        }
-        let chip = match self.model {
-            PerfModelChoice::Table => {
-                Chip::with_model(self.topology.clone(), Box::new(TableModel::default()))
-            }
-            PerfModelChoice::Analytic { k } => {
-                Chip::with_model(self.topology.clone(), Box::new(AnalyticModel { k }))
-            }
-        };
-        let mut kernel = Kernel::new(chip, self.kernel);
-        let mut handle = None;
-        if let Some(cfg) = self.hpc {
-            let registry = kernel.metrics_registry().clone();
-            let tunables: SharedTunables = Arc::new(Mutex::new(cfg.tunables));
-            handle = Some(tunables.clone());
-            let mech: Box<dyn PrioMechanism> = if cfg.power5_mechanism {
-                Box::new(Power5Mechanism)
-            } else {
-                Box::new(NullMechanism)
-            };
-            let mut class =
-                HpcClass::new(cfg.policy, cfg.slice, make_heuristic(cfg.heuristic), mech, tunables);
-            if cfg.policy_only {
-                class = class.with_static_priorities();
-            }
-            class.attach_telemetry(&registry);
-            kernel.install_class_after_rt(Box::new(class));
-        }
-        Ok((kernel, handle))
+        let handle = self.has_hpc.then(|| self.inner.tunables());
+        Ok((self.inner.try_build()?, handle))
     }
 
     /// Build, discarding the tunables handle.
@@ -178,33 +95,33 @@ impl HpcKernelBuilder {
     /// # Errors
     /// Same conditions as [`Self::try_build_with_tunables`].
     pub fn try_build(self) -> Result<Kernel, SchedError> {
-        self.try_build_with_tunables().map(|(kernel, _)| kernel)
+        self.inner.try_build()
     }
 
     /// Build the kernel and tunables handle, panicking on an invalid
-    /// configuration. Prefer [`Self::try_build_with_tunables`] in code that
-    /// can surface errors.
+    /// configuration.
     pub fn build_with_tunables(self) -> (Kernel, Option<SharedTunables>) {
         self.try_build_with_tunables().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Build, discarding the tunables handle and panicking on an invalid
-    /// configuration. Prefer [`Self::try_build`].
+    /// configuration.
     pub fn build(self) -> Kernel {
-        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+        self.inner.build()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use schedsim::program::ScriptedProgram;
     use schedsim::{SchedPolicy, SpawnOptions};
+    use simcore::SimDuration;
 
     #[test]
-    fn builder_installs_hpc_class() {
+    fn shim_installs_hpc_class() {
         let mut k = HpcKernelBuilder::new().build();
-        // An HPC task can be spawned only if a class handles SCHED_HPC.
         let t = k.spawn(
             "rank0",
             SchedPolicy::Hpc,
@@ -212,18 +129,6 @@ mod tests {
             SpawnOptions::default(),
         );
         assert!(k.run_until_exited(&[t], SimDuration::from_secs(1)).is_some());
-    }
-
-    #[test]
-    #[should_panic(expected = "no class handles")]
-    fn baseline_kernel_rejects_hpc_policy() {
-        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
-        k.spawn(
-            "rank0",
-            SchedPolicy::Hpc,
-            Box::new(ScriptedProgram::compute_once(0.01)),
-            SpawnOptions::default(),
-        );
     }
 
     #[test]
@@ -241,28 +146,15 @@ mod tests {
     }
 
     #[test]
-    fn try_build_rejects_invalid_tunables() {
+    fn shim_surfaces_build_errors() {
         let mut cfg = HpcSchedConfig::default();
         cfg.tunables.low_util = 90.0;
         cfg.tunables.high_util = 10.0;
-        let err = match HpcKernelBuilder::new().hpc_config(cfg).try_build() {
+        let err = match HpcKernelBuilder::new().hpc_config(cfg).try_build_with_tunables() {
             Err(e) => e,
             Ok(_) => panic!("invalid tunables accepted"),
         };
-        assert!(matches!(err, schedsim::SchedError::InvalidTunables(_)), "got {err:?}");
-        assert!(err.to_string().contains("invalid HPC tunables"));
-    }
-
-    #[test]
-    fn try_build_rejects_bad_analytic_concavity() {
-        let err = match HpcKernelBuilder::new()
-            .perf_model(PerfModelChoice::Analytic { k: f64::NAN })
-            .try_build()
-        {
-            Err(e) => e,
-            Ok(_) => panic!("NaN concavity accepted"),
-        };
-        assert!(matches!(err, schedsim::SchedError::InvalidTopology(_)), "got {err:?}");
+        assert!(matches!(err, SchedError::InvalidTunables(_)), "got {err:?}");
     }
 
     #[test]
@@ -272,30 +164,5 @@ mod tests {
         cfg.tunables.low_util = 90.0;
         cfg.tunables.high_util = 10.0;
         let _ = HpcKernelBuilder::new().hpc_config(cfg).build();
-    }
-
-    #[test]
-    fn builder_registers_hpc_decision_counters() {
-        let k = HpcKernelBuilder::new().try_build().expect("valid defaults");
-        let snapshot = k.metrics_registry().snapshot();
-        assert!(
-            snapshot.get("hpc.decisions.uniform.accepted").is_some(),
-            "HPC class telemetry is registered at build time"
-        );
-        assert!(snapshot.get("hpc.detector.balanced").is_some());
-    }
-
-    #[test]
-    fn analytic_model_builds() {
-        let mut k = HpcKernelBuilder::new()
-            .perf_model(PerfModelChoice::Analytic { k: 3.0 })
-            .build();
-        let t = k.spawn(
-            "t",
-            SchedPolicy::Normal,
-            Box::new(ScriptedProgram::compute_once(0.01)),
-            SpawnOptions::default(),
-        );
-        assert!(k.run_until_exited(&[t], SimDuration::from_secs(1)).is_some());
     }
 }

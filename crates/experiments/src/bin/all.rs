@@ -22,7 +22,7 @@ fn main() {
     ];
 
     for (slug, wl, modes, paper) in cells {
-        let results = run_modes(&wl, modes, 2008);
+        let results = run_modes(&wl, &flags.modes(modes), 2008);
         let title = format!("{} (paper vs measured)", wl.name());
         print!("{}", report(&title, paper, &results, false));
         flags.epilogue(&results);

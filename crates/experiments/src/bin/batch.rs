@@ -61,10 +61,53 @@ struct ParallelBench {
     speedup: f64,
 }
 
+/// One per-policy row: the 30-job FCFS stream under each registered
+/// balancing policy, so the baseline tracks the whole zoo, not just the
+/// paper's policy.
+#[derive(serde::Serialize)]
+struct PolicyRow {
+    policy: &'static str,
+    completed: usize,
+    mean_wait_secs: f64,
+    makespan_secs: f64,
+    throughput_per_sim_sec: f64,
+}
+
 #[derive(serde::Serialize)]
 struct Bench {
     disciplines: Vec<BenchRow>,
+    policies: Vec<PolicyRow>,
     parallel: ParallelBench,
+}
+
+/// The policy-zoo section of the baseline: one short FCFS stream per
+/// registered `--policy` name, every node-local kernel driven by that
+/// balancer. Deterministic, so CI diffs these rows like the rest.
+fn policy_rows(seed: u64, failed: &mut bool) -> Vec<PolicyRow> {
+    let jobs = heavy_light_mix(seed, 30);
+    let mut rows = Vec::new();
+    for spec in schedsim::policies::registry() {
+        let cfg = BatchConfig {
+            discipline: Discipline::Fcfs,
+            sched: LocalSched::Policy(spec.name),
+            ..Default::default()
+        };
+        let out = run_batch(&jobs, &cfg, None);
+        let stats = FleetStats::from_outcome(&out);
+        println!("{}", stats.render_row(&format!("policy/{}", spec.name)));
+        if stats.completed != jobs.len() {
+            println!("policy/{}: only {}/{} jobs completed", spec.name, stats.completed, jobs.len());
+            *failed = true;
+        }
+        rows.push(PolicyRow {
+            policy: spec.name,
+            completed: stats.completed,
+            mean_wait_secs: stats.mean_wait,
+            makespan_secs: stats.makespan,
+            throughput_per_sim_sec: stats.throughput,
+        });
+    }
+    rows
 }
 
 fn parsed(name: &str, default: u64) -> u64 {
@@ -94,6 +137,7 @@ fn study(
     jobs: &[batchsim::BatchJob],
     fault: Option<&BatchFault>,
     verify: bool,
+    sched: LocalSched,
     threads: usize,
     failed: &mut bool,
 ) -> (Vec<(Discipline, BatchOutcome)>, f64, f64) {
@@ -101,7 +145,7 @@ fn study(
     let serial_started = Instant::now();
     for discipline in Discipline::ALL {
         let cfg =
-            BatchConfig { discipline, verify_jobs: verify, threads: 1, ..Default::default() };
+            BatchConfig { discipline, sched, verify_jobs: verify, threads: 1, ..Default::default() };
         let a = run_batch(jobs, &cfg, fault);
         let b = run_batch(jobs, &cfg, fault);
         if a.render_trace() != b.render_trace() {
@@ -117,6 +161,7 @@ fn study(
     for (discipline, serial) in &outs {
         let cfg = BatchConfig {
             discipline: *discipline,
+            sched,
             verify_jobs: verify,
             threads,
             ..Default::default()
@@ -155,7 +200,13 @@ fn smoke(flags: &CliFlags, seed: u64) -> bool {
     let jobs = heavy_light_mix(seed, 30);
     let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
     let mut failed = false;
-    for sched in LocalSched::ALL {
+    // `--policy` narrows the smoke to CFS vs. that one zoo policy; the
+    // default covers the three builtin regimes.
+    let scheds: Vec<LocalSched> = match flags.policy {
+        None => LocalSched::ALL.to_vec(),
+        Some(p) => vec![LocalSched::Cfs, LocalSched::Policy(p)],
+    };
+    for sched in scheds {
         for discipline in Discipline::ALL {
             let cfg = BatchConfig {
                 discipline,
@@ -216,9 +267,15 @@ fn main() {
     let bench_threads = if flags.threads > 1 { flags.threads } else { BENCH_THREADS };
     let mut failed = false;
 
-    println!("== batch: {njobs}-job heavy/light mix, seed {seed}, 4-node fleet ==");
+    // `--policy` swaps every node-local kernel onto the named balancer;
+    // the default full study runs the paper's HPCSched policy.
+    let sched = flags.policy.map_or(LocalSched::Hpc, LocalSched::Policy);
+    println!(
+        "== batch: {njobs}-job heavy/light mix, seed {seed}, 4-node fleet, {} nodes ==",
+        sched.label()
+    );
     let (outs, wall_serial, wall_parallel) =
-        study(&jobs, fault.as_ref(), flags.verify, bench_threads, &mut failed);
+        study(&jobs, fault.as_ref(), flags.verify, sched, bench_threads, &mut failed);
 
     let mut rows = Vec::new();
     let mut wait_of = std::collections::BTreeMap::new();
@@ -291,11 +348,14 @@ fn main() {
         }
     }
 
-    // The baseline only tracks the clean configuration; a faulted or
-    // resized run would churn the committed file.
-    if fault.is_none() && njobs == 200 && seed == 2008 {
+    // The baseline only tracks the clean configuration; a faulted,
+    // resized, or policy-overridden run would churn the committed file.
+    if fault.is_none() && njobs == 200 && seed == 2008 && flags.policy.is_none() {
+        println!("\n== policy zoo: 30-job FCFS stream per registered --policy ==");
+        let policies = policy_rows(seed, &mut failed);
         let bench = Bench {
             disciplines: rows,
+            policies,
             parallel: ParallelBench {
                 threads: bench_threads,
                 byte_identical: !failed,

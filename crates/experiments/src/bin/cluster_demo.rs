@@ -39,6 +39,9 @@ fn run_fcfs(
 
 fn main() {
     let flags = CliFlags::from_env();
+    // `--policy` swaps the balanced side of the comparison from the
+    // paper's HPCSched onto the named zoo policy.
+    let balanced = flags.policy.map_or(LocalSched::Hpc, LocalSched::Policy);
     let strategies = [
         PlacementStrategy::RoundRobin,
         PlacementStrategy::GreedyLpt,
@@ -64,12 +67,15 @@ fn main() {
         );
         println!(
             "{:<12} {:>14} {:>14} {:>12}",
-            "placement", "CFS nodes (s)", "HPC nodes (s)", "HPC gain"
+            "placement",
+            "CFS nodes (s)",
+            format!("{} nodes (s)", balanced.label()),
+            "gain"
         );
         let stream = [BatchJob::new(0, job.clone(), 0.01)];
         for s in strategies {
             let cfs = run_fcfs(&stream, nodes, s, LocalSched::Cfs, flags.threads);
-            let hpc = run_fcfs(&stream, nodes, s, LocalSched::Hpc, flags.threads);
+            let hpc = run_fcfs(&stream, nodes, s, balanced, flags.threads);
             let (cfs, hpc) =
                 (cfs.jobs[0].outcome.result.makespan, hpc.jobs[0].outcome.result.makespan);
             println!(
@@ -88,7 +94,7 @@ fn main() {
     // batch layer's wait/turnaround accounting on a toy stream.
     let stream =
         vec![BatchJob::new(0, bimodal, 0.01), BatchJob::new(1, irregular, 0.02)];
-    let out = run_fcfs(&stream, 4, PlacementStrategy::SmtAware, LocalSched::Hpc, flags.threads);
+    let out = run_fcfs(&stream, 4, PlacementStrategy::SmtAware, balanced, flags.threads);
     let stats = FleetStats::from_outcome(&out);
     println!("== both jobs, one FCFS queue (4 nodes, SmtAware, HPCSched) ==");
     println!("{}", stats.render_row("fcfs"));

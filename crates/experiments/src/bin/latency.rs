@@ -3,7 +3,7 @@
 //! The HPC class's near-constant microsecond latency is the
 //! "high-responsive task scheduler" half of the paper's SIESTA result.
 
-use hpcsched::HpcKernelBuilder;
+use schedsim::KernelBuilder;
 use schedsim::{Kernel, NoiseConfig, TaskId};
 use simcore::SimDuration;
 use workloads::siesta::{self, SiestaConfig};
@@ -34,7 +34,7 @@ fn mean_of(kernel: &Kernel, tasks: impl Iterator<Item = TaskId>) -> f64 {
 }
 
 fn run(noise: NoiseConfig, hpc: bool) -> LatencyReport {
-    let builder = HpcKernelBuilder::new().noise(noise).seed(2008);
+    let builder = KernelBuilder::new().noise(noise).seed(2008);
     let built = if hpc { builder.try_build() } else { builder.without_hpc_class().try_build() };
     let mut kernel = built.unwrap_or_else(|e| {
         eprintln!("invalid kernel configuration: {e}");

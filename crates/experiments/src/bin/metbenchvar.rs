@@ -9,7 +9,8 @@ use experiments::{ExperimentMode, WorkloadKind};
 fn main() {
     let wl = WorkloadKind::MetBenchVar(Default::default());
     let flags = CliFlags::from_env();
-    let results = run_modes_faulted(&wl, &ExperimentMode::ALL, 2008, flags.faults.as_ref());
+    let modes = flags.modes(&ExperimentMode::ALL);
+    let results = run_modes_faulted(&wl, &modes, 2008, flags.faults.as_ref());
     print!("{}", report("Table IV / Figure 4 — MetBenchVar", METBENCHVAR, &results, true));
     flags.epilogue(&results);
     let dir = std::path::Path::new("experiments_output");

@@ -9,12 +9,9 @@ use experiments::{ExperimentMode, WorkloadKind};
 fn main() {
     let wl = WorkloadKind::Siesta(Default::default());
     let flags = CliFlags::from_env();
-    let results = run_modes_faulted(
-        &wl,
-        &[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive],
-        2008,
-        flags.faults.as_ref(),
-    );
+    let modes =
+        flags.modes(&[ExperimentMode::Baseline, ExperimentMode::Uniform, ExperimentMode::Adaptive]);
+    let results = run_modes_faulted(&wl, &modes, 2008, flags.faults.as_ref());
     print!("{}", report("Table VI / Figure 6 — SIESTA", SIESTA, &results, true));
     flags.epilogue(&results);
     let dir = std::path::Path::new("experiments_output");

@@ -2,7 +2,9 @@
 //! exposes through sysfs? Sweeps HIGH_UTIL/LOW_UTIL bounds, the Adaptive
 //! G/L weights and the priority range on MetBench and MetBenchVar.
 
-use hpcsched::{HeuristicKind, HpcKernelBuilder, HpcSchedConfig, HpcTunables};
+use hpcsched::{HeuristicKind, HpcTunables};
+use schedsim::builder::HpcSchedConfig;
+use schedsim::KernelBuilder;
 use schedsim::SchedError;
 use simcore::SimDuration;
 use workloads::metbench::{self, MetBenchConfig};
@@ -15,7 +17,7 @@ fn run_metbench(tunables: HpcTunables, heuristic: HeuristicKind) -> Result<f64, 
         iterations: 30,
         ..Default::default()
     };
-    let mut kernel = HpcKernelBuilder::new()
+    let mut kernel = KernelBuilder::new()
         .hpc_config(HpcSchedConfig { heuristic, tunables, ..Default::default() })
         .try_build()?;
     let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
@@ -33,7 +35,7 @@ fn run_metbenchvar(tunables: HpcTunables, heuristic: HeuristicKind) -> Result<f6
         },
         k: 15,
     };
-    let mut kernel = HpcKernelBuilder::new()
+    let mut kernel = KernelBuilder::new()
         .hpc_config(HpcSchedConfig { heuristic, tunables, ..Default::default() })
         .try_build()?;
     let (workers, master) = metbenchvar::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);

@@ -55,6 +55,20 @@ const FAULT_MATRIX: [(&str, &str); 5] = [
     ("crash-failstop", "seed=7; crash:rank=1,iter=3,policy=failstop"),
 ];
 
+/// FNV-1a 64-bit fingerprint over the Debug rendering of a trace — the
+/// regression gate asserted against `TRACE_baseline.txt`, which pins the
+/// HPCSched traces captured before the Balancer-trait refactor.
+fn trace_fingerprint(records: &[schedsim::TraceRecord]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for rec in records {
+        for b in format!("{rec:?}\n").bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
 fn main() {
     const SEED: u64 = 2008;
     let flags = CliFlags::from_env();
@@ -73,6 +87,44 @@ fn main() {
         let r = run(&wl, mode, SEED);
         println!("{:<10} {}", mode.label(), r.conformance.render().trim_end());
         failed |= !r.conformance.is_clean();
+    }
+
+    println!("\n== trace hashes: HPCSched traces vs pre-refactor baseline ==");
+    let mut hash_lines = Vec::new();
+    for mode in all_modes {
+        let r = run(&wl, mode, SEED);
+        hash_lines.push(format!(
+            "trace-hash metbench/{} {:016x}",
+            mode.label(),
+            trace_fingerprint(&r.records)
+        ));
+    }
+    {
+        let plan = FaultPlan::parse(FAULT_MATRIX[0].1).expect("matrix specs are valid");
+        let r = run_with_faults(&wl, ExperimentMode::Uniform, SEED, &plan);
+        hash_lines.push(format!(
+            "trace-hash metbench-steal/Uniform {:016x}",
+            trace_fingerprint(&r.records)
+        ));
+    }
+    for line in &hash_lines {
+        println!("{line}");
+    }
+    match std::fs::read_to_string("TRACE_baseline.txt") {
+        Ok(baseline) => {
+            let want: Vec<&str> =
+                baseline.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
+            let got: Vec<&str> = hash_lines.iter().map(|s| s.as_str()).collect();
+            if want == got {
+                println!("trace hashes match TRACE_baseline.txt");
+            } else {
+                println!("TRACE HASH MISMATCH vs TRACE_baseline.txt");
+                println!("  want: {want:?}");
+                println!("  got:  {got:?}");
+                failed = true;
+            }
+        }
+        Err(e) => println!("warning: TRACE_baseline.txt not read ({e}); trace gate skipped"),
     }
 
     println!("\n== determinism: identical (config, seed) => identical trace ==");
@@ -203,6 +255,64 @@ fn main() {
             println!("2 nodes    expected degraded outcome, got {other:?}");
             failed = true;
         }
+    }
+
+    println!("\n== policy zoo: every --policy x {{plain + every fault class}} ==");
+    for spec in schedsim::policies::registry() {
+        let mode = ExperimentMode::Policy(spec.name);
+        // Plain run: C001–C005 conformance plus a double-run determinism
+        // check (identical seed => identical trace).
+        let det = simverify::determinism::check(|| run(&wl, mode, SEED).records);
+        let r = run(&wl, mode, SEED);
+        let clean = r.conformance.is_clean();
+        println!(
+            "policy-hash {:<12} {:016x} {} {}",
+            spec.name,
+            trace_fingerprint(&r.records),
+            if clean { "clean" } else { "VIOLATIONS" },
+            match &det {
+                Ok(n) => format!("deterministic ({n} records)"),
+                Err(_) => "NONDETERMINISTIC".to_string(),
+            }
+        );
+        if !clean {
+            println!("{}", r.conformance.render().trim_end());
+            failed = true;
+        }
+        if let Err(d) = det {
+            println!("{d}");
+            failed = true;
+        }
+        // The full fault matrix per policy. C001 staying clean under every
+        // class is the do-no-harm floor, end to end: even while degraded,
+        // no hardware priority leaves the [MEDIUM, HIGH] tunable band.
+        let mut fault_cells = Vec::new();
+        for (class, fspec) in FAULT_MATRIX {
+            let plan = FaultPlan::parse(fspec).expect("matrix specs are valid");
+            let fr = run_with_faults(&wl, mode, SEED, &plan);
+            let summary = fr.fault.expect("faulted run carries a summary");
+            let mut ok = fr.conformance.is_clean();
+            if !ok {
+                println!("  {class}: VIOLATIONS\n{}", fr.conformance.render().trim_end());
+            }
+            match class {
+                "crash-failstop" => {
+                    if !matches!(summary.aborted, Some(FaultError::RankFailStop { rank: 1, .. })) {
+                        println!("  {class}: expected typed RankFailStop, got {:?}", summary.aborted);
+                        ok = false;
+                    }
+                }
+                _ => {
+                    if let Some(e) = summary.aborted {
+                        println!("  {class}: expected completion, got abort: {e}");
+                        ok = false;
+                    }
+                }
+            }
+            failed |= !ok;
+            fault_cells.push(format!("{class}:{}", if ok { "ok" } else { "FAIL" }));
+        }
+        println!("  faults      {}", fault_cells.join(" "));
     }
 
     let par_threads = if flags.threads > 1 { flags.threads } else { 4 };

@@ -10,10 +10,13 @@
 //!   grammar in `faultsim::plan`); a malformed spec is a usage error;
 //! * `--threads <n>` — worker threads for per-node kernel runs (default 1
 //!   = serial). Output is byte-identical at any value; only wall-clock
-//!   time changes.
+//!   time changes;
+//! * `--policy <name>` — run a named balancing policy from
+//!   [`schedsim::policies::registry`] instead of the paper's standard mode
+//!   set (`--policy help` lists the zoo). Unknown names are usage errors.
 
 use crate::report::{fault_report, telemetry_report, verify_report};
-use crate::runner::RunResult;
+use crate::runner::{ExperimentMode, RunResult};
 
 /// The standard experiment flags, parsed once at startup.
 #[derive(Debug)]
@@ -23,11 +26,14 @@ pub struct CliFlags {
     pub faults: Option<faultsim::FaultPlan>,
     /// Worker threads for per-node kernel runs; 1 means serial.
     pub threads: usize,
+    /// Balancing policy selected with `--policy`, canonicalized against
+    /// [`schedsim::policies::registry`]; `None` runs the standard modes.
+    pub policy: Option<&'static str>,
 }
 
 impl Default for CliFlags {
     fn default() -> Self {
-        CliFlags { telemetry: false, verify: false, faults: None, threads: 1 }
+        CliFlags { telemetry: false, verify: false, faults: None, threads: 1, policy: None }
     }
 }
 
@@ -70,10 +76,33 @@ impl CliFlags {
                         .filter(|&n| n >= 1)
                         .ok_or_else(|| format!("--threads: expected a count >= 1, got {n:?}"))?;
                 }
+                "--policy" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| "--policy requires a policy name argument".to_string())?;
+                    flags.policy =
+                        Some(schedsim::policies::canonical(name).ok_or_else(|| {
+                            format!(
+                                "--policy: unknown policy {name:?}; registered policies:\n{}",
+                                schedsim::policies::render_table()
+                            )
+                        })?);
+                }
                 _ => {}
             }
         }
         Ok(flags)
+    }
+
+    /// The experiment modes this invocation asks for: `modes` (the bin's
+    /// standard cells) as-is without `--policy`, or the baseline plus the
+    /// selected policy with it — so every bin gets the policy axis without
+    /// a per-bin match on names.
+    pub fn modes(&self, modes: &[ExperimentMode]) -> Vec<ExperimentMode> {
+        match self.policy {
+            None => modes.to_vec(),
+            Some(p) => vec![ExperimentMode::Baseline, ExperimentMode::Policy(p)],
+        }
     }
 
     /// The standard end-of-report epilogue: fault summaries (when any run
@@ -153,6 +182,28 @@ mod tests {
     fn unknown_arguments_are_ignored() {
         let f = CliFlags::parse(&strs(&["--jobs", "200", "--verify"])).unwrap();
         assert!(f.verify);
+    }
+
+    #[test]
+    fn parses_and_canonicalizes_policy() {
+        let f = CliFlags::parse(&strs(&["--policy", "gss"])).unwrap();
+        assert_eq!(f.policy, Some("gss"));
+        assert_eq!(
+            f.modes(&[ExperimentMode::Baseline, ExperimentMode::Uniform]),
+            vec![ExperimentMode::Baseline, ExperimentMode::Policy("gss")]
+        );
+        let f = CliFlags::parse(&strs(&[])).unwrap();
+        assert_eq!(f.policy, None);
+        let std_modes = [ExperimentMode::Baseline, ExperimentMode::Uniform];
+        assert_eq!(f.modes(&std_modes), std_modes.to_vec());
+    }
+
+    #[test]
+    fn unknown_policy_is_a_usage_error_listing_the_zoo() {
+        let err = CliFlags::parse(&strs(&["--policy", "lottery"])).unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+        assert!(err.contains("worksteal"), "error lists the registry: {err}");
+        assert!(CliFlags::parse(&strs(&["--policy"])).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The experiment runner: workload × scheduler-mode → paper-style results.
 
 use faultsim::{FaultError, FaultPlan, FaultSummary};
-use hpcsched::{HeuristicKind, HpcKernelBuilder, HpcSchedConfig};
-use schedsim::{Kernel, NoiseConfig, SchedError, SharedSink, TaskId, TraceEvent, TraceRecord};
+use schedsim::{
+    Kernel, KernelBuilder, NoiseConfig, SchedError, SharedSink, TaskId, TraceEvent, TraceRecord,
+};
 use simverify::conformance;
 use simcore::SimDuration;
 use telemetry::{MetricsSnapshot, TimeSeries};
@@ -68,6 +69,11 @@ pub enum ExperimentMode {
     /// HPCSched with this reproduction's Hybrid heuristic (the paper's
     /// future-work item; not part of the paper's own evaluation).
     Hybrid,
+    /// HPCSched driven by a named [`schedsim::policies::registry`] policy
+    /// (the `--policy <name>` CLI axis). The named modes above are
+    /// shorthands for the paper's own cells; this variant reaches the rest
+    /// of the zoo.
+    Policy(&'static str),
 }
 
 impl ExperimentMode {
@@ -78,6 +84,19 @@ impl ExperimentMode {
             ExperimentMode::Uniform => "Uniform",
             ExperimentMode::Adaptive => "Adaptive",
             ExperimentMode::Hybrid => "Hybrid",
+            ExperimentMode::Policy(p) => p,
+        }
+    }
+
+    /// The registry policy backing this mode, or `None` for modes that run
+    /// without the HPC class (Baseline, Static).
+    pub fn policy_name(&self) -> Option<&'static str> {
+        match self {
+            ExperimentMode::Baseline | ExperimentMode::Static => None,
+            ExperimentMode::Uniform => Some("hpc"),
+            ExperimentMode::Adaptive => Some("hpc-adaptive"),
+            ExperimentMode::Hybrid => Some("hpc-hybrid"),
+            ExperimentMode::Policy(p) => Some(p),
         }
     }
 
@@ -124,32 +143,20 @@ pub struct RunResult {
 }
 
 fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Kernel, SchedError> {
-    let mut b = HpcKernelBuilder::new().noise(wl.noise()).seed(seed);
-    b = match mode {
-        ExperimentMode::Baseline | ExperimentMode::Static => b.without_hpc_class(),
-        ExperimentMode::Uniform => b.hpc_config(HpcSchedConfig {
-            heuristic: HeuristicKind::Uniform,
-            ..Default::default()
-        }),
-        ExperimentMode::Adaptive => b.hpc_config(HpcSchedConfig {
-            heuristic: HeuristicKind::Adaptive,
-            ..Default::default()
-        }),
-        ExperimentMode::Hybrid => b.hpc_config(HpcSchedConfig {
-            heuristic: HeuristicKind::Hybrid,
-            ..Default::default()
-        }),
-    };
-    b.try_build()
+    // Registry-driven: every mode is either "no HPC class" or a named
+    // policy; no per-mode configuration blocks.
+    let b = KernelBuilder::new().noise(wl.noise()).seed(seed);
+    match mode.policy_name() {
+        None => b.without_hpc_class().try_build(),
+        Some(name) => b.policy(name).try_build(),
+    }
 }
 
 fn setup_for(wl: &WorkloadKind, mode: ExperimentMode) -> SchedulerSetup {
     match mode {
         ExperimentMode::Baseline => SchedulerSetup::Baseline,
         ExperimentMode::Static => SchedulerSetup::Static(wl.static_priorities()),
-        ExperimentMode::Uniform | ExperimentMode::Adaptive | ExperimentMode::Hybrid => {
-            SchedulerSetup::Hpc
-        }
+        _ => SchedulerSetup::Hpc,
     }
 }
 
@@ -158,7 +165,8 @@ fn setup_for(wl: &WorkloadKind, mode: ExperimentMode) -> SchedulerSetup {
 ///
 /// # Errors
 /// [`SchedError`] when the kernel configuration for this cell is invalid
-/// (see [`HpcKernelBuilder::try_build`]).
+/// (see [`KernelBuilder::try_build`]), including an unregistered
+/// [`ExperimentMode::Policy`] name.
 pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<RunResult, SchedError> {
     let mut kernel = build_kernel(wl, mode, seed)?;
     let sink = SharedSink::new();
@@ -460,6 +468,28 @@ mod tests {
     }
 
     #[test]
+    fn every_registered_policy_is_deterministic_end_to_end() {
+        let wl = tiny_metbench();
+        for spec in schedsim::policies::registry() {
+            let mode = ExperimentMode::Policy(spec.name);
+            let a = run(&wl, mode, 7);
+            let b = run(&wl, mode, 7);
+            assert_eq!(
+                format!("{:?}", a.records),
+                format!("{:?}", b.records),
+                "policy `{}` traces diverge across identical runs",
+                spec.name
+            );
+            assert!(
+                a.conformance.is_clean(),
+                "policy `{}` violates conformance:\n{}",
+                spec.name,
+                a.conformance.render()
+            );
+        }
+    }
+
+    #[test]
     fn modes_order_preserved_in_parallel_run() {
         let rs = run_modes(
             &tiny_metbench(),
@@ -468,6 +498,23 @@ mod tests {
         );
         assert_eq!(rs[0].mode, ExperimentMode::Baseline);
         assert_eq!(rs[1].mode, ExperimentMode::Uniform);
+    }
+
+    #[test]
+    fn policy_mode_runs_and_labels() {
+        let r = run(&tiny_metbench(), ExperimentMode::Policy("gss"), 1);
+        assert_eq!(r.mode.label(), "gss");
+        assert_eq!(r.ranks.len(), 4);
+        assert!(r.exec_secs > 0.0);
+    }
+
+    #[test]
+    fn unknown_policy_mode_is_an_error() {
+        match try_run(&tiny_metbench(), ExperimentMode::Policy("lottery"), 1) {
+            Err(SchedError::UnknownPolicy(name)) => assert_eq!(name, "lottery"),
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("unknown policy accepted"),
+        }
     }
 
     #[test]

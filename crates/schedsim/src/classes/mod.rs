@@ -1,10 +1,13 @@
-//! The three standard scheduling classes of the Linux 2.6.2x framework
-//! (paper Figure 1(a)): real-time, CFS (fair), and idle.
+//! The scheduling classes of the Linux 2.6.2x framework (paper Figure 1):
+//! real-time, CFS (fair), idle — and the paper's own HPC class, a thin
+//! driver over a pluggable balancing policy.
 
+pub mod balanced;
 pub mod fair;
 pub mod idle;
 pub mod rt;
 
+pub use balanced::{BalancedClass, HpcPolicyKind};
 pub use fair::FairClass;
 pub use idle::IdleClass;
 pub use rt::RtClass;

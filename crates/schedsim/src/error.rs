@@ -15,6 +15,8 @@ pub enum SchedError {
     InvalidTunables(String),
     /// The requested topology cannot host the configuration.
     InvalidTopology(String),
+    /// The named balancing policy is not in [`crate::policies::registry`].
+    UnknownPolicy(String),
 }
 
 impl fmt::Display for SchedError {
@@ -28,6 +30,9 @@ impl fmt::Display for SchedError {
             }
             SchedError::InvalidTunables(msg) => write!(f, "invalid HPC tunables: {msg}"),
             SchedError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            SchedError::UnknownPolicy(name) => {
+                write!(f, "unknown policy `{name}`; see `--policy help`")
+            }
         }
     }
 }

@@ -17,16 +17,22 @@
 //!   scheduler-latency measurement;
 //! * an **OS noise** model ([`noise`]) of per-CPU background daemons.
 //!
-//! The paper's own class (`SCHED_HPC`) is *not* in this crate: it plugs in
-//! through the [`class::SchedClass`] trait from the `hpcsched` crate,
-//! exactly as the paper inserts its class between the real-time and CFS
-//! classes (Figure 1(b)).
+//! The paper's own class (`SCHED_HPC`) is [`classes::BalancedClass`]: a
+//! thin driver inserted between the real-time and CFS classes (Figure 1(b))
+//! that owns the HPC run queues and delegates every balancing *decision*
+//! to a pluggable [`Balancer`]. The policies implementing that trait — the
+//! paper's Table-I policy and the LB4OMP-style dynamic techniques — live
+//! in [`policies`], selectable by name through [`policies::registry`] and
+//! [`KernelBuilder::policy`].
 //!
 //! Simulated tasks execute [`program::Program`]s: state machines yielding
 //! compute segments, blocking waits and exits. Blocking and waking is how
 //! the kernel observes the *iterations* (compute phase + wait phase) that
 //! drive the paper's Load Imbalance Detector.
 
+pub mod balance;
+pub mod balancer;
+pub mod builder;
 pub mod class;
 pub mod classes;
 pub mod config;
@@ -35,13 +41,18 @@ pub mod fault;
 pub mod kernel;
 pub mod noise;
 pub mod observer;
+pub mod policies;
 pub mod policy;
 pub mod program;
 pub mod rbtree;
 pub mod task;
 pub mod trace;
 
+pub use balance::BalanceView;
+pub use balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
+pub use builder::{HpcSchedConfig, KernelBuilder, PerfModelChoice};
 pub use class::{ClassCtx, SchedClass};
+pub use classes::{BalancedClass, HpcPolicyKind};
 pub use config::{CfsTunables, KernelConfig, NoiseConfig};
 pub use error::SchedError;
 pub use fault::FaultEvent;

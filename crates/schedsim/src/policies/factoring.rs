@@ -1,0 +1,171 @@
+//! FAC and AWF — factoring and adaptive weighted factoring (Hummel /
+//! Flynn-Hummel et al.; LB4OMP's `FAC` and `AWF`), reinterpreted for
+//! priority assignment.
+//!
+//! * **FAC** schedules work in *batches* whose size halves each round and
+//!   only re-decides between batches. Mapped onto priority balancing: a
+//!   task's samples accumulate into the current batch; at batch end the
+//!   batch-mean utilization is classified and the batch size halves
+//!   (initial 4, floor 1), so the policy starts deliberate and becomes
+//!   per-iteration reactive as the run matures.
+//! * **AWF** weighs each worker *relative to the others*. Mapped onto
+//!   priority balancing: a task's weight is its cumulative utilization
+//!   against the fleet mean; tasks more than half the balance spread above
+//!   the mean are raised, more than half below are lowered. The only zoo
+//!   policy whose decision for one task depends on the whole fleet —
+//!   which is precisely what distinguishes AWF from FAC in LB4OMP.
+
+use super::zoo::{classify, usable_util, StepCore};
+use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
+use crate::class::ClassCtx;
+use crate::task::TaskId;
+use simcore::SimDuration;
+use std::collections::BTreeMap;
+
+const FAC_INITIAL_BATCH: u32 = 4;
+
+#[derive(Clone, Copy, Debug)]
+struct Batch {
+    sum: f64,
+    count: u32,
+    size: u32,
+}
+
+impl Default for Batch {
+    fn default() -> Self {
+        Batch { sum: 0.0, count: 0, size: FAC_INITIAL_BATCH }
+    }
+}
+
+pub struct FacBalancer {
+    core: StepCore,
+    // BTreeMap, not HashMap: decisions must not depend on hash order.
+    batches: BTreeMap<TaskId, Batch>,
+}
+
+impl FacBalancer {
+    pub(crate) fn new(core: StepCore) -> Self {
+        FacBalancer { core, batches: BTreeMap::new() }
+    }
+}
+
+impl Balancer for FacBalancer {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn attach_telemetry(&mut self, registry: &telemetry::MetricsRegistry) {
+        self.core.attach_telemetry(registry);
+    }
+
+    fn on_sample(&mut self, _ctx: &ClassCtx<'_>, sample: IterSample) -> SampleOutcome {
+        let Some(util) = usable_util(sample.run, sample.wall) else {
+            return SampleOutcome::Unusable;
+        };
+        let batch = self.batches.entry(sample.task).or_default();
+        batch.sum += util;
+        batch.count += 1;
+        let dir = if batch.count >= batch.size {
+            let mean = batch.sum / batch.count as f64;
+            *batch = Batch { sum: 0.0, count: 0, size: (batch.size / 2).max(1) };
+            classify(mean, &self.core.tun())
+        } else {
+            // Mid-batch: hold the current priority.
+            0
+        };
+        self.core.pending = Some((sample.task, dir));
+        SampleOutcome::Recorded
+    }
+
+    fn assign_priorities(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.settle(ctx, task)
+    }
+
+    fn on_fault(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.fault(ctx, task)
+    }
+
+    fn task_exited(&mut self, task: TaskId) {
+        self.batches.remove(&task);
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Accum {
+    run: SimDuration,
+    wall: SimDuration,
+}
+
+impl Accum {
+    fn util(&self) -> Option<f64> {
+        usable_util(self.run, self.wall)
+    }
+}
+
+pub struct AwfBalancer {
+    core: StepCore,
+    // BTreeMap, not HashMap: the fleet mean iterates the task set, and
+    // decisions must not depend on hash order.
+    accum: BTreeMap<TaskId, Accum>,
+}
+
+impl AwfBalancer {
+    pub(crate) fn new(core: StepCore) -> Self {
+        AwfBalancer { core, accum: BTreeMap::new() }
+    }
+}
+
+impl Balancer for AwfBalancer {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn attach_telemetry(&mut self, registry: &telemetry::MetricsRegistry) {
+        self.core.attach_telemetry(registry);
+    }
+
+    fn on_sample(&mut self, _ctx: &ClassCtx<'_>, sample: IterSample) -> SampleOutcome {
+        if usable_util(sample.run, sample.wall).is_none() {
+            return SampleOutcome::Unusable;
+        }
+        let acc = self.accum.entry(sample.task).or_default();
+        acc.run += sample.run;
+        acc.wall += sample.wall;
+        // Weight the task against the fleet: mean cumulative utilization
+        // over every tracked task (deterministic BTreeMap order).
+        let (sum, n) = self
+            .accum
+            .values()
+            .filter_map(Accum::util)
+            .fold((0.0, 0u32), |(s, n), u| (s + u, n + 1));
+        let dir = match self.accum.get(&sample.task).and_then(Accum::util) {
+            Some(mine) if n >= 2 => {
+                let mean = sum / n as f64;
+                let band = self.core.tun().balance_spread / 2.0;
+                if mine - mean >= band {
+                    1
+                } else if mean - mine >= band {
+                    -1
+                } else {
+                    0
+                }
+            }
+            // A lone task has no fleet to be weighed against.
+            _ => 0,
+        };
+        self.core.pending = Some((sample.task, dir));
+        SampleOutcome::Recorded
+    }
+
+    fn assign_priorities(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.settle(ctx, task)
+    }
+
+    fn on_fault(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.fault(ctx, task)
+    }
+
+    fn task_exited(&mut self, task: TaskId) {
+        self.accum.remove(&task);
+    }
+}

@@ -1,0 +1,63 @@
+//! GSS — guided self-scheduling (Polychronopoulos & Kuck; LB4OMP's `GSS`),
+//! reinterpreted for priority assignment.
+//!
+//! GSS assigns geometrically shrinking chunks: each new chunk counts as
+//! much as all remaining work it halves. Mapped onto priority balancing:
+//! an exponentially weighted utilization estimate with weight ½ —
+//! `e ← (e + u) / 2` — so each iteration carries as much weight as the
+//! entire history before it. Reacts in O(1) iterations like SS but keeps a
+//! damping tail, the classic GSS compromise.
+
+use super::zoo::{classify, usable_util, StepCore};
+use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
+use crate::class::ClassCtx;
+use crate::task::TaskId;
+use std::collections::BTreeMap;
+
+pub struct GssBalancer {
+    core: StepCore,
+    // BTreeMap, not HashMap: decisions must not depend on hash order.
+    estimate: BTreeMap<TaskId, f64>,
+}
+
+impl GssBalancer {
+    pub(crate) fn new(core: StepCore) -> Self {
+        GssBalancer { core, estimate: BTreeMap::new() }
+    }
+}
+
+impl Balancer for GssBalancer {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn attach_telemetry(&mut self, registry: &telemetry::MetricsRegistry) {
+        self.core.attach_telemetry(registry);
+    }
+
+    fn on_sample(&mut self, _ctx: &ClassCtx<'_>, sample: IterSample) -> SampleOutcome {
+        let Some(util) = usable_util(sample.run, sample.wall) else {
+            return SampleOutcome::Unusable;
+        };
+        let e = self
+            .estimate
+            .entry(sample.task)
+            .and_modify(|e| *e = (*e + util) / 2.0)
+            .or_insert(util);
+        let dir = classify(*e, &self.core.tun());
+        self.core.pending = Some((sample.task, dir));
+        SampleOutcome::Recorded
+    }
+
+    fn assign_priorities(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.settle(ctx, task)
+    }
+
+    fn on_fault(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.fault(ctx, task)
+    }
+
+    fn task_exited(&mut self, task: TaskId) {
+        self.estimate.remove(&task);
+    }
+}

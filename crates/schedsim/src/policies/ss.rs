@@ -1,0 +1,50 @@
+//! SS — pure self-scheduling (LB4OMP's `SS`, reinterpreted for priority
+//! assignment).
+//!
+//! In loop self-scheduling, SS hands out one chunk at a time and reacts to
+//! nothing but the chunk just finished. Mapped onto priority balancing:
+//! judge each task on its *last iteration only*, no history at all. The
+//! most reactive policy in the zoo — and the most noise-sensitive, which
+//! is exactly the trade-off LB4OMP documents for SS.
+
+use super::zoo::{classify, usable_util, StepCore};
+use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
+use crate::class::ClassCtx;
+use crate::task::TaskId;
+
+pub struct SsBalancer {
+    core: StepCore,
+}
+
+impl SsBalancer {
+    pub(crate) fn new(core: StepCore) -> Self {
+        SsBalancer { core }
+    }
+}
+
+impl Balancer for SsBalancer {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn attach_telemetry(&mut self, registry: &telemetry::MetricsRegistry) {
+        self.core.attach_telemetry(registry);
+    }
+
+    fn on_sample(&mut self, _ctx: &ClassCtx<'_>, sample: IterSample) -> SampleOutcome {
+        let Some(util) = usable_util(sample.run, sample.wall) else {
+            return SampleOutcome::Unusable;
+        };
+        let dir = classify(util, &self.core.tun());
+        self.core.pending = Some((sample.task, dir));
+        SampleOutcome::Recorded
+    }
+
+    fn assign_priorities(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.settle(ctx, task)
+    }
+
+    fn on_fault(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        self.core.fault(ctx, task)
+    }
+}

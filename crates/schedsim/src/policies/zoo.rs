@@ -1,0 +1,124 @@
+//! Shared plumbing for the LB4OMP-style dynamic policies.
+//!
+//! Each zoo policy owns only its *metric* — how iteration history is
+//! summarized into a utilization estimate. Everything downstream of the
+//! metric (threshold classification, one-step moves, range clamping,
+//! mechanism validation, do-no-harm degradation, decision telemetry) is
+//! identical across policies and lives in [`StepCore`] so a new policy is
+//! just a metric plus a registry line.
+
+use super::mechanism::PrioMechanism;
+use super::tunables::HpcTunables;
+use super::SharedTunables;
+use crate::balancer::{degrade_to_floor, BalancerTelemetry, PrioAssignment};
+use crate::class::ClassCtx;
+use crate::task::TaskId;
+use simcore::SimDuration;
+
+/// Utilization (percent) of one iteration, or `None` for an unusable
+/// sample (zero wall, non-finite ratio) — the same filter the paper's
+/// detector applies before recording.
+pub(crate) fn usable_util(run: SimDuration, wall: SimDuration) -> Option<f64> {
+    if wall.is_zero() {
+        return None;
+    }
+    let util = 100.0 * run.as_nanos() as f64 / wall.as_nanos() as f64;
+    util.is_finite().then_some(util)
+}
+
+/// Classify a metric against the tunable hysteresis band:
+/// `+1` raise, `-1` lower, `0` keep.
+pub(crate) fn classify(metric: f64, tun: &HpcTunables) -> i8 {
+    if metric >= tun.high_util {
+        1
+    } else if metric <= tun.low_util {
+        -1
+    } else {
+        0
+    }
+}
+
+/// The policy-independent half of a stepping balancer.
+pub(crate) struct StepCore {
+    pub name: &'static str,
+    tunables: SharedTunables,
+    mechanism: Box<dyn PrioMechanism>,
+    dynamic_prio: bool,
+    telemetry: Option<BalancerTelemetry>,
+    /// Direction decided by the latest `on_sample`, consumed by the next
+    /// `assign_priorities` call for the same task.
+    pub pending: Option<(TaskId, i8)>,
+}
+
+impl StepCore {
+    pub fn new(
+        name: &'static str,
+        tunables: SharedTunables,
+        mechanism: Box<dyn PrioMechanism>,
+        dynamic_prio: bool,
+    ) -> Self {
+        StepCore { name, tunables, mechanism, dynamic_prio, telemetry: None, pending: None }
+    }
+
+    pub fn attach_telemetry(&mut self, registry: &telemetry::MetricsRegistry) {
+        self.telemetry = Some(BalancerTelemetry::register(registry, self.name));
+    }
+
+    /// Current tunables snapshot.
+    pub fn tun(&self) -> HpcTunables {
+        // INVARIANT: single-threaded simulation; the only way this lock is
+        // poisoned is a panic already unwinding this thread.
+        *self.tunables.lock().expect("tunables poisoned")
+    }
+
+    /// Apply the pending one-step decision for `task`: clamp into the
+    /// tunable range, validate through the mechanism, count the verdict.
+    pub fn settle(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        let Some((decided, dir)) = self.pending.take() else {
+            return Vec::new();
+        };
+        debug_assert_eq!(decided, task, "assign_priorities follows on_sample for one task");
+        if !self.dynamic_prio {
+            return Vec::new();
+        }
+        let tun = self.tun();
+        let current = ctx.task(task).hw_prio;
+        let next = match dir {
+            1 => current.raised(),
+            -1 => current.lowered(),
+            _ => current,
+        }
+        .clamp(tun.min_prio, tun.max_prio);
+        if next == current {
+            return Vec::new();
+        }
+        match self.mechanism.validate(next) {
+            Ok(effective) if effective != current => {
+                if let Some(t) = &self.telemetry {
+                    t.accepted.inc();
+                }
+                vec![PrioAssignment { task, prio: effective }]
+            }
+            _ => {
+                // Refused outright or clamped into a no-op: either way the
+                // proposal did not take.
+                if let Some(t) = &self.telemetry {
+                    t.rejected.inc();
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// The shared do-no-harm fault path: count the degraded sample, then
+    /// drop the task to the uniform floor (unless priorities are pinned).
+    pub fn fault(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
+        if let Some(t) = &self.telemetry {
+            t.degraded.inc();
+        }
+        if !self.dynamic_prio {
+            return Vec::new();
+        }
+        degrade_to_floor(ctx, task)
+    }
+}

@@ -73,9 +73,9 @@ pub const RULES: &[Rule] = &[
             "crates/schedsim/src/kernel.rs",
             "crates/schedsim/src/classes/",
             "crates/schedsim/src/program.rs",
-            "crates/core/src/detector.rs",
-            "crates/core/src/balance.rs",
-            "crates/core/src/heuristics.rs",
+            "crates/schedsim/src/balance.rs",
+            "crates/schedsim/src/balancer.rs",
+            "crates/schedsim/src/policies/",
             "crates/mpisim/src/collective.rs",
             "crates/faultsim/src/",
             "crates/batchsim/src/",
@@ -91,9 +91,10 @@ pub const RULES: &[Rule] = &[
         zones: &[
             "crates/schedsim/src/kernel.rs",
             "crates/schedsim/src/classes/",
-            "crates/core/src/balance.rs",
-            "crates/core/src/mechanism.rs",
-            "crates/core/src/heuristics.rs",
+            "crates/schedsim/src/balance.rs",
+            "crates/schedsim/src/balancer.rs",
+            "crates/schedsim/src/builder.rs",
+            "crates/schedsim/src/policies/",
             "crates/mpisim/src/",
             "crates/faultsim/src/",
             "crates/batchsim/src/",
@@ -103,20 +104,30 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "SV004",
-        summary: "deprecated trace shim; attach sinks with Kernel::observe",
-        kind: RuleKind::ForbiddenPattern { patterns: &[".set_trace(", ".take_trace("] },
+        summary: "deprecated shim; build with schedsim::KernelBuilder and attach \
+                  sinks with Kernel::observe",
+        kind: RuleKind::ForbiddenPattern {
+            patterns: &[".set_trace(", ".take_trace(", "HpcKernelBuilder"],
+        },
         zones: &["crates/"],
-        // The shims are gone from the kernel (all callers migrated to
-        // `Kernel::observe`); only simverify itself may spell the
-        // patterns, in its own rule table and fixtures.
-        exempt: &["crates/simverify/"],
+        // The trace shims are gone from the kernel (all callers migrated to
+        // `Kernel::observe`) and every internal caller builds through
+        // `schedsim::KernelBuilder`; only the hpcsched facade may still
+        // spell the deprecated builder (it defines the delegating shim),
+        // and only simverify itself may spell the patterns, in its own
+        // rule table and fixtures.
+        exempt: &[
+            "crates/simverify/",
+            "crates/core/src/runtime.rs",
+            "crates/core/src/lib.rs",
+        ],
         invariant_escape: false,
     },
     Rule {
         id: "SV005",
         summary: "tunable field without a doc comment",
         kind: RuleKind::FieldsDocumented,
-        zones: &["crates/core/src/tunables.rs"],
+        zones: &["crates/schedsim/src/policies/tunables.rs"],
         exempt: &[],
         invariant_escape: false,
     },

@@ -33,7 +33,7 @@ fn sv001_passes_sim_time_and_other_crates() {
 #[test]
 fn sv002_flags_hash_collections_in_decision_paths() {
     let src = "use std::collections::HashMap;\n";
-    assert_eq!(violations("crates/core/src/detector.rs", src), vec!["SV002"]);
+    assert_eq!(violations("crates/schedsim/src/policies/detector.rs", src), vec!["SV002"]);
     let src = "struct S { seen: std::collections::HashSet<u64> }\n";
     assert_eq!(violations("crates/schedsim/src/program.rs", src), vec!["SV002"]);
 }
@@ -41,7 +41,7 @@ fn sv002_flags_hash_collections_in_decision_paths() {
 #[test]
 fn sv002_passes_btree_and_out_of_zone_files() {
     let src = "use std::collections::{BTreeMap, BTreeSet};\n";
-    assert!(violations("crates/core/src/detector.rs", src).is_empty());
+    assert!(violations("crates/schedsim/src/policies/detector.rs", src).is_empty());
     // Membership-only HashSets outside decision paths are allowed.
     let src = "use std::collections::HashSet;\n";
     assert!(violations("crates/simcore/src/event.rs", src).is_empty());
@@ -75,7 +75,7 @@ fn sv003_invariant_comment_is_honoured() {
 #[test]
 fn sv003_passes_error_propagation() {
     let src = "fn f(x: Option<u8>) -> Result<u8, SchedError> {\n    x.ok_or(SchedError::InvalidTopology)\n}\n";
-    assert!(violations("crates/core/src/mechanism.rs", src).is_empty());
+    assert!(violations("crates/schedsim/src/policies/mechanism.rs", src).is_empty());
 }
 
 // ---------------------------------------------------------------- SV004
@@ -86,6 +86,16 @@ fn sv004_flags_deprecated_shims_anywhere_in_crates() {
     assert_eq!(violations("crates/workloads/src/metbench.rs", src), vec!["SV004"]);
     let src = "fn f(k: &mut Kernel) { let _ = k.take_trace(); }\n";
     assert_eq!(violations("crates/tracefmt/src/lib.rs", src), vec!["SV004"]);
+}
+
+#[test]
+fn sv004_flags_the_deprecated_builder_outside_the_facade() {
+    let src = "fn f() { let k = HpcKernelBuilder::new().build(); }\n";
+    assert_eq!(violations("crates/workloads/src/metbench.rs", src), vec!["SV004"]);
+    // The hpcsched facade defines the delegating shim; only it may spell
+    // the name.
+    assert!(violations("crates/core/src/runtime.rs", src).is_empty());
+    assert!(violations("crates/core/src/lib.rs", src).is_empty());
 }
 
 #[test]
@@ -103,17 +113,17 @@ fn sv004_flags_even_the_former_shim_home_and_passes_observe() {
 #[test]
 fn sv005_flags_undocumented_tunable_field() {
     let src = "pub struct HpcTunables {\n    /// Documented.\n    pub low_util: f64,\n    pub high_util: f64,\n}\n";
-    let v = violations("crates/core/src/tunables.rs", src);
+    let v = violations("crates/schedsim/src/policies/tunables.rs", src);
     assert_eq!(v, vec!["SV005"]);
 }
 
 #[test]
 fn sv005_passes_documented_fields_and_attributes() {
     let src = "pub struct HpcTunables {\n    /// Documented.\n    #[serde(default)]\n    pub low_util: f64,\n}\n";
-    assert!(violations("crates/core/src/tunables.rs", src).is_empty());
+    assert!(violations("crates/schedsim/src/policies/tunables.rs", src).is_empty());
     // Methods and consts are not fields.
     let src = "impl T {\n    pub fn get(&self) -> u8 { 0 }\n    pub const X: u8 = 1;\n}\n";
-    assert!(violations("crates/core/src/tunables.rs", src).is_empty());
+    assert!(violations("crates/schedsim/src/policies/tunables.rs", src).is_empty());
 }
 
 // ------------------------------------------------------- scanner mechanics

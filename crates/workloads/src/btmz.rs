@@ -171,7 +171,7 @@ pub fn spawn_faulted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcsched::HpcKernelBuilder;
+    use schedsim::KernelBuilder;
     use power5::HwPriority;
     use simcore::SimDuration;
 
@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn baseline_utilization_is_graded() {
-        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut k = KernelBuilder::new().without_hpc_class().build();
         let ranks = spawn(&mut k, &short_cfg(), &SchedulerSetup::Baseline);
         let end = k.run_until_exited(&ranks, SimDuration::from_secs(60)).expect("finishes");
         let u: Vec<f64> = ranks.iter().map(|&r| k.task(r).cpu_utilization(end)).collect();
@@ -197,7 +197,7 @@ mod tests {
     fn no_global_barrier_lets_neighbours_run_ahead() {
         // With ring-only coupling the simulation must finish even though
         // ranks progress at different speeds.
-        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut k = KernelBuilder::new().without_hpc_class().build();
         let ranks = spawn(&mut k, &short_cfg(), &SchedulerSetup::Baseline);
         assert!(k.run_until_exited(&ranks, SimDuration::from_secs(60)).is_some());
     }
@@ -205,12 +205,12 @@ mod tests {
     #[test]
     fn hpc_raises_critical_rank_and_improves_time() {
         let cfg = short_cfg();
-        let mut kb = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut kb = KernelBuilder::new().without_hpc_class().build();
         let base_ranks = spawn(&mut kb, &cfg, &SchedulerSetup::Baseline);
         let base =
             kb.run_until_exited(&base_ranks, SimDuration::from_secs(60)).unwrap().as_secs_f64();
 
-        let mut kh = HpcKernelBuilder::new().build();
+        let mut kh = KernelBuilder::new().build();
         let hpc_ranks = spawn(&mut kh, &cfg, &SchedulerSetup::Hpc);
         let hpc =
             kh.run_until_exited(&hpc_ranks, SimDuration::from_secs(60)).unwrap().as_secs_f64();

@@ -245,7 +245,7 @@ pub fn spawn_faulted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcsched::HpcKernelBuilder;
+    use schedsim::KernelBuilder;
     use power5::HwPriority;
     use simcore::SimDuration;
 
@@ -259,7 +259,7 @@ mod tests {
 
     #[test]
     fn baseline_shows_the_imbalance() {
-        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut k = KernelBuilder::new().without_hpc_class().build();
         let (workers, master) = spawn(&mut k, &short_cfg(), &SchedulerSetup::Baseline);
         let mut all = workers.clone();
         all.push(master);
@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn hpc_scheduler_balances_it() {
-        let mut k = HpcKernelBuilder::new().build();
+        let mut k = KernelBuilder::new().build();
         let cfg = short_cfg();
         let (workers, master) = spawn(&mut k, &cfg, &SchedulerSetup::Hpc);
         let mut all = workers.clone();
@@ -290,9 +290,9 @@ mod tests {
         let run = |hpc: bool| {
             let cfg = short_cfg();
             let (mut k, setup) = if hpc {
-                (HpcKernelBuilder::new().build(), SchedulerSetup::Hpc)
+                (KernelBuilder::new().build(), SchedulerSetup::Hpc)
             } else {
-                (HpcKernelBuilder::new().without_hpc_class().build(), SchedulerSetup::Baseline)
+                (KernelBuilder::new().without_hpc_class().build(), SchedulerSetup::Baseline)
             };
             let (workers, master) = spawn(&mut k, &cfg, &setup);
             let mut all = workers;
@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn iteration_counts_recorded() {
-        let mut k = HpcKernelBuilder::new().build();
+        let mut k = KernelBuilder::new().build();
         let cfg = short_cfg();
         let (workers, master) = spawn(&mut k, &cfg, &SchedulerSetup::Hpc);
         let mut all = workers.clone();

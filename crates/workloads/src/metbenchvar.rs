@@ -152,7 +152,8 @@ pub fn spawn_faulted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcsched::{HeuristicKind, HpcKernelBuilder};
+    use hpcsched::HeuristicKind;
+    use schedsim::KernelBuilder;
     use power5::HwPriority;
     use simcore::SimDuration;
 
@@ -192,7 +193,7 @@ mod tests {
 
     #[test]
     fn adaptive_rebalances_after_swap() {
-        let mut k = HpcKernelBuilder::new().heuristic(HeuristicKind::Adaptive).build();
+        let mut k = KernelBuilder::new().heuristic(HeuristicKind::Adaptive).build();
         let cfg = short_cfg();
         let (workers, master) = spawn(&mut k, &cfg, &SchedulerSetup::Hpc);
         let mut all = workers.clone();
@@ -212,9 +213,9 @@ mod tests {
         let static_prios = cfg.base.static_priorities();
         let run = |setup: SchedulerSetup, hpc: bool| {
             let mut k = if hpc {
-                HpcKernelBuilder::new().heuristic(HeuristicKind::Adaptive).build()
+                KernelBuilder::new().heuristic(HeuristicKind::Adaptive).build()
             } else {
-                HpcKernelBuilder::new().without_hpc_class().build()
+                KernelBuilder::new().without_hpc_class().build()
             };
             let (workers, master) = spawn(&mut k, &cfg, &setup);
             let mut all = workers;

@@ -239,7 +239,7 @@ pub fn spawn_faulted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcsched::HpcKernelBuilder;
+    use schedsim::KernelBuilder;
     use schedsim::NoiseConfig;
     use simcore::SimDuration;
 
@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn baseline_profile_is_lopsided() {
-        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut k = KernelBuilder::new().without_hpc_class().build();
         let ranks = spawn(&mut k, &short_cfg(), &SchedulerSetup::Baseline);
         let end = k.run_until_exited(&ranks, SimDuration::from_secs(60)).expect("finishes");
         let u: Vec<f64> = ranks.iter().map(|&r| k.task(r).cpu_utilization(end)).collect();
@@ -266,7 +266,7 @@ mod tests {
     fn iterations_are_noisy() {
         // The per-iteration utilization of a spoke varies run to run — the
         // property that defeats iteration-based prediction.
-        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut k = KernelBuilder::new().without_hpc_class().build();
         let cfg = short_cfg();
         let ranks = spawn(&mut k, &cfg, &SchedulerSetup::Baseline);
         k.run_until_exited(&ranks, SimDuration::from_secs(60)).expect("finishes");
@@ -279,7 +279,7 @@ mod tests {
     fn hpc_with_noise_still_finishes_and_does_not_regress() {
         let cfg = short_cfg();
         let run = |hpc: bool| {
-            let builder = HpcKernelBuilder::new().noise(NoiseConfig::light()).seed(7);
+            let builder = KernelBuilder::new().noise(NoiseConfig::light()).seed(7);
             let (mut k, setup) = if hpc {
                 (builder.build(), SchedulerSetup::Hpc)
             } else {
@@ -296,7 +296,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "hub and at least one spoke")]
     fn rejects_single_rank() {
-        let mut k = HpcKernelBuilder::new().build();
+        let mut k = KernelBuilder::new().build();
         let cfg = SiestaConfig { rank_work: vec![1.0], ..Default::default() };
         let _ = spawn(&mut k, &cfg, &SchedulerSetup::Baseline);
     }

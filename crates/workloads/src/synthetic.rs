@@ -92,12 +92,12 @@ pub fn spawn_gang_faulted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcsched::HpcKernelBuilder;
+    use schedsim::KernelBuilder;
     use simcore::SimDuration;
 
     #[test]
     fn gang_computes_exactly_iterations_times() {
-        let mut k = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut k = KernelBuilder::new().without_hpc_class().build();
         let ids = spawn_gang(&mut k, "g", &[0.05, 0.05, 0.05, 0.05], 4, &SchedulerSetup::Baseline);
         let end = k.run_until_exited(&ids, SimDuration::from_secs(10)).expect("finishes");
         // 4 iterations × 0.05/0.8 = 0.25 s, plus barrier costs.
@@ -111,11 +111,11 @@ mod tests {
     #[test]
     fn imbalanced_gang_balances_under_hpc() {
         let loads = [0.02, 0.08, 0.02, 0.08];
-        let mut kb = HpcKernelBuilder::new().without_hpc_class().build();
+        let mut kb = KernelBuilder::new().without_hpc_class().build();
         let base_ids = spawn_gang(&mut kb, "g", &loads, 6, &SchedulerSetup::Baseline);
         let base = kb.run_until_exited(&base_ids, SimDuration::from_secs(10)).unwrap();
 
-        let mut kh = HpcKernelBuilder::new().build();
+        let mut kh = KernelBuilder::new().build();
         let hpc_ids = spawn_gang(&mut kh, "g", &loads, 6, &SchedulerSetup::Hpc);
         let hpc = kh.run_until_exited(&hpc_ids, SimDuration::from_secs(10)).unwrap();
         assert!(hpc < base, "{hpc} vs {base}");
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty gang")]
     fn empty_gang_rejected() {
-        let mut k = HpcKernelBuilder::new().build();
+        let mut k = KernelBuilder::new().build();
         let _ = spawn_gang(&mut k, "g", &[], 1, &SchedulerSetup::Baseline);
     }
 }

@@ -11,7 +11,7 @@ use workloads::metbench::{self, MetBenchConfig};
 use workloads::SchedulerSetup;
 
 fn run(cfg: &MetBenchConfig, hpc: bool) -> (f64, String, String) {
-    let builder = HpcKernelBuilder::new();
+    let builder = KernelBuilder::new();
     let (mut kernel, setup) = if hpc {
         (builder.build(), SchedulerSetup::Hpc)
     } else {

@@ -2,14 +2,18 @@
 //!
 //! The paper's future work asks for "an heuristic capable of performing
 //! well for both constant and dynamic applications". This example shows the
-//! extension surface: implement [`hpcsched::Heuristic`] and hand it to
-//! [`hpcsched::HpcClass`]. The demo heuristic jumps straight to the target
-//! priority instead of stepping one level per iteration.
+//! extension surface: implement [`hpcsched::Heuristic`] and hand it to a
+//! [`schedsim::policies::Table1Balancer`] driving the
+//! [`schedsim::BalancedClass`]. The demo heuristic jumps straight to the
+//! target priority instead of stepping one level per iteration. (For a
+//! whole new *policy* rather than a new Table-I heuristic, implement
+//! [`schedsim::Balancer`] and pass it to `KernelBuilder::balancer`.)
 //!
 //! Run with: `cargo run --release --example custom_heuristic`
 
 use hpcsched::prelude::*;
-use hpcsched::{Heuristic, HpcClass, Power5Mechanism, TaskIterStats};
+use hpcsched::{Heuristic, Power5Mechanism, TaskIterStats};
+use schedsim::policies::Table1Balancer;
 use mpisim::{Mpi, MpiConfig};
 use schedsim::program::FnProgram;
 use std::sync::{Arc, Mutex};
@@ -47,17 +51,20 @@ impl Heuristic for OneShotHeuristic {
 }
 
 fn main() {
-    // Assemble a kernel manually (instead of via HpcKernelBuilder) to show
-    // the full plug-in path: chip → kernel → custom class.
+    // Assemble a kernel manually (instead of via KernelBuilder) to show
+    // the full plug-in path: chip → kernel → balancer → class.
     let chip = Chip::new(Topology::openpower_710());
     let mut kernel = Kernel::new(chip, KernelConfig::default());
     let tunables = Arc::new(Mutex::new(HpcTunables::default()));
-    let class = HpcClass::new(
-        HpcPolicyKind::Rr,
-        SimDuration::from_millis(100),
+    let balancer = Table1Balancer::new(
         Box::new(OneShotHeuristic),
         Box::new(Power5Mechanism),
         tunables.clone(),
+    );
+    let class = BalancedClass::new(
+        HpcPolicyKind::Rr,
+        SimDuration::from_millis(100),
+        Box::new(balancer),
     );
     kernel.install_class_after_rt(Box::new(class));
 

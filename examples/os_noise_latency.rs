@@ -13,7 +13,7 @@ use workloads::siesta::{self, SiestaConfig};
 use workloads::SchedulerSetup;
 
 fn run(noise: NoiseConfig, hpc: bool, seed: u64) -> (f64, f64) {
-    let builder = HpcKernelBuilder::new().noise(noise).seed(seed);
+    let builder = KernelBuilder::new().noise(noise).seed(seed);
     let (mut kernel, setup) = if hpc {
         (builder.build(), SchedulerSetup::Hpc)
     } else {

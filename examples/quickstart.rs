@@ -47,7 +47,7 @@ fn spawn_pair(kernel: &mut Kernel, policy: SchedPolicy, iterations: u32) -> Vec<
 }
 
 fn run(with_hpcsched: bool) -> (f64, Vec<String>) {
-    let builder = HpcKernelBuilder::new();
+    let builder = KernelBuilder::new();
     let (mut kernel, policy) = if with_hpcsched {
         (builder.build(), SchedPolicy::Hpc)
     } else {

@@ -3,8 +3,8 @@
 //! The paper exposes `HIGH_UTIL`, `LOW_UTIL`, `MAX_PRIO`, `MIN_PRIO` and the
 //! Adaptive weights as sysfs entries so administrators can adapt the
 //! heuristic to an application without recompiling (§IV-B). The builder
-//! returns the shared tunables handle — the "mount point" — and changes take
-//! effect at the next iteration boundary.
+//! exposes the shared tunables handle — the "mount point" — from
+//! construction on, and changes take effect at the next iteration boundary.
 //!
 //! Run with: `cargo run --release --example sysfs_tuning`
 
@@ -14,9 +14,10 @@ use workloads::metbench::{self, MetBenchConfig};
 use workloads::SchedulerSetup;
 
 fn run_with(tune: impl FnOnce(&mut HpcTunables)) -> (f64, Vec<u8>) {
-    let (mut kernel, handle) = HpcKernelBuilder::new().build_with_tunables();
-    let handle = handle.expect("HPC class installed");
+    let builder = KernelBuilder::new();
+    let handle = builder.tunables();
     tune(&mut handle.lock().unwrap());
+    let mut kernel = builder.build();
 
     let cfg = MetBenchConfig {
         loads: vec![0.25, 1.0, 0.25, 1.0],

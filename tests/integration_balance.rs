@@ -15,15 +15,15 @@ fn run_metbench(mode: &str) -> (f64, Vec<f64>, Vec<u8>) {
     let cfg = metbench_cfg();
     let (mut kernel, setup) = match mode {
         "baseline" => {
-            (HpcKernelBuilder::new().without_hpc_class().build(), SchedulerSetup::Baseline)
+            (KernelBuilder::new().without_hpc_class().build(), SchedulerSetup::Baseline)
         }
         "static" => (
-            HpcKernelBuilder::new().without_hpc_class().build(),
+            KernelBuilder::new().without_hpc_class().build(),
             SchedulerSetup::Static(cfg.static_priorities()),
         ),
-        "uniform" => (HpcKernelBuilder::new().build(), SchedulerSetup::Hpc),
+        "uniform" => (KernelBuilder::new().build(), SchedulerSetup::Hpc),
         "adaptive" => (
-            HpcKernelBuilder::new().heuristic(hpcsched::HeuristicKind::Adaptive).build(),
+            KernelBuilder::new().heuristic(hpcsched::HeuristicKind::Adaptive).build(),
             SchedulerSetup::Hpc,
         ),
         _ => unreachable!(),
@@ -88,11 +88,11 @@ fn btmz_critical_rank_is_boosted_and_wins() {
         iterations: 25,
         ..Default::default()
     };
-    let mut kb = HpcKernelBuilder::new().without_hpc_class().build();
+    let mut kb = KernelBuilder::new().without_hpc_class().build();
     let br = btmz::spawn(&mut kb, &cfg, &SchedulerSetup::Baseline);
     let base = kb.run_until_exited(&br, SimDuration::from_secs(120)).unwrap().as_secs_f64();
 
-    let mut kh = HpcKernelBuilder::new().build();
+    let mut kh = KernelBuilder::new().build();
     let hr = btmz::spawn(&mut kh, &cfg, &SchedulerSetup::Hpc);
     let end = kh.run_until_exited(&hr, SimDuration::from_secs(120)).unwrap();
     let hpc = end.as_secs_f64();
@@ -110,7 +110,7 @@ fn btmz_critical_rank_is_boosted_and_wins() {
 fn balanced_application_is_left_alone() {
     // Four equal loads: never imbalanced, no priority should ever change.
     let cfg = MetBenchConfig { loads: vec![0.1; 4], iterations: 6, ..Default::default() };
-    let mut kernel = HpcKernelBuilder::new().build();
+    let mut kernel = KernelBuilder::new().build();
     let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
     let mut all = workers.clone();
     all.push(master);
@@ -125,7 +125,7 @@ fn null_mechanism_keeps_priorities_flat() {
     // On an architecture without hardware prioritization the class still
     // schedules, but priorities stay at Medium and no speedup appears.
     let cfg = metbench_cfg();
-    let mut kernel = HpcKernelBuilder::new()
+    let mut kernel = KernelBuilder::new()
         .hpc_config(hpcsched::HpcSchedConfig { power5_mechanism: false, ..Default::default() })
         .build();
     let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);

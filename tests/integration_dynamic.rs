@@ -22,18 +22,18 @@ fn run(mode: &str) -> (f64, Vec<u8>) {
     let c = cfg();
     let (mut kernel, setup) = match mode {
         "baseline" => {
-            (HpcKernelBuilder::new().without_hpc_class().build(), SchedulerSetup::Baseline)
+            (KernelBuilder::new().without_hpc_class().build(), SchedulerSetup::Baseline)
         }
         "static" => (
-            HpcKernelBuilder::new().without_hpc_class().build(),
+            KernelBuilder::new().without_hpc_class().build(),
             SchedulerSetup::Static(c.base.static_priorities()),
         ),
         "uniform" => (
-            HpcKernelBuilder::new().heuristic(HeuristicKind::Uniform).build(),
+            KernelBuilder::new().heuristic(HeuristicKind::Uniform).build(),
             SchedulerSetup::Hpc,
         ),
         "adaptive" => (
-            HpcKernelBuilder::new().heuristic(HeuristicKind::Adaptive).build(),
+            KernelBuilder::new().heuristic(HeuristicKind::Adaptive).build(),
             SchedulerSetup::Hpc,
         ),
         _ => unreachable!(),
@@ -84,7 +84,7 @@ fn priority_changes_track_each_reversal() {
     // swap: count hw-priority trace events per period.
     let c = cfg();
     let mut kernel =
-        HpcKernelBuilder::new().heuristic(HeuristicKind::Adaptive).build();
+        KernelBuilder::new().heuristic(HeuristicKind::Adaptive).build();
     let sink = schedsim::SharedSink::new();
     kernel.observe(Box::new(sink.clone()));
     let (workers, master) = metbenchvar::spawn(&mut kernel, &c, &SchedulerSetup::Hpc);

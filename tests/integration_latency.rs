@@ -15,7 +15,7 @@ fn cfg() -> SiestaConfig {
 }
 
 fn run(noise: NoiseConfig, hpc: bool) -> (f64, f64) {
-    let builder = HpcKernelBuilder::new().noise(noise).seed(99);
+    let builder = KernelBuilder::new().noise(noise).seed(99);
     let (mut kernel, setup) = if hpc {
         (builder.build(), SchedulerSetup::Hpc)
     } else {
@@ -68,7 +68,7 @@ fn rt_semantics_preserved_above_hpc_class() {
     // Paper §IV: the HPC class sits *below* real-time. An RT hog on a CPU
     // must starve an HPC task placed there, not the other way around.
     use schedsim::program::ScriptedProgram;
-    let mut kernel = HpcKernelBuilder::new().build();
+    let mut kernel = KernelBuilder::new().build();
     let rt = kernel.spawn(
         "rt-hog",
         SchedPolicy::Fifo,
@@ -94,7 +94,7 @@ fn rt_semantics_preserved_above_hpc_class() {
 #[test]
 fn hpc_outranks_normal_tasks() {
     use schedsim::program::ScriptedProgram;
-    let mut kernel = HpcKernelBuilder::new().build();
+    let mut kernel = KernelBuilder::new().build();
     let normal = kernel.spawn(
         "normal",
         SchedPolicy::Normal,

@@ -10,7 +10,7 @@ use workloads::SchedulerSetup;
 /// exec totals in seconds, per-worker priorities).
 fn run(loads: Vec<f64>, iterations: u32, hpc: bool, seed: u64) -> (f64, Vec<f64>, Vec<u8>) {
     let cfg = MetBenchConfig { loads, iterations, ..Default::default() };
-    let builder = HpcKernelBuilder::new().seed(seed);
+    let builder = KernelBuilder::new().seed(seed);
     let (mut kernel, setup) = if hpc {
         (builder.build(), SchedulerSetup::Hpc)
     } else {

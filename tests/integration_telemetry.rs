@@ -17,7 +17,7 @@ fn metbench_cfg() -> MetBenchConfig {
 
 #[test]
 fn counters_reconcile_with_trace_records() {
-    let mut kernel = HpcKernelBuilder::new().try_build().expect("paper defaults are valid");
+    let mut kernel = KernelBuilder::new().try_build().expect("paper defaults are valid");
     let sink = SharedSink::new();
     kernel.observe(Box::new(sink.clone()));
 
@@ -56,7 +56,7 @@ fn counters_reconcile_with_trace_records() {
 fn counters_count_even_without_observers() {
     // Trace-derived counters are bumped at the emission point whether or
     // not anyone is listening.
-    let mut kernel = HpcKernelBuilder::new().try_build().expect("valid");
+    let mut kernel = KernelBuilder::new().try_build().expect("valid");
     let cfg = metbench_cfg();
     let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
     let mut all = workers.clone();
@@ -73,7 +73,7 @@ fn counters_count_even_without_observers() {
 fn telemetry_snapshot_is_deterministic_across_runs() {
     let run = || {
         let mut kernel =
-            HpcKernelBuilder::new().seed(7).try_build().expect("valid");
+            KernelBuilder::new().seed(7).try_build().expect("valid");
         let cfg = metbench_cfg();
         let (workers, master) = metbench::spawn(&mut kernel, &cfg, &SchedulerSetup::Hpc);
         let mut all = workers.clone();

@@ -18,7 +18,7 @@ fn metbench_cfg() -> MetBenchConfig {
 }
 
 fn run(seed: u64) -> (Vec<schedsim::TraceRecord>, telemetry::MetricsSnapshot) {
-    let mut kernel = HpcKernelBuilder::new().seed(seed).try_build().expect("valid");
+    let mut kernel = KernelBuilder::new().seed(seed).try_build().expect("valid");
     let sink = SharedSink::new();
     kernel.observe(Box::new(sink.clone()));
     let cfg = metbench_cfg();
