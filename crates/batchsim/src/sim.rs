@@ -402,6 +402,8 @@ fn arrival_time(job: &BatchJob) -> SimTime {
 
 /// Run a batch stream to completion. Never panics on the fault path: jobs
 /// that cannot be (re)placed degrade with partial accounting instead.
+// PURITY-ROOT: per-job node kernels fan out from here; the outcome must be
+// a pure function of (stream, cfg, fault) regardless of cfg.threads.
 pub fn run_batch(
     stream: &[BatchJob],
     cfg: &BatchConfig,

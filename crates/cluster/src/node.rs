@@ -94,12 +94,15 @@ pub struct TracedNodeRun {
 
 /// Run `loads` (one per CPU slot, in slot order) for `iterations`
 /// barrier-synchronized iterations on a fresh node.
+// PURITY-ROOT: pool task closures call this; result must be a pure
+// function of (loads, iterations, hpc, seed).
 pub fn run_node(loads: &[f64], iterations: u32, hpc: bool, seed: u64) -> NodeRun {
     let sched = if hpc { LocalSched::Hpc } else { LocalSched::Cfs };
     run_node_sched(loads, iterations, sched, seed)
 }
 
 /// [`run_node`] generalized over the node-local scheduler modes.
+// PURITY-ROOT: the parallel-fleet entry point (DESIGN.md §11).
 pub fn run_node_sched(loads: &[f64], iterations: u32, sched: LocalSched, seed: u64) -> NodeRun {
     // INVARIANT: panicking wrapper by documented contract — the batch and
     // cluster drivers construct slot vectors ≤ 4 and builtin scheds by
@@ -122,6 +125,7 @@ pub fn try_run_node_sched(
 /// Like [`run_node_sched`], but with a trace sink attached and the
 /// kernel's telemetry snapshotted, so the caller can conformance-check the
 /// node-local schedule (C001–C005).
+// PURITY-ROOT: traced variant of the parallel-fleet entry point.
 pub fn run_node_traced(
     loads: &[f64],
     iterations: u32,

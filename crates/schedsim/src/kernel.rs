@@ -434,6 +434,7 @@ impl Kernel {
     /// Run until every task in `until_exited` has exited, or `deadline`
     /// simulated time passes. Returns the exit time of the last task, or
     /// `None` on deadline.
+    // PURITY-ROOT: the kernel event loop every node run spins inside.
     pub fn run_until_exited(
         &mut self,
         until_exited: &[TaskId],

@@ -89,14 +89,14 @@ pub struct EventQueue<E> {
     /// Every cancelled sequence number, ever. Entries stay here after the
     /// heap drops them (skim or compaction) so a second `cancel` of the
     /// same id always reports `false`.
-    cancelled: std::collections::HashSet<u64>,
+    cancelled: std::collections::BTreeSet<u64>,
     /// Cancelled entries still physically in the heap — the quantity the
     /// compaction trigger compares against the heap length.
     dead_in_heap: usize,
     /// Sequence numbers that already fired; cancelling one is a no-op and
     /// must report `false`, which a heap alone cannot tell apart from a
     /// pending id without scanning.
-    fired: std::collections::HashSet<u64>,
+    fired: std::collections::BTreeSet<u64>,
     live: usize,
     last_popped: SimTime,
     counters: Option<EventQueueCounters>,
@@ -113,9 +113,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
             dead_in_heap: 0,
-            fired: std::collections::HashSet::new(),
+            fired: std::collections::BTreeSet::new(),
             live: 0,
             last_popped: SimTime::ZERO,
             counters: None,

@@ -88,6 +88,12 @@ impl Pool {
     /// Results are byte-identical to a serial `tasks.map(|f| f())` as long
     /// as each task is a pure function of its captures. A panicking task
     /// propagates the panic to the caller, as it would serially.
+    ///
+    /// Purity is enforced statically: task closures must only call
+    /// functions rooted at a `PURITY-ROOT` entry point (or a `Balancer`
+    /// impl), which puts their whole call tree under the SV006–SV012
+    /// reachability rules (`simverify::graph`, DESIGN.md §13). When adding
+    /// a new kind of pool workload, annotate its entry function.
     pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send,

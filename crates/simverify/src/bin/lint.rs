@@ -1,14 +1,29 @@
-//! Workspace lint driver: `cargo run -p simverify --bin lint [root]`.
+//! Workspace lint driver: `cargo run -p simverify --bin lint [root] [--report json]`.
 //!
-//! Scans every `.rs` file under `<root>/crates` against the rule table in
-//! [`simverify::lint::RULES`], honouring `<root>/simverify.allow`. Exits 0
-//! when clean, 1 on violations, 2 on I/O trouble.
+//! Scans every shipping `.rs` file under `<root>/crates` against the rule
+//! catalog SV001–SV012, honouring the justified allowlist at
+//! `<root>/simverify.allow`. With `--report json` the stable JSON report
+//! goes to stdout instead of the human-readable listing (CI diffs it
+//! against the committed `simverify_baseline.json`).
+//!
+//! Exits 0 when passing, 1 on violations or allowlist hygiene failures
+//! (stale or expired entries), 2 on I/O trouble.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report" => json = args.next().as_deref() == Some("json"),
+            "--report=json" => json = true,
+            _ => root = PathBuf::from(a),
+        }
+    }
+
     let report = match simverify::lint::lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -16,21 +31,37 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for v in &report.violations {
-        println!("{v}");
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
     }
     for stale in &report.unused_allow {
-        eprintln!("warning: unused simverify.allow entry at line {stale}");
+        eprintln!("error: stale allowlist entry (suppresses nothing): {stale}");
     }
-    if report.is_clean() {
+    for expired in &report.expired_allow {
+        eprintln!("error: expired allowlist entry (re-justify or fix the code): {expired}");
+    }
+    if report.is_passing() {
         eprintln!(
-            "simverify lint: {} files clean ({} rules)",
+            "simverify lint: {} files clean ({} rules, {} roots, {}/{} fns reachable)",
             report.files_scanned,
-            simverify::lint::RULES.len()
+            simverify::lint::RULES.len(),
+            report.roots.len(),
+            report.reachable_fns,
+            report.total_fns
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("simverify lint: {} violation(s)", report.violations.len());
+        eprintln!(
+            "simverify lint: {} violation(s), {} stale, {} expired allowlist entr(ies)",
+            report.violations.len(),
+            report.unused_allow.len(),
+            report.expired_allow.len()
+        );
         ExitCode::from(1)
     }
 }

@@ -1,0 +1,326 @@
+//! Conservative module-graph and call-edge approximation over the token
+//! streams, with reachability from the workspace's declared purity roots.
+//!
+//! The parallel-executor contract (DESIGN.md §11) says node-run and
+//! balancer code must be a pure, deterministically-ordered function of
+//! `(seed, inputs)`. The *pure zone* is therefore not a fixed path list but
+//! "everything reachable from the entry points the pool and the kernel
+//! call". This pass approximates that set:
+//!
+//! * **Function extraction** — every `fn` item outside `#[cfg(test)]`,
+//!   with its body token range and the `impl <Trait> for` context it sits
+//!   in (one level of trait attribution, which is all the rules need).
+//! * **Roots** — functions annotated with a `PURITY-ROOT:` comment (line
+//!   or doc, within [`MARKER_WINDOW`] lines above the `fn`), plus every
+//!   method of an `impl Balancer for ...` block ([`ROOT_TRAITS`]) — the
+//!   policy zoo is pure by construction of the trait contract.
+//! * **Call edges** — inside a body, `name(` and `.name(` call sites edge
+//!   to *every* function of that name in the workspace, with `use ... as`
+//!   aliases expanded. This is deliberately name-based and conservative:
+//!   it over-approximates trait-method dispatch (a call to `.on_sample()`
+//!   reaches every `on_sample` impl) and ignores visibility, which is the
+//!   safe direction for a purity analysis — code that *might* run under a
+//!   root is held to the root's rules.
+//!
+//! What it knowingly misses (documented approximation, not a bug): calls
+//! through function pointers/closures stored in data structures, turbofish
+//! call sites (`f::<T>()`), and macro-generated code. The zone-based rules
+//! (SV001–SV005) stay in force underneath as the coarse net.
+
+use crate::lex::PreparedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Comment marker declaring a function (or whole `impl` block) a purity
+/// root. See DESIGN.md §13 for annotation guidance.
+pub const ROOT_MARKER: &str = "PURITY-ROOT";
+
+/// How many lines above a `fn`/`impl` keyword a marker comment is honoured
+/// (attributes and doc lines may sit in between).
+pub const MARKER_WINDOW: u32 = 3;
+
+/// Traits whose `impl` methods are purity roots without per-fn markers.
+pub const ROOT_TRAITS: &[&str] = &["Balancer"];
+
+/// One extracted function.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the file list the graph was built from.
+    pub file: usize,
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Raw token-index range of the body, `{` and `}` inclusive.
+    pub body: (usize, usize),
+    /// Marked with [`ROOT_MARKER`] (directly or via its `impl` block).
+    pub marked_root: bool,
+    /// Trait name when the fn sits in an `impl Trait for Type` block.
+    pub trait_ctx: Option<String>,
+    /// Callee names referenced from the body (aliases expanded).
+    pub calls: BTreeSet<String>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub fns: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Graph {
+    /// Extract functions and call edges from every prepared file.
+    pub fn build(files: &[PreparedFile<'_>]) -> Graph {
+        let mut fns = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            extract_file(fi, file, &mut fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        Graph { fns, by_name }
+    }
+
+    /// Indices of root functions: marker-annotated, or methods of a
+    /// [`ROOT_TRAITS`] impl.
+    pub fn roots(&self) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.marked_root
+                    || f.trait_ctx.as_deref().is_some_and(|t| ROOT_TRAITS.contains(&t))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `reachable[i]` — function `i` is a root or transitively callable
+    /// from one, under the name-based edge approximation.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut reach = vec![false; self.fns.len()];
+        let mut work: Vec<usize> = self.roots();
+        for &r in &work {
+            reach[r] = true;
+        }
+        while let Some(i) = work.pop() {
+            for callee in &self.fns[i].calls {
+                if let Some(targets) = self.by_name.get(callee) {
+                    for &t in targets {
+                        if !reach[t] {
+                            reach[t] = true;
+                            work.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        reach
+    }
+}
+
+/// Parse `use` declarations in a file's code tokens into an
+/// `alias -> original` map (`use path::to::real as alias;`).
+fn alias_map(file: &PreparedFile<'_>, code: &[usize]) -> BTreeMap<String, String> {
+    let mut aliases = BTreeMap::new();
+    let mut ci = 0;
+    while ci < code.len() {
+        if file.toks[code[ci]].text != "use" {
+            ci += 1;
+            continue;
+        }
+        // Collect to the terminating `;`, tracking `orig as alias` pairs
+        // (group imports `{a as b, c as d}` included — `as` always applies
+        // to the ident right before it).
+        let mut prev = "";
+        let mut cj = ci + 1;
+        while cj < code.len() && file.toks[code[cj]].text != ";" {
+            let t = file.toks[code[cj]].text;
+            if prev == "as" {
+                // `t` is the alias; the original is the ident before `as`.
+                if let Some(orig) = code[..cj]
+                    .iter()
+                    .rev()
+                    .skip(1) // the `as` itself
+                    .map(|&ti| file.toks[ti].text)
+                    .find(|s| s.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_'))
+                {
+                    aliases.insert(t.to_string(), orig.to_string());
+                }
+            }
+            prev = t;
+            cj += 1;
+        }
+        ci = cj + 1;
+    }
+    aliases
+}
+
+/// Extract every fn in `file` into `out`.
+fn extract_file(fi: usize, file: &PreparedFile<'_>, out: &mut Vec<FnNode>) {
+    let code = file.code_indices();
+    let aliases = alias_map(file, &code);
+
+    // Marker comments attach to the *next* `fn`/`impl` item (within the
+    // window) and are consumed by it — a marker must not bleed onto later
+    // unannotated siblings. Items arrive in line order below, so greedy
+    // consumption is exact.
+    let mut markers: Vec<(u32, bool)> = file
+        .comments
+        .iter()
+        .filter(|(_, text)| text.contains(ROOT_MARKER))
+        .map(|&(line, _)| (line, false))
+        .collect();
+    let mut take_marker = |item_line: u32| -> bool {
+        let lo = item_line.saturating_sub(MARKER_WINDOW);
+        for (line, used) in markers.iter_mut() {
+            if !*used && (lo..=item_line).contains(line) {
+                *used = true;
+                return true;
+            }
+        }
+        false
+    };
+
+    // Impl-block context stack: (brace depth inside the block, trait name
+    // if any, block carries a root marker).
+    let mut impl_stack: Vec<(i64, Option<String>, bool)> = Vec::new();
+    let mut depth: i64 = 0;
+
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let ti = code[ci];
+        let text = file.toks[ti].text;
+        match text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                while impl_stack.last().is_some_and(|&(d, _, _)| depth < d) {
+                    impl_stack.pop();
+                }
+            }
+            "impl" => {
+                // Header: skip generics, read the path up to `for` or `{`.
+                let line = file.toks[ti].line;
+                let marked = take_marker(line);
+                let mut angle = 0i64;
+                let mut path_idents: Vec<&str> = Vec::new();
+                let mut trait_name = None;
+                let mut cj = ci + 1;
+                while cj < code.len() {
+                    let t = file.toks[code[cj]].text;
+                    match t {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "{" | ";" => break,
+                        "for" if angle == 0 => {
+                            trait_name = path_idents.last().map(|s| s.to_string());
+                            path_idents.clear();
+                        }
+                        _ if angle == 0
+                            && t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                        {
+                            path_idents.push(t);
+                        }
+                        _ => {}
+                    }
+                    cj += 1;
+                }
+                if cj < code.len() && file.toks[code[cj]].text == "{" {
+                    depth += 1;
+                    impl_stack.push((depth, trait_name, marked));
+                    ci = cj + 1;
+                    continue;
+                }
+                ci = cj + 1;
+                continue;
+            }
+            "fn" => {
+                let line = file.toks[ti].line;
+                let name = code[ci + 1..]
+                    .iter()
+                    .map(|&t| &file.toks[t])
+                    .find(|t| t.kind == crate::lex::TokKind::Ident)
+                    .map(|t| t.text.to_string())
+                    .unwrap_or_default();
+                // Find the body `{` (or `;` for a bodyless trait method) at
+                // paren depth 0.
+                let mut paren = 0i64;
+                let mut angle_guard = 0i64;
+                let mut cj = ci + 1;
+                let mut body_open = None;
+                while cj < code.len() {
+                    match file.toks[code[cj]].text {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        "<" => angle_guard += 1,
+                        ">" => angle_guard -= 1,
+                        "{" if paren == 0 => {
+                            body_open = Some(cj);
+                            break;
+                        }
+                        ";" if paren == 0 && angle_guard <= 0 => break,
+                        _ => {}
+                    }
+                    cj += 1;
+                }
+                let Some(open) = body_open else {
+                    ci = cj + 1;
+                    continue;
+                };
+                let (impl_trait, impl_marked) = impl_stack
+                    .last()
+                    .map(|(_, t, m)| (t.clone(), *m))
+                    .unwrap_or((None, false));
+                let marked = take_marker(line) || impl_marked;
+                // Match the body braces to find the close.
+                let mut b = 0i64;
+                let mut ck = open;
+                while ck < code.len() {
+                    match file.toks[code[ck]].text {
+                        "{" => b += 1,
+                        "}" => {
+                            b -= 1;
+                            if b == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    ck += 1;
+                }
+                let close = ck.min(code.len() - 1);
+                let mut calls = BTreeSet::new();
+                for w in open..close {
+                    let t = &file.toks[code[w]];
+                    if t.kind != crate::lex::TokKind::Ident {
+                        continue;
+                    }
+                    let next = file.toks[code[w + 1]].text;
+                    let prev = if w == 0 { "" } else { file.toks[code[w - 1]].text };
+                    if next == "(" && prev != "fn" {
+                        calls.insert(t.text.to_string());
+                        if let Some(orig) = aliases.get(t.text) {
+                            calls.insert(orig.clone());
+                        }
+                    }
+                }
+                out.push(FnNode {
+                    file: fi,
+                    name,
+                    line,
+                    body: (code[open], code[close]),
+                    marked_root: marked,
+                    trait_ctx: impl_trait,
+                    calls,
+                });
+                // Continue scanning *inside* the body so nested fns and
+                // impls are found; brace tracking happens in the main loop.
+                depth += 1;
+                ci = open + 1;
+                continue;
+            }
+            _ => {}
+        }
+        ci += 1;
+    }
+}

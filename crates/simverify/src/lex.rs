@@ -1,0 +1,403 @@
+//! A minimal hand-rolled Rust lexer for the static-analysis pass.
+//!
+//! The grep-era lints (pre-§13) matched raw line text, which meant a rule
+//! pattern spelled inside a comment, a string literal, or a doc example was
+//! indistinguishable from real code — the whole false-positive class that
+//! forced allowlist entries. This lexer splits a source file into tokens
+//! with line numbers so rules can match *code* token sequences only, while
+//! comments are kept as their own token kind (the `INVARIANT:` escape and
+//! the `PURITY-ROOT:` entry-point markers live in comments).
+//!
+//! It is deliberately not a full Rust lexer: it has no keyword table and no
+//! numeric-suffix grammar, because the rules only need (a) correct
+//! *boundaries* for comments, strings, chars and lifetimes, and (b) stable
+//! identifier and punctuation tokens. Everything it does not understand
+//! degrades to single-character punctuation, which is safe for substring-
+//! free sequence matching.
+
+/// Token classification. `Comment`/`DocComment` are retained (markers and
+/// invariant escapes read them); rule patterns match the rest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Num,
+    Str,
+    Char,
+    Punct,
+    Comment,
+    DocComment,
+}
+
+/// One lexed token: kind, the exact source slice, and the 1-based line the
+/// token *starts* on (multi-line tokens — block comments, raw strings —
+/// keep their start line).
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// Whether this token participates in rule-pattern matching.
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::Comment | TokKind::DocComment)
+    }
+}
+
+/// Two- and three-character punctuation fused into one token, longest
+/// match first. Only sequences the rule patterns or the extractor care
+/// about need to be here; everything else is fine as single characters.
+const PUNCT3: &[&str] = &["..=", "<<=", ">>="];
+const PUNCT2: &[&str] =
+    &["::", "..", "->", "=>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "<<", ">>"];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals run to end of
+/// input (the workspace compiles, so in practice they never are).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::with_capacity(n / 6);
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Count newlines inside [from, to) and advance the line counter.
+    fn count_lines(b: &[u8], from: usize, to: usize, line: &mut u32) {
+        for &c in &b[from..to.min(b.len())] {
+            if c == b'\n' {
+                *line += 1;
+            }
+        }
+    }
+
+    // Scan a cooked ("...") string body starting *after* the opening
+    // quote; returns the index just past the closing quote.
+    fn scan_cooked(b: &[u8], mut j: usize, quote: u8) -> usize {
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                c if c == quote => return j + 1,
+                _ => j += 1,
+            }
+        }
+        j
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+
+        // Comments.
+        if c == b'/' && i + 1 < n && (b[i + 1] == b'/' || b[i + 1] == b'*') {
+            if b[i + 1] == b'/' {
+                let mut j = i;
+                while j < n && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let kind = if text.starts_with("///") || text.starts_with("//!") {
+                    TokKind::DocComment
+                } else {
+                    TokKind::Comment
+                };
+                toks.push(Tok { kind, text, line: start_line });
+                i = j;
+            } else {
+                // Block comment, with nesting per the Rust grammar.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                count_lines(b, start, j, &mut line);
+                let text = &src[start..j];
+                let kind = if text.starts_with("/**") || text.starts_with("/*!") {
+                    TokKind::DocComment
+                } else {
+                    TokKind::Comment
+                };
+                toks.push(Tok { kind, text, line: start_line });
+                i = j;
+            }
+            continue;
+        }
+
+        // Raw strings, byte strings, raw identifiers: r"..", r#".."#,
+        // br".."/b"..", b'..', r#ident.
+        if c == b'r' || c == b'b' {
+            let body = if c == b'b' && i + 1 < n && b[i + 1] == b'r' { i + 2 } else { i + 1 };
+            let raw = c == b'r' || body == i + 2;
+            if raw {
+                let mut h = body;
+                while h < n && b[h] == b'#' {
+                    h += 1;
+                }
+                if h < n && b[h] == b'"' {
+                    let hashes = h - body;
+                    let mut j = h + 1;
+                    while j < n {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut cnt = 0;
+                            while k < n && cnt < hashes && b[k] == b'#' {
+                                k += 1;
+                                cnt += 1;
+                            }
+                            if cnt == hashes {
+                                j = k;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    count_lines(b, start, j, &mut line);
+                    toks.push(Tok { kind: TokKind::Str, text: &src[start..j], line: start_line });
+                    i = j;
+                    continue;
+                }
+                // r#ident (raw identifier).
+                if c == b'r' && h == body + 1 && h < n && is_ident_start(b[h]) {
+                    let mut j = h;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Ident, text: &src[start..j], line: start_line });
+                    i = j;
+                    continue;
+                }
+            }
+            if c == b'b' && i + 1 < n && b[i + 1] == b'"' {
+                let j = scan_cooked(b, i + 2, b'"');
+                count_lines(b, start, j, &mut line);
+                toks.push(Tok { kind: TokKind::Str, text: &src[start..j], line: start_line });
+                i = j;
+                continue;
+            }
+            if c == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+                let j = scan_cooked(b, i + 2, b'\'');
+                toks.push(Tok { kind: TokKind::Char, text: &src[start..j], line: start_line });
+                i = j;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        if c == b'"' {
+            let j = scan_cooked(b, i + 1, b'"');
+            count_lines(b, start, j, &mut line);
+            toks.push(Tok { kind: TokKind::Str, text: &src[start..j], line: start_line });
+            i = j;
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == b'\'' {
+            let is_lifetime = i + 1 < n
+                && is_ident_start(b[i + 1])
+                && (i + 2 >= n || b[i + 2] != b'\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, text: &src[start..j], line: start_line });
+                i = j;
+            } else {
+                let j = scan_cooked(b, i + 1, b'\'');
+                toks.push(Tok { kind: TokKind::Char, text: &src[start..j], line: start_line });
+                i = j;
+            }
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: &src[start..j], line: start_line });
+            i = j;
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_cont(b[j]) || (b[j] == b'.' && j + 1 < n && b[j + 1].is_ascii_digit()))
+            {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Num, text: &src[start..j], line: start_line });
+            i = j;
+            continue;
+        }
+
+        // Punctuation, longest fused form first.
+        let rest = &src[i..];
+        let fused = PUNCT3
+            .iter()
+            .chain(PUNCT2.iter())
+            .find(|p| rest.starts_with(**p))
+            .copied();
+        let len = fused.map_or_else(|| src[i..].chars().next().map_or(1, char::len_utf8), str::len);
+        toks.push(Tok { kind: TokKind::Punct, text: &src[i..i + len], line: start_line });
+        i += len;
+    }
+    toks
+}
+
+/// Mark every token belonging to a `#[cfg(test)]`-gated (or `#[test]`)
+/// item, attribute included: the architectural rules govern shipping code
+/// only. Item extent is approximated by brace matching — from the
+/// attribute, the item runs to the close of its first top-level `{...}`
+/// block, or to a top-level `;` for brace-less items (`mod tests;`,
+/// `use` declarations). `#[cfg(not(test))]` is shipping code and is not
+/// masked.
+pub fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+
+    // Advance `ci` (an index into `code`) past one `[...]` group starting
+    // at the `[`; returns the index of the matching `]`.
+    fn close_bracket(toks: &[Tok<'_>], code: &[usize], open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut ci = open;
+        while ci < code.len() {
+            match toks[code[ci]].text {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        code.len() - 1
+    }
+
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if toks[code[ci]].text != "#" || ci + 1 >= code.len() || toks[code[ci + 1]].text != "[" {
+            ci += 1;
+            continue;
+        }
+        let attr_open = ci + 1;
+        let attr_close = close_bracket(toks, &code, attr_open);
+        let (mut has_cfg, mut has_test, mut has_not) = (false, false, false);
+        for &ti in &code[attr_open..=attr_close] {
+            match toks[ti].text {
+                "cfg" => has_cfg = true,
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+        let bare_test_attr = !has_cfg && has_test && attr_close == attr_open + 2;
+        let is_test_attr = (has_cfg && has_test && !has_not) || bare_test_attr;
+        if !is_test_attr {
+            ci = attr_close + 1;
+            continue;
+        }
+
+        // Skip any further attributes stacked on the same item.
+        let mut ck = attr_close + 1;
+        while ck + 1 < code.len() && toks[code[ck]].text == "#" && toks[code[ck + 1]].text == "[" {
+            ck = close_bracket(toks, &code, ck + 1) + 1;
+        }
+        // Scan the item: to the matching `}` of its first top-level block,
+        // or a `;` before any block opens.
+        let mut brace = 0i64;
+        let item_end = loop {
+            if ck >= code.len() {
+                break code.len() - 1;
+            }
+            match toks[code[ck]].text {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace <= 0 {
+                        break ck;
+                    }
+                }
+                ";" if brace == 0 => break ck,
+                _ => {}
+            }
+            ck += 1;
+        };
+        // Mask the whole raw-token span (comments inside included).
+        for slot in &mut mask[code[ci]..=code[item_end]] {
+            *slot = true;
+        }
+        ci = item_end + 1;
+    }
+    mask
+}
+
+/// A source file prepared for analysis: tokens, the `#[cfg(test)]` mask,
+/// raw lines (allowlist fragments and SV005 match against line text), and
+/// the retained comments (line, text) outside test regions.
+pub struct PreparedFile<'a> {
+    /// Repo-relative forward-slash path; zone matching runs against it.
+    pub path: String,
+    pub toks: Vec<Tok<'a>>,
+    /// `true` for tokens inside `#[cfg(test)]` items.
+    pub masked: Vec<bool>,
+    pub lines: Vec<&'a str>,
+    /// Comments and doc comments outside test regions: `(start line, text)`.
+    pub comments: Vec<(u32, &'a str)>,
+}
+
+impl<'a> PreparedFile<'a> {
+    pub fn new(path: impl Into<String>, src: &'a str) -> PreparedFile<'a> {
+        let toks = lex(src);
+        let masked = test_mask(&toks);
+        let comments = toks
+            .iter()
+            .zip(&masked)
+            .filter(|(t, &m)| !m && !t.is_code())
+            .map(|(t, _)| (t.line, t.text))
+            .collect();
+        PreparedFile { path: path.into(), toks, masked, lines: src.lines().collect(), comments }
+    }
+
+    /// Indices of live code tokens (not comments, not `#[cfg(test)]`).
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.toks.len()).filter(|&i| self.toks[i].is_code() && !self.masked[i]).collect()
+    }
+
+    /// Whether a retained comment containing `needle` starts within
+    /// `window` lines above (or on) `line`.
+    pub fn comment_near(&self, line: u32, window: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(window);
+        self.comments.iter().any(|(l, text)| (lo..=line).contains(l) && text.contains(needle))
+    }
+}

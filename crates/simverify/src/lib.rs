@@ -1,13 +1,17 @@
-//! Correctness tooling for the simulator workspace, in two layers
-//! (DESIGN.md §8):
+//! Correctness tooling for the simulator workspace (DESIGN.md §8, §13):
 //!
-//! * [`lint`] — a dependency-free source scanner enforcing architectural
-//!   rules per crate zone: no wall-clock reads in deterministic crates, no
-//!   iteration-order-sensitive collections in scheduler-decision paths, no
-//!   panics in kernel hot paths, no internal use of deprecated trace shims,
-//!   and documented tunables. Run it with `cargo run -p simverify --bin
-//!   lint`; suppress individual lines via `simverify.allow` at the repo
-//!   root.
+//! * [`lex`] — a minimal hand-rolled Rust lexer producing line-numbered
+//!   tokens that skip comments, strings and `#[cfg(test)]` items, so rules
+//!   match *code* rather than text.
+//! * [`graph`] — conservative module-graph/call-edge extraction with
+//!   reachability from declared purity roots (`PURITY-ROOT` markers and
+//!   `Balancer` impls): the parallel-executor contract's pure zone.
+//! * [`rules`] — the rule catalog SV001–SV012, the justified allowlist
+//!   (`simverify.allow` with per-entry reason + expiry), and the stable
+//!   JSON report.
+//! * [`lint`] — the workspace driver tying the above together. Run it with
+//!   `cargo run -p simverify --bin lint`; CI gates on the JSON report
+//!   diffed against `simverify_baseline.json`.
 //! * [`conformance`] — a linear-time validator over the trace records a
 //!   [`schedsim::SharedSink`] collects, asserting the paper's runtime
 //!   invariants: HPC hardware priorities stay inside the tunable bounds,
@@ -20,4 +24,7 @@
 
 pub mod conformance;
 pub mod determinism;
+pub mod graph;
+pub mod lex;
 pub mod lint;
+pub mod rules;

@@ -1,399 +1,213 @@
-//! Architectural lint pass: a fast, dependency-free scanner over the
-//! workspace source tree.
+//! Workspace lint driver.
 //!
-//! Rules are data-driven: each [`Rule`] names the path *zones* it applies
-//! to, the zones it exempts, and what it forbids. Two escape hatches exist,
-//! in increasing order of ceremony:
+//! This module is the orchestration layer of the static-analysis pass
+//! (DESIGN.md §13): it loads sources, prepares token streams
+//! ([`crate::lex`]), builds the call graph and reachable set
+//! ([`crate::graph`]), evaluates the rule catalog ([`crate::rules`])
+//! under the justified allowlist ([`crate::rules::allow`]), and packages
+//! everything into a [`LintReport`] that renders either human-readable
+//! (`file:line: rule: message`) or as stable JSON
+//! ([`crate::rules::report`]).
 //!
-//! * an `INVARIANT:` comment on or just above the flagged line (only for
-//!   rules with `invariant_escape`) — for panics whose impossibility the
-//!   code can argue locally;
-//! * an entry in `simverify.allow` at the repository root — for the rare
-//!   structural exception (e.g. the pick-latency wall-clock metric).
-//!
-//! Output format is `file:line: rule-id: message`, one violation per line,
-//! and the binary exits nonzero when any violation remains.
+//! Scan scope is *shipping code*: every `.rs` under `<root>/crates`,
+//! excluding `target/`, `tests/`, `benches/`, `examples/` and `fixtures/`
+//! directories — test-only code is additionally masked at token level via
+//! `#[cfg(test)]`/`#[test]` extents, so both whole-file and inline test
+//! code are outside the rules.
 
-use std::fmt;
+pub use crate::rules::allow::{AllowEntry, Allowlist, Date};
+pub use crate::rules::{Rule, RuleKind, Scope, Violation, INVARIANT_WINDOW, RULES};
+
+use crate::graph::Graph;
+use crate::lex::PreparedFile;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// What a rule forbids.
-pub enum RuleKind {
-    /// Any line containing one of these substrings violates the rule.
-    ForbiddenPattern { patterns: &'static [&'static str] },
-    /// Every `pub` struct field must carry a `///` doc comment.
-    FieldsDocumented,
-}
-
-/// One architectural rule.
-pub struct Rule {
-    pub id: &'static str,
-    pub summary: &'static str,
-    pub kind: RuleKind,
-    /// Path substrings (forward-slash, repo-relative) the rule applies to.
-    pub zones: &'static [&'static str],
-    /// Path substrings excluded even when a zone matches.
-    pub exempt: &'static [&'static str],
-    /// Whether an `INVARIANT:` comment on the line or within
-    /// [`INVARIANT_WINDOW`] lines above it silences the rule.
-    pub invariant_escape: bool,
-}
-
-/// How far above a flagged line an `INVARIANT` marker is honoured.
-pub const INVARIANT_WINDOW: usize = 5;
-
-/// The rule table. Zones mirror the determinism boundary drawn in
-/// DESIGN.md: everything that feeds scheduler decisions or the trace must
-/// be a pure function of `(config, seed)`.
-pub const RULES: &[Rule] = &[
-    Rule {
-        id: "SV001",
-        summary: "wall-clock read in a deterministic simulation crate",
-        kind: RuleKind::ForbiddenPattern { patterns: &["Instant::now", "SystemTime"] },
-        zones: &[
-            "crates/simcore/src/",
-            "crates/schedsim/src/",
-            "crates/power5/src/",
-            "crates/mpisim/src/",
-            "crates/core/src/",
-            "crates/faultsim/src/",
-            "crates/batchsim/src/",
-        ],
-        exempt: &[],
-        invariant_escape: false,
-    },
-    Rule {
-        id: "SV002",
-        summary: "iteration-order-sensitive collection in a scheduler-decision or \
-                  trace-emitting path; use BTreeMap/BTreeSet",
-        kind: RuleKind::ForbiddenPattern { patterns: &["HashMap", "HashSet"] },
-        zones: &[
-            "crates/schedsim/src/kernel.rs",
-            "crates/schedsim/src/classes/",
-            "crates/schedsim/src/program.rs",
-            "crates/schedsim/src/balance.rs",
-            "crates/schedsim/src/balancer.rs",
-            "crates/schedsim/src/policies/",
-            "crates/mpisim/src/collective.rs",
-            "crates/faultsim/src/",
-            "crates/batchsim/src/",
-        ],
-        exempt: &[],
-        invariant_escape: false,
-    },
-    Rule {
-        id: "SV003",
-        summary: "panic in a kernel hot path; propagate SchedError or document the \
-                  invariant with an INVARIANT: comment",
-        kind: RuleKind::ForbiddenPattern { patterns: &["panic!", ".unwrap()", ".expect("] },
-        zones: &[
-            "crates/schedsim/src/kernel.rs",
-            "crates/schedsim/src/classes/",
-            "crates/schedsim/src/balance.rs",
-            "crates/schedsim/src/balancer.rs",
-            "crates/schedsim/src/builder.rs",
-            "crates/schedsim/src/policies/",
-            "crates/mpisim/src/",
-            "crates/faultsim/src/",
-            "crates/batchsim/src/",
-        ],
-        exempt: &[],
-        invariant_escape: true,
-    },
-    Rule {
-        id: "SV004",
-        summary: "deprecated shim; build with schedsim::KernelBuilder and attach \
-                  sinks with Kernel::observe",
-        kind: RuleKind::ForbiddenPattern {
-            patterns: &[".set_trace(", ".take_trace(", "HpcKernelBuilder"],
-        },
-        zones: &["crates/"],
-        // The trace shims are gone from the kernel (all callers migrated to
-        // `Kernel::observe`) and every internal caller builds through
-        // `schedsim::KernelBuilder`; only the hpcsched facade may still
-        // spell the deprecated builder (it defines the delegating shim),
-        // and only simverify itself may spell the patterns, in its own
-        // rule table and fixtures.
-        exempt: &[
-            "crates/simverify/",
-            "crates/core/src/runtime.rs",
-            "crates/core/src/lib.rs",
-        ],
-        invariant_escape: false,
-    },
-    Rule {
-        id: "SV005",
-        summary: "tunable field without a doc comment",
-        kind: RuleKind::FieldsDocumented,
-        zones: &["crates/schedsim/src/policies/tunables.rs"],
-        exempt: &[],
-        invariant_escape: false,
-    },
-];
-
-/// One reported violation, rendered as `file:line: rule-id: message`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Violation {
-    /// Repo-relative, forward-slash path.
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    pub rule: &'static str,
-    pub message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
-    }
-}
-
-/// One `simverify.allow` entry: `rule-id path-substring line-substring`.
+/// One declared purity root, for the report (proof that coverage exists:
+/// a report with zero roots means the reachability rules checked nothing).
 #[derive(Clone, Debug)]
-pub struct AllowEntry {
+pub struct RootInfo {
+    pub file: String,
+    pub name: String,
+    pub line: u32,
+}
+
+/// Allowlist entry with its post-run status, for the report.
+#[derive(Clone, Debug)]
+pub struct AllowStatus {
     pub rule: String,
     pub path: String,
     pub fragment: String,
-    /// Which allowlist line this came from (for unused-entry reporting).
+    pub expires_text: String,
+    pub reason: String,
+    /// `"used"`, `"unused"` (stale — fails the run) or `"expired"`
+    /// (fails the run).
+    pub status: &'static str,
     pub source_line: usize,
-    pub used: bool,
 }
 
-/// The parsed per-line allowlist.
-#[derive(Debug, Default)]
-pub struct Allowlist {
-    pub entries: Vec<AllowEntry>,
-}
-
-impl Allowlist {
-    pub fn empty() -> Allowlist {
-        Allowlist::default()
-    }
-
-    /// Parse the allowlist format: one entry per line, `#` comments and
-    /// blank lines ignored. Fields are whitespace-separated; the third
-    /// field (the line fragment) runs to end of line.
-    pub fn parse(text: &str) -> Result<Allowlist, String> {
-        let mut entries = Vec::new();
-        for (i, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let mut parts = line.splitn(3, char::is_whitespace);
-            let rule = parts.next().unwrap_or("").to_string();
-            let path = parts.next().unwrap_or("").to_string();
-            let fragment = parts.next().unwrap_or("").trim().to_string();
-            if rule.is_empty() || path.is_empty() || fragment.is_empty() {
-                return Err(format!(
-                    "simverify.allow:{}: expected `rule-id path-substring line-substring`",
-                    i + 1
-                ));
-            }
-            entries.push(AllowEntry { rule, path, fragment, source_line: i + 1, used: false });
-        }
-        Ok(Allowlist { entries })
-    }
-
-    /// Whether an entry covers this (rule, file, line) triple; marks the
-    /// entry used so stale entries can be reported.
-    fn permits(&mut self, rule: &str, file: &str, line_text: &str) -> bool {
-        let mut hit = false;
-        for e in &mut self.entries {
-            if e.rule == rule && file.contains(&e.path) && line_text.contains(&e.fragment) {
-                e.used = true;
-                hit = true;
-            }
-        }
-        hit
-    }
-
-    /// Entries that never matched anything, for end-of-run warnings.
-    pub fn unused(&self) -> Vec<&AllowEntry> {
-        self.entries.iter().filter(|e| !e.used).collect()
-    }
-}
-
-fn in_zone(rule: &Rule, file: &str) -> bool {
-    rule.zones.iter().any(|z| file.contains(z)) && !rule.exempt.iter().any(|z| file.contains(z))
-}
-
-fn has_invariant_near(lines: &[&str], idx: usize) -> bool {
-    let lo = idx.saturating_sub(INVARIANT_WINDOW);
-    lines[lo..=idx].iter().any(|l| l.contains("INVARIANT"))
-}
-
-/// A `pub` struct-field line (the only thing SV005 inspects): not a
-/// function, constant or tuple-struct declaration.
-fn is_pub_field(trimmed: &str) -> bool {
-    trimmed.starts_with("pub ")
-        && trimmed.contains(':')
-        && trimmed.ends_with(',')
-        && !trimmed.contains("fn ")
-        && !trimmed.contains("const ")
-        && !trimmed.contains('(')
-}
-
-/// Whether the field line at `idx` has a `///` doc comment above it,
-/// looking through any `#[...]` attribute lines.
-fn field_is_documented(lines: &[&str], idx: usize) -> bool {
-    for j in (0..idx).rev() {
-        let p = lines[j].trim_start();
-        if p.starts_with("#[") {
-            continue;
-        }
-        return p.starts_with("///");
-    }
-    false
-}
-
-/// Lint one source file (already read into memory, so fixture tests can
-/// feed synthetic snippets). `file` must be the repo-relative,
-/// forward-slash path — zone matching runs against it.
-pub fn lint_source(
-    file: &str,
-    source: &str,
-    rules: &[Rule],
-    allow: &mut Allowlist,
-) -> Vec<Violation> {
-    let applicable: Vec<&Rule> = rules.iter().filter(|r| in_zone(r, file)).collect();
-    if applicable.is_empty() {
-        return Vec::new();
-    }
-    let lines: Vec<&str> = source.lines().collect();
-    let mut violations = Vec::new();
-    let mut in_tests = false;
-    for (i, raw) in lines.iter().enumerate() {
-        let trimmed = raw.trim_start();
-        // Test modules sit at the end of each file in this codebase; rules
-        // govern shipping code only.
-        if trimmed.starts_with("#[cfg(test)]") {
-            in_tests = true;
-        }
-        if in_tests || trimmed.starts_with("//") {
-            continue;
-        }
-        for rule in &applicable {
-            match &rule.kind {
-                RuleKind::ForbiddenPattern { patterns } => {
-                    for pat in *patterns {
-                        if !raw.contains(pat) {
-                            continue;
-                        }
-                        if rule.invariant_escape && has_invariant_near(&lines, i) {
-                            continue;
-                        }
-                        if allow.permits(rule.id, file, raw) {
-                            continue;
-                        }
-                        violations.push(Violation {
-                            file: file.to_string(),
-                            line: i + 1,
-                            rule: rule.id,
-                            message: format!("`{pat}`: {}", rule.summary),
-                        });
-                    }
-                }
-                RuleKind::FieldsDocumented => {
-                    if is_pub_field(trimmed)
-                        && !field_is_documented(&lines, i)
-                        && !allow.permits(rule.id, file, raw)
-                    {
-                        violations.push(Violation {
-                            file: file.to_string(),
-                            line: i + 1,
-                            rule: rule.id,
-                            message: format!(
-                                "`{}`: {}",
-                                trimmed.trim_end_matches(','),
-                                rule.summary
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-    violations
-}
-
-/// Result of a whole-workspace lint run.
+/// The outcome of a lint run.
 #[derive(Debug, Default)]
 pub struct LintReport {
     pub violations: Vec<Violation>,
     pub files_scanned: usize,
-    /// Stale `simverify.allow` entries, as `line: text` descriptions.
+    /// Functions extracted by the graph pass.
+    pub total_fns: usize,
+    /// Of those, reachable from a purity root.
+    pub reachable_fns: usize,
+    /// Declared purity roots, sorted by (file, line).
+    pub roots: Vec<RootInfo>,
+    /// Every allowlist entry with its status, in file order.
+    pub allow_entries: Vec<AllowStatus>,
+    /// Rendered descriptions of stale (matched-nothing) entries.
     pub unused_allow: Vec<String>,
+    /// Rendered descriptions of expired entries.
+    pub expired_allow: Vec<String>,
 }
 
 impl LintReport {
+    /// No rule violations (allowlist hygiene not considered).
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Clean *and* the allowlist has no stale or expired entries — the
+    /// condition CI gates on.
+    pub fn is_passing(&self) -> bool {
+        self.is_clean() && self.unused_allow.is_empty() && self.expired_allow.is_empty()
+    }
+
+    /// Render as stable JSON (see [`crate::rules::report`]).
+    pub fn to_json(&self) -> String {
+        crate::rules::report::render_json(self)
+    }
 }
 
-/// Recursively collect `.rs` files under `dir`, skipping build output.
+/// Run the full pass over in-memory sources: `(repo-relative path, text)`
+/// pairs. The caller supplies `today` so fixtures can pin the date.
+pub fn lint_sources(sources: &[(String, String)], mut allow: Allowlist, today: Date) -> LintReport {
+    let mut ordered: Vec<&(String, String)> = sources.iter().collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+    let files: Vec<PreparedFile<'_>> =
+        ordered.iter().map(|(p, s)| PreparedFile::new(p.clone(), s)).collect();
+
+    let graph = Graph::build(&files);
+    let reachable = graph.reachable();
+    let violations = crate::rules::evaluate(&files, RULES, &graph, &reachable, &mut allow, today);
+
+    let mut roots: Vec<RootInfo> = graph
+        .roots()
+        .into_iter()
+        .map(|i| {
+            let f = &graph.fns[i];
+            RootInfo { file: files[f.file].path.clone(), name: f.name.clone(), line: f.line }
+        })
+        .collect();
+    roots.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let describe = |e: &AllowEntry| {
+        format!(
+            "simverify.allow:{}: {} path={} frag={} expires={}",
+            e.source_line, e.rule, e.path, e.fragment, e.expires_text
+        )
+    };
+    let unused_allow = allow.unused(today).iter().map(|e| describe(e)).collect();
+    let expired_allow = allow.expired(today).iter().map(|e| describe(e)).collect();
+    let allow_entries = allow
+        .entries
+        .iter()
+        .map(|e| AllowStatus {
+            rule: e.rule.clone(),
+            path: e.path.clone(),
+            fragment: e.fragment.clone(),
+            expires_text: e.expires_text.clone(),
+            reason: e.reason.clone(),
+            status: if e.is_expired(today) {
+                "expired"
+            } else if e.used {
+                "used"
+            } else {
+                "unused"
+            },
+            source_line: e.source_line,
+        })
+        .collect();
+
+    LintReport {
+        violations,
+        files_scanned: files.len(),
+        total_fns: graph.fns.len(),
+        reachable_fns: reachable.iter().filter(|&&r| r).count(),
+        roots,
+        allow_entries,
+        unused_allow,
+        expired_allow,
+    }
+}
+
+/// Lint a workspace rooted at `root` with a caller-pinned date (fixtures
+/// and expiry tests). Reads `<root>/simverify.allow` when present.
+pub fn lint_workspace_at(root: &Path, today: Date) -> io::Result<LintReport> {
+    let allow = match fs::read_to_string(root.join("simverify.allow")) {
+        Ok(text) => {
+            Allowlist::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Allowlist::empty(),
+        Err(e) => return Err(e),
+    };
+
+    let crates_dir = root.join("crates");
+    let mut paths = Vec::new();
+    collect_rs(&crates_dir, &mut paths)?;
+    paths.sort();
+
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let rel = p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/");
+        sources.push((rel, fs::read_to_string(p)?));
+    }
+    Ok(lint_sources(&sources, allow, today))
+}
+
+/// Lint a workspace rooted at `root`, with `today` read from the host
+/// clock (the analyzer is host tooling; allowlist expiry is wall-calendar
+/// by design).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    lint_workspace_at(root, Date::today())
+}
+
+/// Compatibility shim for single-snippet tests: run the pass over one
+/// file. Expiry is evaluated at the epoch, so any syntactically valid
+/// `expires=` date is live.
+pub fn lint_source(file: &str, src: &str, rules: &[Rule], allow: &mut Allowlist) -> Vec<Violation> {
+    let files = [PreparedFile::new(file, src)];
+    let graph = Graph::build(&files);
+    let reachable = graph.reachable();
+    crate::rules::evaluate(&files, rules, &graph, &reachable, allow, Date(0))
+}
+
+/// Directories never scanned: build output, fixture mini-workspaces, and
+/// test-only trees (integration tests are exercised by `cargo test`, not
+/// governed by the shipping-code architecture rules).
+const SKIP_DIRS: [&str; 5] = ["target", "fixtures", "tests", "benches", "examples"];
+
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
         if path.is_dir() {
-            if entry.file_name() == "target" {
-                continue;
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out)?;
             }
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
+        } else if name.ends_with(".rs") {
             out.push(path);
         }
     }
     Ok(())
-}
-
-/// Lint every `.rs` file under `<root>/crates` against [`RULES`], applying
-/// `<root>/simverify.allow` when present.
-pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
-    let crates = root.join("crates");
-    if !crates.is_dir() {
-        return Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            format!("{} is not a workspace root (no crates/ directory)", root.display()),
-        ));
-    }
-    let mut allow = match fs::read_to_string(root.join("simverify.allow")) {
-        Ok(text) => Allowlist::parse(&text).map_err(io::Error::other)?,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Allowlist::empty(),
-        Err(e) => return Err(e),
-    };
-    let mut files = Vec::new();
-    collect_rs(&crates, &mut files)?;
-    // Deterministic scan order regardless of directory enumeration order.
-    let mut rel: Vec<(String, PathBuf)> = files
-        .into_iter()
-        .map(|p| {
-            let r = p
-                .strip_prefix(root)
-                .unwrap_or(&p)
-                .components()
-                .map(|c| c.as_os_str().to_string_lossy().into_owned())
-                .collect::<Vec<_>>()
-                .join("/");
-            (r, p)
-        })
-        .collect();
-    rel.sort();
-
-    let mut report = LintReport::default();
-    for (rel_path, path) in rel {
-        let source = fs::read_to_string(&path)?;
-        report.violations.extend(lint_source(&rel_path, &source, RULES, &mut allow));
-        report.files_scanned += 1;
-    }
-    report.unused_allow = allow
-        .unused()
-        .into_iter()
-        .map(|e| format!("{}: {} {} {}", e.source_line, e.rule, e.path, e.fragment))
-        .collect();
-    Ok(report)
 }

@@ -1,0 +1,219 @@
+//! The justified allowlist: `simverify.allow` at the repository root.
+//!
+//! Every entry must carry a *reason* and an *expiry date* — an exception is
+//! a decision someone made, and decisions rot. The format is one entry per
+//! line (`#` comments and blank lines ignored):
+//!
+//! ```text
+//! SV009 path=crates/schedsim/src/trace.rs frag=Mutex expires=2027-08-31 reason=append-only SharedSink; one writer per kernel
+//! ```
+//!
+//! * `path=` — repo-relative path substring the entry covers;
+//! * `frag=` — substring the flagged *source line* must contain;
+//! * `expires=YYYY-MM-DD` — after this date the entry stops suppressing
+//!   anything and the lint run **fails** until it is re-justified or the
+//!   code is fixed;
+//! * `reason=` — free text to end of line; why the exception is sound.
+//!
+//! Unmatched (stale) entries also fail the run: an allowlist line that
+//! suppresses nothing is either dead weight or a typo hiding a real
+//! finding, and both should be loud.
+
+/// A civil date as days since the Unix epoch, for expiry comparisons.
+/// Construction parses `YYYY-MM-DD`; `today` reads the system clock (the
+/// analyzer is host tooling, outside the simulation determinism boundary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date(pub i64);
+
+impl Date {
+    /// The far future: nothing expires. Used by fixture helpers that test
+    /// rule matching rather than expiry.
+    pub const MAX: Date = Date(i64::MAX);
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.split('-');
+        let y: i64 = it.next()?.parse().ok()?;
+        let m: u32 = it.next()?.parse().ok()?;
+        let d: u32 = it.next()?.parse().ok()?;
+        if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return None;
+        }
+        Some(Date(days_from_civil(y, m, d)))
+    }
+
+    /// Today per the host clock, at UTC day granularity.
+    pub fn today() -> Date {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Date((secs / 86_400) as i64)
+    }
+}
+
+/// Howard Hinnant's `days_from_civil`: days since 1970-01-01.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from((m + 9) % 12);
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub fragment: String,
+    pub expires: Date,
+    /// The literal `expires=` text, for report rendering.
+    pub expires_text: String,
+    pub reason: String,
+    /// 1-based line in `simverify.allow`, for stale-entry reporting.
+    pub source_line: usize,
+    pub used: bool,
+}
+
+impl AllowEntry {
+    pub fn is_expired(&self, today: Date) -> bool {
+        self.expires < today
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// Parse the justified format. Every field is mandatory; a line that
+    /// parses as the pre-§13 three-column format is rejected with a hint.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| {
+                format!(
+                    "simverify.allow:{}: {what}; expected `RULE path=<substr> frag=<substr> \
+                     expires=YYYY-MM-DD reason=<free text>`",
+                    i + 1
+                )
+            };
+            let (rule, rest) = line.split_once(char::is_whitespace).ok_or_else(|| err("missing fields"))?;
+            let field = |key: &str| -> Option<&str> {
+                let tail = rest.split_once(key)?.1;
+                Some(if key == "reason=" {
+                    tail.trim()
+                } else {
+                    tail.split_whitespace().next().unwrap_or("")
+                })
+            };
+            let path = field("path=").filter(|s| !s.is_empty()).ok_or_else(|| err("missing path="))?;
+            let fragment = field("frag=").filter(|s| !s.is_empty()).ok_or_else(|| err("missing frag="))?;
+            let expires_text =
+                field("expires=").filter(|s| !s.is_empty()).ok_or_else(|| err("missing expires="))?;
+            let expires = Date::parse(expires_text)
+                .ok_or_else(|| err("expires= is not a valid YYYY-MM-DD date"))?;
+            let reason =
+                field("reason=").filter(|s| !s.is_empty()).ok_or_else(|| err("missing reason="))?;
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                fragment: fragment.to_string(),
+                expires,
+                expires_text: expires_text.to_string(),
+                reason: reason.to_string(),
+                source_line: i + 1,
+                used: false,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether a live (unexpired) entry covers this `(rule, file, line)`
+    /// triple; marks it used. Expired entries never suppress.
+    pub fn permits(&mut self, rule: &str, file: &str, line_text: &str, today: Date) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == rule
+                && file.contains(&e.path)
+                && line_text.contains(&e.fragment)
+                && !e.is_expired(today)
+            {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that suppressed nothing and are not expired (expired ones
+    /// are reported separately, and more severely).
+    pub fn unused(&self, today: Date) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used && !e.is_expired(today)).collect()
+    }
+
+    /// Entries past their expiry date — each one fails the run.
+    pub fn expired(&self, today: Date) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| e.is_expired(today)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_justified_format() {
+        let a = Allowlist::parse(
+            "# comment\nSV009 path=crates/x.rs frag=Mutex expires=2030-01-01 reason=documented handle\n",
+        )
+        .expect("valid");
+        assert_eq!(a.entries.len(), 1);
+        let e = &a.entries[0];
+        assert_eq!((e.rule.as_str(), e.path.as_str(), e.fragment.as_str()), ("SV009", "crates/x.rs", "Mutex"));
+        assert_eq!(e.reason, "documented handle");
+        assert!(!e.is_expired(Date::parse("2029-12-31").unwrap()));
+        assert!(e.is_expired(Date::parse("2030-01-02").unwrap()));
+    }
+
+    #[test]
+    fn rejects_the_old_three_column_format_and_partial_lines() {
+        assert!(Allowlist::parse("SV001 crates/x.rs Instant::now\n").is_err());
+        assert!(Allowlist::parse("SV001 path=x frag=y reason=z\n").is_err(), "missing expires");
+        assert!(Allowlist::parse("SV001 path=x frag=y expires=2030-01-01\n").is_err(), "missing reason");
+        assert!(Allowlist::parse("SV001 path=x frag=y expires=never reason=z\n").is_err());
+    }
+
+    #[test]
+    fn expired_entries_do_not_suppress() {
+        let mut a = Allowlist::parse(
+            "SV001 path=crates/x.rs frag=Instant expires=2020-01-01 reason=long gone\n",
+        )
+        .unwrap();
+        let today = Date::parse("2026-08-09").unwrap();
+        assert!(!a.permits("SV001", "crates/x.rs", "Instant::now()", today));
+        assert_eq!(a.expired(today).len(), 1);
+        assert!(a.unused(today).is_empty(), "expired is reported as expired, not stale");
+    }
+
+    #[test]
+    fn civil_date_math_is_sane() {
+        assert_eq!(Date::parse("1970-01-01").unwrap().0, 0);
+        assert_eq!(Date::parse("1970-01-02").unwrap().0, 1);
+        assert!(Date::parse("2026-08-09").unwrap() < Date::parse("2027-08-31").unwrap());
+        assert!(Date::parse("2026-13-01").is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Machine-readable lint report: `--report json`.
+//!
+//! Hand-rolled rendering (the analyzer takes no serialization dependency)
+//! with a stable schema and fully deterministic ordering — findings sorted
+//! by (file, line, rule, pattern), roots by (file, line), allow entries in
+//! file order — and no timestamps, so two runs over the same tree produce
+//! byte-identical output. CI diffs this against the committed
+//! `simverify_baseline.json`: new findings *and* silently vanished
+//! coverage (fewer roots, fewer rules) both show up as a diff.
+
+use crate::lint::LintReport;
+use std::fmt::Write as _;
+
+/// Schema identifier; bump on any structural change so baseline diffs
+/// distinguish "new findings" from "new report format".
+pub const SCHEMA: &str = "simverify-lint/1";
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report as pretty-printed JSON (2-space indent, trailing
+/// newline). See module docs for the stability contract.
+pub fn render_json(r: &LintReport) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{}\",", SCHEMA);
+    let _ = writeln!(s, "  \"files_scanned\": {},", r.files_scanned);
+    let _ = writeln!(
+        s,
+        "  \"functions\": {{ \"total\": {}, \"reachable\": {} }},",
+        r.total_fns, r.reachable_fns
+    );
+
+    s.push_str("  \"rules\": [\n");
+    for (i, rule) in crate::rules::RULES.iter().enumerate() {
+        let scope = match rule.scope {
+            crate::rules::Scope::Zones => "zones",
+            crate::rules::Scope::Reachable => "reachable",
+        };
+        let _ = write!(
+            s,
+            "    {{ \"id\": \"{}\", \"scope\": \"{}\", \"summary\": \"{}\" }}",
+            rule.id,
+            scope,
+            esc(&normalize_ws(rule.summary))
+        );
+        s.push_str(if i + 1 < crate::rules::RULES.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"roots\": [\n");
+    for (i, root) in r.roots.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"file\": \"{}\", \"fn\": \"{}\", \"line\": {} }}",
+            esc(&root.file),
+            esc(&root.name),
+            root.line
+        );
+        s.push_str(if i + 1 < r.roots.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"findings\": [\n");
+    for (i, v) in r.violations.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"pattern\": \"{}\", \"message\": \"{}\" }}",
+            esc(&v.file),
+            v.line,
+            v.rule,
+            esc(&v.pattern),
+            esc(&v.message)
+        );
+        s.push_str(if i + 1 < r.violations.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"allow\": [\n");
+    for (i, e) in r.allow_entries.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"rule\": \"{}\", \"path\": \"{}\", \"frag\": \"{}\", \"expires\": \"{}\", \"status\": \"{}\", \"reason\": \"{}\" }}",
+            esc(&e.rule),
+            esc(&e.path),
+            esc(&e.fragment),
+            esc(&e.expires_text),
+            e.status,
+            esc(&e.reason)
+        );
+        s.push_str(if i + 1 < r.allow_entries.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Collapse the multi-line indented rule summaries to single-space text so
+/// the JSON stays readable and stable regardless of source formatting.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}

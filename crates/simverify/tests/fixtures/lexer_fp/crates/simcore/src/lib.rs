@@ -1,0 +1,19 @@
+//! Doc text mentions Instant::now and SystemTime freely, plus panic!.
+// A line comment with Instant::now, HashMap and .unwrap() in it.
+/* A block comment: SystemTime::now() /* nested: thread_rng() */ done. */
+
+/// Returns prose that *spells* forbidden names inside string literals.
+pub fn describe() -> String {
+    let cooked = "Instant::now() and SystemTime::now() in a string";
+    let raw = r#"panic!("boom") and .unwrap() in a raw string"#;
+    format!("{cooked} {raw}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+        let _ = std::time::SystemTime::now();
+    }
+}

@@ -1,0 +1,4 @@
+// PURITY-ROOT: fixture entry, two module hops above the violation
+pub fn entry(seed: u64) -> u64 {
+    seed ^ helper_b()
+}

@@ -1,0 +1,3 @@
+pub fn helper_b() -> u64 {
+    helper_c()
+}

@@ -1,0 +1,3 @@
+pub fn helper_c() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,9 @@
+// PURITY-ROOT: fixture entry
+pub fn entry(seed: u64) -> u64 {
+    let t = std::time::Instant::now();
+    seed.wrapping_add(t.elapsed().as_nanos() as u64)
+}
+
+pub fn unreached_ok() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,10 @@
+// PURITY-ROOT: fixture entry
+pub fn entry() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn unreached_ok() -> u64 {
+    let _ = OsRng;
+    0
+}

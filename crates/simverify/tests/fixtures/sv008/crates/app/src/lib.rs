@@ -1,0 +1,17 @@
+// PURITY-ROOT: fixture entry
+pub fn entry(keys: &[u64]) -> usize {
+    let mut m = std::collections::HashMap::new();
+    for k in keys {
+        m.insert(*k, ());
+    }
+    m.len()
+}
+
+// PURITY-ROOT: deterministic twin
+pub fn entry_ok(keys: &[u64]) -> usize {
+    let mut m = std::collections::BTreeMap::new();
+    for k in keys {
+        m.insert(*k, ());
+    }
+    m.len()
+}

@@ -1,0 +1,11 @@
+// PURITY-ROOT: fixture entry
+pub fn entry() -> u64 {
+    let m = std::sync::Mutex::new(7u64);
+    let v = *m.lock().unwrap();
+    v
+}
+
+pub fn unreached_ok() -> u64 {
+    static mut COUNTER: u64 = 0;
+    unsafe { COUNTER }
+}

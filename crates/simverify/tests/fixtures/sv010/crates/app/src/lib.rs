@@ -1,0 +1,9 @@
+// PURITY-ROOT: fixture entry
+pub fn entry(path: &str) -> usize {
+    std::fs::read_to_string(path).map(|s| s.len()).unwrap_or(0)
+}
+
+// PURITY-ROOT: deterministic twin
+pub fn entry_ok(config: &str) -> usize {
+    config.len()
+}

@@ -1,0 +1,9 @@
+// PURITY-ROOT: fixture entry
+pub fn entry(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+// PURITY-ROOT: deterministic twin
+pub fn entry_ok(xs: &mut [u64]) {
+    xs.sort_by(|a, b| a.cmp(b));
+}

@@ -1,0 +1,11 @@
+// PURITY-ROOT: fixture entry
+pub fn entry() -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(1u64).ok();
+    rx.recv().unwrap_or(0)
+}
+
+// PURITY-ROOT: deterministic twin
+pub fn entry_ok(parts: &[u64]) -> u64 {
+    parts.iter().sum()
+}

@@ -1,0 +1,141 @@
+//! Unit suite for the call-graph approximation: marker and trait roots,
+//! multi-hop reachability, diamond imports, `use ... as` aliases, and the
+//! deliberate over-approximation of trait-method dispatch.
+
+use simverify::graph::Graph;
+use simverify::lex::PreparedFile;
+
+fn graph_of(files: &[(&str, &str)]) -> (Vec<PreparedFile<'static>>, Graph) {
+    let prepared: Vec<PreparedFile<'static>> = files
+        .iter()
+        .map(|(p, s)| PreparedFile::new(p.to_string(), Box::leak(s.to_string().into_boxed_str())))
+        .collect();
+    let graph = Graph::build(&prepared);
+    (prepared, graph)
+}
+
+fn reachable_names(g: &Graph) -> Vec<String> {
+    let reach = g.reachable();
+    g.fns
+        .iter()
+        .zip(&reach)
+        .filter(|(_, &r)| r)
+        .map(|(f, _)| f.name.clone())
+        .collect()
+}
+
+#[test]
+fn marker_comment_declares_a_root() {
+    let (_, g) = graph_of(&[(
+        "crates/a/src/lib.rs",
+        "// PURITY-ROOT: entry point\npub fn entry() { helper(); }\nfn helper() {}\nfn unrelated() {}\n",
+    )]);
+    let names = reachable_names(&g);
+    assert!(names.contains(&"entry".into()) && names.contains(&"helper".into()));
+    assert!(!names.contains(&"unrelated".into()));
+}
+
+#[test]
+fn reachability_crosses_module_and_file_hops() {
+    // Two hops across files: entry -> mid -> leaf.
+    let (_, g) = graph_of(&[
+        ("crates/a/src/lib.rs", "// PURITY-ROOT\npub fn entry() { mid(); }\n"),
+        ("crates/a/src/mid.rs", "pub fn mid() { leaf(); }\n"),
+        ("crates/b/src/leaf.rs", "pub fn leaf() { let _ = 1; }\nfn island() {}\n"),
+    ]);
+    let names = reachable_names(&g);
+    for n in ["entry", "mid", "leaf"] {
+        assert!(names.contains(&n.to_string()), "missing {n}: {names:?}");
+    }
+    assert!(!names.contains(&"island".into()));
+}
+
+#[test]
+fn diamond_imports_converge() {
+    // entry calls left() and right(); both call shared(). shared must be
+    // reachable exactly once in the set (no duplication, no miss).
+    let (_, g) = graph_of(&[
+        ("crates/a/src/lib.rs", "// PURITY-ROOT\npub fn entry() { left(); right(); }\n"),
+        ("crates/a/src/l.rs", "pub fn left() { shared(); }\n"),
+        ("crates/a/src/r.rs", "pub fn right() { shared(); }\n"),
+        ("crates/a/src/s.rs", "pub fn shared() {}\n"),
+    ]);
+    let names = reachable_names(&g);
+    assert_eq!(names.iter().filter(|n| *n == "shared").count(), 1);
+}
+
+#[test]
+fn use_as_aliases_expand_to_the_original_name() {
+    let (_, g) = graph_of(&[
+        (
+            "crates/a/src/lib.rs",
+            "use crate::real_impl as fast;\n// PURITY-ROOT\npub fn entry() { fast(); }\n",
+        ),
+        ("crates/a/src/imp.rs", "pub fn real_impl() {}\n"),
+    ]);
+    let names = reachable_names(&g);
+    assert!(names.contains(&"real_impl".into()), "alias edge missing: {names:?}");
+}
+
+#[test]
+fn trait_impl_methods_of_root_traits_are_roots() {
+    let (_, g) = graph_of(&[(
+        "crates/p/src/policy.rs",
+        "impl Balancer for MyPolicy {\n    fn on_sample(&mut self) { helper(); }\n}\nfn helper() {}\nfn cold() {}\n",
+    )]);
+    let names = reachable_names(&g);
+    assert!(names.contains(&"on_sample".into()) && names.contains(&"helper".into()));
+    assert!(!names.contains(&"cold".into()));
+}
+
+#[test]
+fn trait_method_dispatch_over_approximates() {
+    // A reachable `.tick()` call site edges to EVERY fn named tick — both
+    // impls are held to the rules, which is the safe direction.
+    let (_, g) = graph_of(&[
+        ("crates/a/src/lib.rs", "// PURITY-ROOT\npub fn entry(x: &dyn Clock) { x.tick(); }\n"),
+        ("crates/a/src/one.rs", "impl Clock for Fast {\n    fn tick(&self) {}\n}\n"),
+        ("crates/a/src/two.rs", "impl Clock for Slow {\n    fn tick(&self) {}\n}\n"),
+    ]);
+    let reach = g.reachable();
+    let ticks = g
+        .fns
+        .iter()
+        .zip(&reach)
+        .filter(|(f, &r)| f.name == "tick" && r)
+        .count();
+    assert_eq!(ticks, 2, "both tick impls must be reachable");
+}
+
+#[test]
+fn marker_on_an_impl_block_roots_every_method() {
+    let (_, g) = graph_of(&[(
+        "crates/a/src/lib.rs",
+        "// PURITY-ROOT: whole block\nimpl Engine {\n    fn step(&mut self) {}\n    fn drain(&mut self) {}\n}\n",
+    )]);
+    let names = reachable_names(&g);
+    assert!(names.contains(&"step".into()) && names.contains(&"drain".into()));
+}
+
+#[test]
+fn test_code_contributes_no_fns_or_edges() {
+    let (_, g) = graph_of(&[(
+        "crates/a/src/lib.rs",
+        "// PURITY-ROOT\npub fn entry() {}\n#[cfg(test)]\nmod tests {\n    fn t() { entry(); secret(); }\n}\nfn secret() {}\n",
+    )]);
+    assert!(g.fns.iter().all(|f| f.name != "t"), "test fn extracted");
+    assert!(!reachable_names(&g).contains(&"secret".into()));
+}
+
+#[test]
+fn roots_report_file_and_line() {
+    let (files, g) = graph_of(&[(
+        "crates/cluster/src/node.rs",
+        "// PURITY-ROOT\npub fn run_node_sched() {}\n",
+    )]);
+    let roots = g.roots();
+    assert_eq!(roots.len(), 1);
+    let f = &g.fns[roots[0]];
+    assert_eq!(files[f.file].path, "crates/cluster/src/node.rs");
+    assert_eq!(f.line, 2);
+}

@@ -1,0 +1,107 @@
+//! Unit tests for the hand-rolled lexer: token boundaries, comment and
+//! string classification, `#[cfg(test)]` masking — the machinery that
+//! kills the grep-era false-positive class.
+
+use simverify::lex::{lex, test_mask, PreparedFile, TokKind};
+
+fn code_texts(src: &str) -> Vec<String> {
+    lex(src).iter().filter(|t| t.is_code()).map(|t| t.text.to_string()).collect()
+}
+
+#[test]
+fn idents_puncts_and_paths_fuse_correctly() {
+    let toks = code_texts("let t = std::time::Instant::now();");
+    assert_eq!(toks, ["let", "t", "=", "std", "::", "time", "::", "Instant", "::", "now", "(", ")", ";"]);
+}
+
+#[test]
+fn line_and_block_comments_are_not_code() {
+    let src = "// Instant::now in a comment\n/* and SystemTime in /* a nested */ block */\nfn f() {}\n";
+    let toks = code_texts(src);
+    assert_eq!(toks, ["fn", "f", "(", ")", "{", "}"]);
+    let comments = lex(src).iter().filter(|t| t.kind == TokKind::Comment).count();
+    assert_eq!(comments, 2);
+}
+
+#[test]
+fn doc_comments_are_classified_separately() {
+    let src = "/// Uses Instant::now? No.\n//! inner doc\n/** block doc */\nfn f() {}\n";
+    let kinds: Vec<_> = lex(src).iter().map(|t| t.kind).collect();
+    assert_eq!(kinds[..3], [TokKind::DocComment, TokKind::DocComment, TokKind::DocComment]);
+}
+
+#[test]
+fn strings_cover_cooked_raw_and_byte_forms() {
+    let src = r####"fn f() { let a = "Instant::now"; let b = r#"panic!("x")"#; let c = b"SystemTime"; }"####;
+    for t in lex(src) {
+        if t.kind == TokKind::Str {
+            assert!(t.text.contains("Instant") || t.text.contains("panic") || t.text.contains("SystemTime"));
+        }
+    }
+    // None of the forbidden names survive as identifier tokens.
+    let idents: Vec<_> = code_texts(src);
+    assert!(!idents.iter().any(|t| t == "Instant" || t == "panic" || t == "SystemTime"), "{idents:?}");
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    let toks = code_texts(r#"let s = "quote \" then Instant::now"; done();"#);
+    assert!(!toks.iter().any(|t| t == "Instant"));
+    assert!(toks.iter().any(|t| t == "done"));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+    let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+    assert_eq!(lifetimes, 3);
+    assert!(toks.iter().all(|t| t.kind != TokKind::Char));
+    // ...while real char literals are.
+    let toks = lex("let c = 'x'; let esc = '\\n';");
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "/* one\ntwo\nthree */\nfn f() {}\n";
+    let f = lex(src).iter().find(|t| t.text == "fn").map(|t| t.line);
+    assert_eq!(f, Some(4));
+}
+
+#[test]
+fn cfg_test_items_are_masked_to_their_closing_brace() {
+    let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { bad(); }\n}\nfn also_live() {}\n";
+    let toks = lex(src);
+    let mask = test_mask(&toks);
+    let masked_texts: Vec<_> =
+        toks.iter().zip(&mask).filter(|(_, &m)| m).map(|(t, _)| t.text).collect();
+    assert!(masked_texts.contains(&"bad"));
+    assert!(!masked_texts.contains(&"live"));
+    assert!(!masked_texts.contains(&"also_live"));
+}
+
+#[test]
+fn bare_test_attr_and_stacked_attrs_are_masked() {
+    let src = "#[test]\n#[ignore]\nfn t() { bad(); }\nfn live() {}\n";
+    let toks = lex(src);
+    let mask = test_mask(&toks);
+    let masked: Vec<_> = toks.iter().zip(&mask).filter(|(_, &m)| m).map(|(t, _)| t.text).collect();
+    assert!(masked.contains(&"bad") && masked.contains(&"ignore"));
+    assert!(!masked.contains(&"live"));
+}
+
+#[test]
+fn cfg_not_test_is_shipping_code() {
+    let src = "#[cfg(not(test))]\nfn ship() { real(); }\n";
+    let toks = lex(src);
+    let mask = test_mask(&toks);
+    assert!(mask.iter().all(|&m| !m), "cfg(not(test)) must not be masked");
+}
+
+#[test]
+fn prepared_file_comment_near_finds_markers_in_window() {
+    let src = "// PURITY-ROOT: entry\n\n\nfn entry() {}\n";
+    let f = PreparedFile::new("crates/x/src/lib.rs", src);
+    assert!(f.comment_near(4, 3, "PURITY-ROOT"));
+    assert!(!f.comment_near(4, 2, "PURITY-ROOT"), "outside the window");
+}

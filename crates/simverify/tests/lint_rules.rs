@@ -149,18 +149,26 @@ fn violation_renders_file_line_rule() {
 
 #[test]
 fn allowlist_suppresses_and_tracks_usage() {
-    let mut allow =
-        Allowlist::parse("# comment\nSV001 crates/simcore/src/event.rs Instant::now\nSV003 crates/never/matched.rs panic!\n")
-            .expect("valid allowlist");
+    let mut allow = Allowlist::parse(
+        "# comment\n\
+         SV001 path=crates/simcore/src/event.rs frag=Instant::now expires=2030-01-01 reason=test entry\n\
+         SV003 path=crates/never/matched.rs frag=panic! expires=2030-01-01 reason=stale on purpose\n",
+    )
+    .expect("valid allowlist");
     let src = "fn f() { let t = Instant::now(); }\n";
     let v = lint_source("crates/simcore/src/event.rs", src, RULES, &mut allow);
     assert!(v.is_empty(), "allowlisted line still flagged: {v:?}");
-    let unused: Vec<_> = allow.unused().iter().map(|e| e.rule.clone()).collect();
+    let today = simverify::lint::Date(0);
+    let unused: Vec<_> = allow.unused(today).iter().map(|e| e.rule.clone()).collect();
     assert_eq!(unused, vec!["SV003"], "only the unmatched entry is stale");
 }
 
 #[test]
 fn allowlist_rejects_malformed_lines() {
+    // The pre-§13 three-column format is rejected outright.
+    assert!(Allowlist::parse("SV001 crates/x.rs Instant::now\n").is_err());
     assert!(Allowlist::parse("SV001 onlytwo\n").is_err());
+    // Justified entries need every field.
+    assert!(Allowlist::parse("SV001 path=x frag=y expires=2030-01-01\n").is_err());
     assert!(Allowlist::parse("").expect("empty ok").entries.is_empty());
 }

@@ -1,0 +1,134 @@
+//! Fixture-workspace tests for the reachability rule family (SV006–SV012),
+//! the lexer false-positive guarantees, and allowlist expiry semantics.
+//!
+//! Each fixture under `tests/fixtures/<case>/` is a miniature workspace
+//! (`crates/<crate>/src/*.rs`, optional `simverify.allow`) scanned with
+//! [`simverify::lint::lint_workspace_at`] at a pinned date, so outcomes
+//! are independent of when the suite runs.
+
+use simverify::lint::{lint_workspace_at, Date, LintReport};
+use std::path::PathBuf;
+
+fn run_fixture(case: &str) -> LintReport {
+    run_fixture_at(case, Date::parse("2026-08-09").unwrap())
+}
+
+fn run_fixture_at(case: &str, today: Date) -> LintReport {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(case);
+    lint_workspace_at(&root, today).unwrap_or_else(|e| panic!("fixture {case}: {e}"))
+}
+
+/// `(rule, file, line)` triples of the findings, for exact assertions.
+fn findings(r: &LintReport) -> Vec<(String, String, usize)> {
+    r.violations.iter().map(|v| (v.rule.to_string(), v.file.clone(), v.line)).collect()
+}
+
+// ----------------------------------------------------- SV006–SV012 fixtures
+
+#[test]
+fn sv006_flags_reachable_wall_clock_and_ignores_unreachable() {
+    let r = run_fixture("sv006");
+    assert_eq!(
+        findings(&r),
+        vec![("SV006".into(), "crates/app/src/lib.rs".into(), 3)],
+        "the unreached fn holds the same pattern and must stay silent"
+    );
+}
+
+#[test]
+fn sv007_flags_ambient_randomness() {
+    let r = run_fixture("sv007");
+    assert_eq!(findings(&r), vec![("SV007".into(), "crates/app/src/lib.rs".into(), 3)]);
+}
+
+#[test]
+fn sv008_flags_hash_collections_and_passes_btree() {
+    let r = run_fixture("sv008");
+    assert_eq!(
+        findings(&r),
+        vec![("SV008".into(), "crates/app/src/lib.rs".into(), 3)],
+        "the BTreeMap twin entry point must be clean"
+    );
+}
+
+#[test]
+fn sv009_flags_shared_mutable_state() {
+    let r = run_fixture("sv009");
+    let f = findings(&r);
+    assert_eq!(f.len(), 2, "Mutex::new and .lock(): {f:?}");
+    assert!(f.iter().all(|(rule, file, _)| rule == "SV009" && file == "crates/app/src/lib.rs"));
+    assert!(
+        !f.iter().any(|(_, _, line)| *line > 6),
+        "static mut in the unreached fn must stay silent: {f:?}"
+    );
+}
+
+#[test]
+fn sv010_flags_filesystem_reads() {
+    let r = run_fixture("sv010");
+    assert_eq!(findings(&r), vec![("SV010".into(), "crates/app/src/lib.rs".into(), 3)]);
+}
+
+#[test]
+fn sv011_flags_float_ordering() {
+    let r = run_fixture("sv011");
+    assert_eq!(findings(&r), vec![("SV011".into(), "crates/app/src/lib.rs".into(), 3)]);
+}
+
+#[test]
+fn sv012_flags_unordered_channels() {
+    let r = run_fixture("sv012");
+    assert_eq!(findings(&r), vec![("SV012".into(), "crates/app/src/lib.rs".into(), 3)]);
+}
+
+// -------------------------------------------------------------- reachability
+
+#[test]
+fn violation_two_module_hops_below_a_root_is_found() {
+    let r = run_fixture("reach_two_hops");
+    assert_eq!(
+        findings(&r),
+        vec![("SV006".into(), "crates/app/src/c.rs".into(), 2)],
+        "entry -> helper_b -> helper_c chain must carry reachability"
+    );
+    assert_eq!(r.roots.len(), 1);
+    assert_eq!(r.roots[0].name, "entry");
+    assert!(r.reachable_fns >= 3, "entry, helper_b, helper_c: {}", r.reachable_fns);
+}
+
+// -------------------------------------------------- lexer false positives
+
+#[test]
+fn patterns_in_comments_strings_and_tests_never_fire() {
+    let r = run_fixture("lexer_fp");
+    assert!(
+        r.violations.is_empty(),
+        "grep-era false positives resurfaced: {:?}",
+        r.violations
+    );
+    assert_eq!(r.files_scanned, 1);
+}
+
+// ------------------------------------------------------- allowlist expiry
+
+#[test]
+fn expired_entries_stop_suppressing_and_fail_the_run() {
+    let r = run_fixture_at("allow_expiry", Date::parse("2026-08-09").unwrap());
+    assert_eq!(
+        findings(&r),
+        vec![("SV006".into(), "crates/sim/src/lib.rs".into(), 3)],
+        "the expired entry must no longer suppress"
+    );
+    assert_eq!(r.expired_allow.len(), 1);
+    assert_eq!(r.unused_allow.len(), 1, "the thread_rng entry matches nothing");
+    assert!(!r.is_passing());
+}
+
+#[test]
+fn live_entries_suppress_but_stale_ones_still_fail() {
+    let r = run_fixture_at("allow_expiry", Date::parse("2025-12-01").unwrap());
+    assert!(r.is_clean(), "before expiry the entry suppresses: {:?}", r.violations);
+    assert!(r.expired_allow.is_empty());
+    assert_eq!(r.unused_allow.len(), 1);
+    assert!(!r.is_passing(), "a stale entry alone must fail the run");
+}
