@@ -16,21 +16,28 @@
 //!   Linux-like CFS, or static-priority mode); node failures hit the
 //!   *queued* system, so re-placement competes with pending jobs;
 //! * [`stats`] — fleet-wide wait/turnaround/slowdown/utilization/backfill
-//!   figures.
+//!   figures;
+//! * [`checkpoint`] — crash-consistent checkpoint/restore: versioned,
+//!   checksummed images of the engine state with atomic on-disk rotation;
+//!   [`resume_batch`] continues one to a trace byte-identical to the
+//!   uninterrupted run.
 //!
 //! Everything is a pure function of `(stream, config, fault)` — see the
 //! determinism argument in [`sim`].
 
 pub mod arrivals;
+pub mod checkpoint;
 pub mod discipline;
 pub mod job;
 pub mod sim;
 pub mod stats;
 
 pub use arrivals::{heavy_light_mix, poisson_stream, JobTemplate, StreamConfig};
+pub use checkpoint::{BatchCheckpoint, CheckpointPolicy, CheckpointStore, StoreError};
 pub use discipline::Discipline;
 pub use job::BatchJob;
 pub use sim::{
-    run_batch, BatchConfig, BatchEvent, BatchFault, BatchOutcome, JobRecord, ReservationRecord,
+    resume_batch, run_batch, run_batch_checkpointed, run_batch_until, BatchConfig, BatchEvent,
+    BatchFault, BatchOutcome, JobRecord, ReservationRecord,
 };
 pub use stats::FleetStats;

@@ -32,16 +32,18 @@
 //! earlier completion improves it.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
 
 use cluster::{
     place, run_node_sched, run_node_traced, ClusterOutcome, ClusterResult, JobSpec, LocalSched,
     NodeFailureRecord, Placement, PlacementStrategy,
 };
-use faultsim::{NodeFailSpec, SplitMix64};
-use simcore::{Pool, PoolCounters, SimDuration, SimTime};
+use faultsim::{NodeFailSpec, SplitMix64, TaskAbortSpec};
+use simcore::{Pool, PoolCounters, SimDuration, SimTime, SupervisePolicy, TaskFailure};
 use simverify::conformance::{check_with_metrics, CheckConfig, Report};
 use telemetry::{MetricsRegistry, MetricsSnapshot};
 
+use crate::checkpoint::{BatchCheckpoint, CheckpointPolicy};
 use crate::discipline::Discipline;
 use crate::job::BatchJob;
 
@@ -62,6 +64,17 @@ pub struct BatchConfig {
     /// Worker threads for per-node kernel runs (1 = serial). Any value
     /// produces byte-identical output; >1 only changes wall-clock time.
     pub threads: usize,
+    /// Supervisor retry budget: a per-node kernel measurement that panics
+    /// is retried up to this many times before the job is quarantined into
+    /// a typed `task-quarantined` degradation.
+    pub retry_limit: u32,
+    /// Host wall-clock watchdog per measurement attempt; a hung attempt
+    /// becomes a typed `task-timeout` degradation instead of wedging the
+    /// fleet. `None` disables the watchdog (attempts run inline).
+    pub watchdog_secs: Option<f64>,
+    /// Injected transient task-abort fault (faultsim `taskabort:` class),
+    /// exercised by the supervisor's retry/quarantine path.
+    pub abort: Option<TaskAbortSpec>,
 }
 
 impl Default for BatchConfig {
@@ -75,6 +88,9 @@ impl Default for BatchConfig {
             seed: 2008,
             verify_jobs: false,
             threads: 1,
+            retry_limit: 2,
+            watchdog_secs: None,
+            abort: None,
         }
     }
 }
@@ -231,6 +247,11 @@ struct SegmentRun {
     node_secs: Vec<f64>,
     service: f64,
     reports: Vec<Report>,
+    /// Set when the supervisor gave up on at least one node of this
+    /// segment (`task-quarantined` / `task-timeout`, first failing node in
+    /// node order wins). A failed segment has no usable service time: the
+    /// job degrades with this reason instead of starting.
+    failed: Option<&'static str>,
 }
 
 /// The service-time oracle: runs each distinct (job, remaining
@@ -248,6 +269,12 @@ struct Oracle {
     internode_latency: f64,
     seed: u64,
     verify_jobs: bool,
+    /// Supervisor policy for every node measurement: bounded deterministic
+    /// retry on panic, optional wall-clock watchdog per attempt.
+    policy: SupervisePolicy,
+    /// Injected transient abort (faultsim `taskabort:`), keyed on (job,
+    /// local node, attempt) so outcomes are thread-count-invariant.
+    abort: Option<TaskAbortSpec>,
     pool: Pool,
 }
 
@@ -279,42 +306,77 @@ impl Oracle {
         let sched = self.sched;
         let verify = self.verify_jobs;
         let iterations = spec.iterations;
+        let abort = self.abort.filter(|a| a.job == id);
+        let watchdog = self.policy.timeout.is_some();
         let tasks: Vec<_> = placement
             .nodes
             .iter()
             .zip(&seeds)
-            .map(|(slots, &seed)| {
+            .enumerate()
+            .map(|(local, (slots, &seed))| {
                 let loads: Vec<f64> = slots.iter().map(|&r| spec.rank_loads[r]).collect();
-                move || match seed {
-                    None => (0.0, None),
-                    Some(seed) if verify => {
-                        let traced = run_node_traced(&loads, iterations, sched, seed);
-                        let report = check_with_metrics(
-                            &traced.records,
-                            &traced.metrics,
-                            &CheckConfig::default(),
-                        );
-                        (traced.run.exec_secs, Some(report))
+                let abort_here = abort.filter(|a| a.node == local);
+                move |attempt: u32| {
+                    if let Some(a) = abort_here {
+                        if attempt < a.aborts {
+                            if a.hang && watchdog {
+                                // Wedge: the watchdog — not the unwind
+                                // path — must turn this attempt into a
+                                // typed timeout. Without a watchdog the
+                                // fault falls through to a plain panic so
+                                // an unguarded run can never deadlock.
+                                std::thread::sleep(Duration::from_secs(3600));
+                            }
+                            panic!("faultsim: injected task abort (attempt {attempt})");
+                        }
                     }
-                    Some(seed) => {
-                        (run_node_sched(&loads, iterations, sched, seed).exec_secs, None)
+                    match seed {
+                        None => (0.0, None),
+                        Some(seed) if verify => {
+                            let traced = run_node_traced(&loads, iterations, sched, seed);
+                            let report = check_with_metrics(
+                                &traced.records,
+                                &traced.metrics,
+                                &CheckConfig::default(),
+                            );
+                            (traced.run.exec_secs, Some(report))
+                        }
+                        Some(seed) => {
+                            (run_node_sched(&loads, iterations, sched, seed).exec_secs, None)
+                        }
                     }
                 }
             })
             .collect();
         // Submission order == node order, so the merge below folds node
-        // results exactly as the serial loop would.
+        // results exactly as the serial loop would. The supervisor absorbs
+        // transient aborts (retries are keyed on the attempt index, so a
+        // retried node computes the same pure value a clean run would) and
+        // converts persistent failures into typed per-node outcomes.
         let mut node_secs = Vec::with_capacity(placement.nodes.len());
         let mut reports = Vec::new();
-        for (secs, report) in self.pool.run(tasks) {
-            node_secs.push(secs);
-            if let Some(r) = report {
-                reports.push(r);
+        let mut failed: Option<&'static str> = None;
+        for outcome in self.pool.run_supervised(tasks, self.policy) {
+            match outcome {
+                Ok((secs, report)) => {
+                    node_secs.push(secs);
+                    if let Some(r) = report {
+                        reports.push(r);
+                    }
+                }
+                Err(TaskFailure::Quarantined { .. }) => {
+                    node_secs.push(0.0);
+                    failed.get_or_insert("task-quarantined");
+                }
+                Err(TaskFailure::TaskTimeout { .. }) => {
+                    node_secs.push(0.0);
+                    failed.get_or_insert("task-timeout");
+                }
             }
         }
         let slowest = node_secs.iter().cloned().fold(0.0, f64::max);
         let service = slowest + self.internode_latency * spec.iterations as f64;
-        let run = SegmentRun { placement, node_secs, service, reports };
+        let run = SegmentRun { placement, node_secs, service, reports, failed };
         self.cache.insert((id, spec.iterations), run.clone());
         run
     }
@@ -327,24 +389,28 @@ impl Oracle {
     }
 }
 
-/// Queue-side state of one submitted job.
-struct Tracker {
-    job: BatchJob,
+/// Queue-side state of one submitted job. `pub(crate)` (with its fields)
+/// because the checkpoint wire format images this struct directly.
+#[derive(Clone, Debug)]
+pub(crate) struct Tracker {
+    pub(crate) job: BatchJob,
     /// The spec of the next (or currently running) segment; iterations
     /// shrink when a node failure forces a requeue.
-    remaining: JobSpec,
-    first_start: Option<SimTime>,
-    node_secs_held: f64,
-    run_secs: f64,
-    iters_done: u32,
-    requeues: u32,
-    backfilled: bool,
+    pub(crate) remaining: JobSpec,
+    pub(crate) first_start: Option<SimTime>,
+    pub(crate) node_secs_held: f64,
+    pub(crate) run_secs: f64,
+    pub(crate) iters_done: u32,
+    pub(crate) requeues: u32,
+    pub(crate) backfilled: bool,
     /// Restart overhead owed on the next admission (set by a requeue).
-    restart_due: f64,
-    failure: Option<(usize, u32)>,
+    pub(crate) restart_due: f64,
+    pub(crate) failure: Option<(usize, u32)>,
 }
 
-/// One admitted segment occupying nodes.
+/// One admitted segment occupying nodes. Checkpoints store only
+/// `(id, nodes, start, end)`: the attached [`SegmentRun`] re-derives from
+/// the pure, memoized oracle on resume.
 struct Running {
     id: u64,
     nodes: Vec<usize>,
@@ -353,9 +419,9 @@ struct Running {
     run: SegmentRun,
 }
 
-struct Fleet {
-    up: Vec<bool>,
-    busy: Vec<bool>,
+pub(crate) struct Fleet {
+    pub(crate) up: Vec<bool>,
+    pub(crate) busy: Vec<bool>,
 }
 
 impl Fleet {
@@ -400,132 +466,174 @@ fn arrival_time(job: &BatchJob) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs_f64(job.arrival)
 }
 
-/// Run a batch stream to completion. Never panics on the fault path: jobs
-/// that cannot be (re)placed degrade with partial accounting instead.
-// PURITY-ROOT: per-job node kernels fan out from here; the outcome must be
-// a pure function of (stream, cfg, fault) regardless of cfg.threads.
-pub fn run_batch(
-    stream: &[BatchJob],
-    cfg: &BatchConfig,
-    fault: Option<&BatchFault>,
-) -> BatchOutcome {
-    let registry = MetricsRegistry::new();
-    let ctr = Counters::new(&registry);
+/// The complete mutable state of one batch run between loop iterations —
+/// exactly what a checkpoint captures. Every field is either plain data
+/// or re-derivable from plain data plus the pure oracle.
+pub(crate) struct EngineState {
+    pub(crate) arrivals: VecDeque<BatchJob>,
+    pub(crate) fleet: Fleet,
+    pub(crate) trackers: BTreeMap<u64, Tracker>,
+    pub(crate) queue: VecDeque<u64>,
+    running: Vec<Running>,
+    pub(crate) events: Vec<BatchEvent>,
+    pub(crate) reservations: BTreeMap<u64, ReservationRecord>,
+    pub(crate) records: BTreeMap<u64, JobRecord>,
+    /// Jobs (in admit order) whose kernel conformance must be reported;
+    /// reports re-derive from the memoized oracle at outcome build.
+    pub(crate) conformance_src: Vec<(u64, JobSpec)>,
+    pub(crate) completions: u32,
+    pub(crate) fault_armed: Option<BatchFault>,
+    pub(crate) now: SimTime,
+}
+
+fn make_oracle(cfg: &BatchConfig, pool_registry: &MetricsRegistry) -> Oracle {
     // Pool telemetry includes host wall-clock busy time, so it lives on
     // its own registry, snapshotted into the (non-deterministic)
     // `pool_metrics` field rather than the byte-compared `metrics`.
-    let pool_registry = MetricsRegistry::new();
     let pool =
-        Pool::with_counters(cfg.threads, PoolCounters::register(&pool_registry, "exec.pool"));
-
-    let mut arrivals: VecDeque<BatchJob> = {
-        let mut v: Vec<BatchJob> = stream.to_vec();
-        v.sort_by_key(|j| (arrival_time(j), j.id));
-        v.into()
-    };
-
-    let mut oracle = Oracle {
+        Pool::with_counters(cfg.threads, PoolCounters::register(pool_registry, "exec.pool"));
+    Oracle {
         cache: BTreeMap::new(),
         sched: cfg.sched,
         placement: cfg.placement,
         internode_latency: cfg.internode_latency,
         seed: cfg.seed,
         verify_jobs: cfg.verify_jobs,
+        policy: SupervisePolicy {
+            max_attempts: cfg.retry_limit.saturating_add(1),
+            timeout: cfg.watchdog_secs.map(Duration::from_secs_f64),
+        },
+        abort: cfg.abort,
         pool,
+    }
+}
+
+fn init_state(
+    stream: &[BatchJob],
+    cfg: &BatchConfig,
+    fault: Option<&BatchFault>,
+    ctr: &Counters,
+) -> EngineState {
+    let arrivals: VecDeque<BatchJob> = {
+        let mut v: Vec<BatchJob> = stream.to_vec();
+        v.sort_by_key(|j| (arrival_time(j), j.id));
+        v.into()
     };
-    let mut fleet = Fleet { up: vec![true; cfg.num_nodes], busy: vec![false; cfg.num_nodes] };
-    let mut trackers: BTreeMap<u64, Tracker> = BTreeMap::new();
-    let mut queue: VecDeque<u64> = VecDeque::new();
-    let mut running: Vec<Running> = Vec::new();
-    let mut events: Vec<BatchEvent> = Vec::new();
-    let mut reservations: BTreeMap<u64, ReservationRecord> = BTreeMap::new();
-    let mut records: BTreeMap<u64, JobRecord> = BTreeMap::new();
-    let mut conformance: Vec<(u64, Report)> = Vec::new();
-    let mut completions: u32 = 0;
-    let mut fault_armed = fault.filter(|f| f.node < cfg.num_nodes).copied();
-    let mut now = SimTime::ZERO;
-
+    let mut st = EngineState {
+        arrivals,
+        fleet: Fleet { up: vec![true; cfg.num_nodes], busy: vec![false; cfg.num_nodes] },
+        trackers: BTreeMap::new(),
+        queue: VecDeque::new(),
+        running: Vec::new(),
+        events: Vec::new(),
+        reservations: BTreeMap::new(),
+        records: BTreeMap::new(),
+        conformance_src: Vec::new(),
+        completions: 0,
+        fault_armed: fault.filter(|f| f.node < cfg.num_nodes).copied(),
+        now: SimTime::ZERO,
+    };
     // A fault at zero completions hits an idle fleet before any admission.
+    // This fires exactly once at init, so a checkpoint (always captured
+    // after init) never replays it.
     maybe_fire_fault(
-        &mut fault_armed,
-        completions,
-        now,
-        &mut fleet,
-        &mut running,
-        &mut trackers,
-        &mut queue,
-        &mut records,
-        &mut events,
-        &ctr,
+        &mut st.fault_armed,
+        st.completions,
+        st.now,
+        &mut st.fleet,
+        &mut st.running,
+        &mut st.trackers,
+        &mut st.queue,
+        &mut st.records,
+        &mut st.events,
+        ctr,
     );
+    st
+}
 
+/// Drive the event loop until the stream drains (returns `false`) or
+/// `stop` says to halt at a loop boundary (returns `true`). The loop
+/// boundary — before `schedule` — is the one point where the state is
+/// closed over plain data, which is what makes it the capture point: both
+/// the interrupted and the resumed run re-enter `schedule` with identical
+/// state, so their continuations are byte-identical.
+fn run_engine(
+    cfg: &BatchConfig,
+    oracle: &mut Oracle,
+    ctr: &Counters,
+    st: &mut EngineState,
+    mut stop: impl FnMut(&EngineState) -> bool,
+) -> bool {
     loop {
+        if stop(st) {
+            return true;
+        }
         schedule(
             cfg,
-            now,
-            &mut oracle,
-            &mut fleet,
-            &mut trackers,
-            &mut queue,
-            &mut running,
-            &mut records,
-            &mut reservations,
-            &mut conformance,
-            &mut events,
-            &ctr,
+            st.now,
+            oracle,
+            &mut st.fleet,
+            &mut st.trackers,
+            &mut st.queue,
+            &mut st.running,
+            &mut st.records,
+            &mut st.reservations,
+            &mut st.conformance_src,
+            &mut st.events,
+            ctr,
         );
 
-        let next_finish = running.iter().map(|r| r.end).min().unwrap_or(SimTime::MAX);
-        let next_arrival = arrivals.front().map_or(SimTime::MAX, arrival_time);
+        let next_finish = st.running.iter().map(|r| r.end).min().unwrap_or(SimTime::MAX);
+        let next_arrival = st.arrivals.front().map_or(SimTime::MAX, arrival_time);
         if next_finish == SimTime::MAX && next_arrival == SimTime::MAX {
-            break;
+            return false;
         }
-        now = next_finish.min(next_arrival);
+        st.now = next_finish.min(next_arrival);
 
         // Completions first (freeing nodes for same-instant arrivals), in
         // id order for determinism. Timestamps are exact nanoseconds, so
         // "same instant" is integer equality.
         let mut finished: Vec<Running> = Vec::new();
         let mut keep: Vec<Running> = Vec::new();
-        for r in running.drain(..) {
-            if r.end <= now {
+        for r in st.running.drain(..) {
+            if r.end <= st.now {
                 finished.push(r);
             } else {
                 keep.push(r);
             }
         }
-        running = keep;
+        st.running = keep;
         finished.sort_by_key(|r| r.id);
         for seg in finished {
-            complete(seg, now, &mut fleet, &mut trackers, &mut records, &mut events, &ctr, &mut oracle);
-            completions += 1;
+            complete(seg, st.now, &mut st.fleet, &mut st.trackers, &mut st.records, &mut st.events, ctr, oracle);
+            st.completions += 1;
             maybe_fire_fault(
-                &mut fault_armed,
-                completions,
-                now,
-                &mut fleet,
-                &mut running,
-                &mut trackers,
-                &mut queue,
-                &mut records,
-                &mut events,
-                &ctr,
+                &mut st.fault_armed,
+                st.completions,
+                st.now,
+                &mut st.fleet,
+                &mut st.running,
+                &mut st.trackers,
+                &mut st.queue,
+                &mut st.records,
+                &mut st.events,
+                ctr,
             );
         }
 
-        while arrivals.front().is_some_and(|j| arrival_time(j) <= now) {
+        while st.arrivals.front().is_some_and(|j| arrival_time(j) <= st.now) {
             // INVARIANT: guarded by the is_some_and above.
-            let job = arrivals.pop_front().expect("front checked");
+            let job = st.arrivals.pop_front().expect("front checked");
             ctr.submitted.inc();
-            events.push(BatchEvent::Submit {
-                t: now,
+            st.events.push(BatchEvent::Submit {
+                t: st.now,
                 job: job.id,
                 ranks: job.spec.ranks(),
                 nodes: job.nodes_needed(),
             });
             let remaining = job.spec.clone();
-            queue.push_back(job.id);
-            trackers.insert(
+            st.queue.push_back(job.id);
+            st.trackers.insert(
                 job.id,
                 Tracker {
                     job,
@@ -541,27 +649,219 @@ pub fn run_batch(
                 },
             );
         }
-        let depth = queue.len() as i64;
+        let depth = st.queue.len() as i64;
         if depth > ctr.queue_peak.get() {
             ctr.queue_peak.set(depth);
         }
     }
+}
 
+fn finish_outcome(
+    cfg: &BatchConfig,
+    st: EngineState,
+    oracle: &mut Oracle,
+    registry: &MetricsRegistry,
+    pool_registry: &MetricsRegistry,
+) -> BatchOutcome {
+    // Conformance reports re-derive from the pure oracle: for jobs
+    // measured before a checkpoint this is a fresh (memoized) kernel run,
+    // for everything else a cache hit — identical reports either way.
+    let mut conformance: Vec<(u64, Report)> = Vec::new();
+    if cfg.verify_jobs {
+        for (id, spec) in &st.conformance_src {
+            let run = oracle.measure(*id, spec);
+            for rep in run.reports {
+                conformance.push((*id, rep));
+            }
+        }
+    }
     let makespan =
-        events.iter().map(event_time).max().map_or(0.0, |t| t.as_secs_f64());
-    let mut jobs: Vec<JobRecord> = records.into_values().collect();
+        st.events.iter().map(event_time).max().map_or(0.0, |t| t.as_secs_f64());
+    let mut jobs: Vec<JobRecord> = st.records.into_values().collect();
     jobs.sort_by_key(|r| r.id);
     BatchOutcome {
         config_nodes: cfg.num_nodes,
         jobs,
-        events,
-        reservations: reservations.into_values().collect(),
-        failed_nodes: (0..cfg.num_nodes).filter(|&n| !fleet.up[n]).collect(),
+        events: st.events,
+        reservations: st.reservations.into_values().collect(),
+        failed_nodes: (0..cfg.num_nodes).filter(|&n| !st.fleet.up[n]).collect(),
         makespan,
         metrics: registry.snapshot(),
         pool_metrics: pool_registry.snapshot(),
         conformance,
     }
+}
+
+/// Run a batch stream to completion. Never panics on the fault path: jobs
+/// that cannot be (re)placed degrade with partial accounting instead.
+// PURITY-ROOT: per-job node kernels fan out from here; the outcome must be
+// a pure function of (stream, cfg, fault) regardless of cfg.threads.
+pub fn run_batch(
+    stream: &[BatchJob],
+    cfg: &BatchConfig,
+    fault: Option<&BatchFault>,
+) -> BatchOutcome {
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+    let pool_registry = MetricsRegistry::new();
+    let mut oracle = make_oracle(cfg, &pool_registry);
+    let mut st = init_state(stream, cfg, fault, &ctr);
+    run_engine(cfg, &mut oracle, &ctr, &mut st, |_| false);
+    finish_outcome(cfg, st, &mut oracle, &registry, &pool_registry)
+}
+
+/// [`run_batch`] with periodic crash-consistent checkpoints: whenever the
+/// run crosses `policy`'s event/completion cadence (checked at the loop
+/// boundary), a [`BatchCheckpoint`] is captured and handed to `sink`.
+/// The run itself is unaffected — its trace is byte-identical to
+/// [`run_batch`]'s.
+pub fn run_batch_checkpointed(
+    stream: &[BatchJob],
+    cfg: &BatchConfig,
+    fault: Option<&BatchFault>,
+    policy: &CheckpointPolicy,
+    mut sink: impl FnMut(&BatchCheckpoint),
+) -> BatchOutcome {
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+    let pool_registry = MetricsRegistry::new();
+    let mut oracle = make_oracle(cfg, &pool_registry);
+    let mut st = init_state(stream, cfg, fault, &ctr);
+    let mut last_events = 0usize;
+    let mut last_jobs = 0u32;
+    run_engine(cfg, &mut oracle, &ctr, &mut st, |s| {
+        let due_events =
+            policy.every_events.is_some_and(|k| s.events.len() - last_events >= k);
+        let due_jobs = policy.every_jobs.is_some_and(|j| s.completions - last_jobs >= j);
+        if due_events || due_jobs {
+            last_events = s.events.len();
+            last_jobs = s.completions;
+            sink(&capture(cfg, s, ctr.queue_peak.get()));
+        }
+        false
+    });
+    finish_outcome(cfg, st, &mut oracle, &registry, &pool_registry)
+}
+
+/// Run until the trace holds at least `stop_after_events` events (checked
+/// at the loop boundary) and capture a checkpoint there; `None` when the
+/// stream drained first. This is the kill-at-event primitive the recovery
+/// tests and the `--ckpt-smoke` harness are built on.
+pub fn run_batch_until(
+    stream: &[BatchJob],
+    cfg: &BatchConfig,
+    fault: Option<&BatchFault>,
+    stop_after_events: usize,
+) -> Option<BatchCheckpoint> {
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+    let pool_registry = MetricsRegistry::new();
+    let mut oracle = make_oracle(cfg, &pool_registry);
+    let mut st = init_state(stream, cfg, fault, &ctr);
+    let stopped =
+        run_engine(cfg, &mut oracle, &ctr, &mut st, |s| s.events.len() >= stop_after_events);
+    stopped.then(|| capture(cfg, &st, ctr.queue_peak.get()))
+}
+
+/// Continue a checkpointed run to completion. The resumed trace (which
+/// includes the pre-checkpoint prefix) is byte-identical to the
+/// uninterrupted run's: state is restored exactly, kernel results
+/// re-derive from the pure oracle, and metrics replay from the restored
+/// records and events.
+// PURITY-ROOT: resumed runs fan node kernels out exactly like run_batch.
+pub fn resume_batch(ckpt: &BatchCheckpoint) -> BatchOutcome {
+    let cfg = ckpt.cfg;
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+    let pool_registry = MetricsRegistry::new();
+    let mut oracle = make_oracle(&cfg, &pool_registry);
+    replay_metrics(&ctr, ckpt);
+
+    let trackers = ckpt.trackers.clone();
+    // Re-attach kernel measurements to in-flight segments: the oracle is
+    // pure in (seed, job, spec), so this recomputes exactly the SegmentRun
+    // the interrupted run held. Segments without a tracker cannot exist in
+    // a checksummed checkpoint; they are skipped rather than unwrapped.
+    let mut running: Vec<Running> = Vec::new();
+    for (id, nodes, start, end) in &ckpt.running {
+        if let Some(tr) = trackers.get(id) {
+            let run = oracle.measure(*id, &tr.remaining);
+            running.push(Running {
+                id: *id,
+                nodes: nodes.clone(),
+                start: *start,
+                end: *end,
+                run,
+            });
+        }
+    }
+    let mut st = EngineState {
+        arrivals: ckpt.arrivals.clone(),
+        fleet: Fleet { up: ckpt.fleet_up.clone(), busy: ckpt.fleet_busy.clone() },
+        trackers,
+        queue: ckpt.queue.clone(),
+        running,
+        events: ckpt.events.clone(),
+        reservations: ckpt.reservations.clone(),
+        records: ckpt.records.clone(),
+        conformance_src: ckpt.conformance_src.clone(),
+        completions: ckpt.completions,
+        fault_armed: ckpt.fault_armed,
+        now: ckpt.now,
+    };
+    run_engine(&cfg, &mut oracle, &ctr, &mut st, |_| false);
+    finish_outcome(&cfg, st, &mut oracle, &registry, &pool_registry)
+}
+
+/// Image the engine state into a checkpoint (plain data only).
+fn capture(cfg: &BatchConfig, st: &EngineState, queue_peak: i64) -> BatchCheckpoint {
+    BatchCheckpoint {
+        cfg: *cfg,
+        fault_armed: st.fault_armed,
+        now: st.now,
+        completions: st.completions,
+        fleet_up: st.fleet.up.clone(),
+        fleet_busy: st.fleet.busy.clone(),
+        arrivals: st.arrivals.clone(),
+        queue: st.queue.clone(),
+        trackers: st.trackers.clone(),
+        running: st
+            .running
+            .iter()
+            .map(|r| (r.id, r.nodes.clone(), r.start, r.end))
+            .collect(),
+        events: st.events.clone(),
+        reservations: st.reservations.clone(),
+        records: st.records.clone(),
+        conformance_src: st.conformance_src.clone(),
+        queue_peak,
+    }
+}
+
+/// Rebuild the deterministic metric values an uninterrupted run would
+/// hold at the checkpoint instant, from the restored state alone. (Pool
+/// counters are host wall-clock and excluded from determinism, so they
+/// start fresh.)
+fn replay_metrics(ctr: &Counters, ckpt: &BatchCheckpoint) {
+    let count = |f: fn(&BatchEvent) -> bool| ckpt.events.iter().filter(|e| f(e)).count() as u64;
+    ctr.submitted.add(count(|e| matches!(e, BatchEvent::Submit { .. })));
+    ctr.completed.add(count(|e| matches!(e, BatchEvent::Finish { .. })));
+    ctr.degraded.add(count(|e| matches!(e, BatchEvent::Degraded { .. })));
+    ctr.nodes_failed.add(count(|e| matches!(e, BatchEvent::NodeFail { .. })));
+    // Requeue counts live on trackers/records, not events: the requeue
+    // that exhausts the retry budget increments the counter but emits a
+    // Degraded event instead of a Requeue event.
+    let requeues = ckpt.records.values().map(|r| u64::from(r.requeues)).sum::<u64>()
+        + ckpt.trackers.values().map(|t| u64::from(t.requeues)).sum::<u64>();
+    ctr.requeues.add(requeues);
+    for r in ckpt.records.values().filter(|r| !r.outcome.degraded) {
+        if r.backfilled {
+            ctr.backfilled.inc();
+        }
+        ctr.wait_us.record((r.wait * 1e6) as u64);
+        ctr.turnaround_us.record((r.turnaround * 1e6) as u64);
+    }
+    ctr.queue_peak.set(ckpt.queue_peak);
 }
 
 fn event_time(e: &BatchEvent) -> SimTime {
@@ -771,7 +1071,7 @@ fn schedule(
     running: &mut Vec<Running>,
     records: &mut BTreeMap<u64, JobRecord>,
     reservations: &mut BTreeMap<u64, ReservationRecord>,
-    conformance: &mut Vec<(u64, Report)>,
+    conformance_src: &mut Vec<(u64, JobSpec)>,
     events: &mut Vec<BatchEvent>,
     ctr: &Counters,
 ) {
@@ -808,7 +1108,7 @@ fn schedule(
             break;
         }
         queue.pop_front();
-        admit(head, &free[..need], now, false, cfg, oracle, fleet, trackers, running, conformance, events);
+        admit(head, &free[..need], now, false, cfg, oracle, fleet, trackers, running, records, conformance_src, events, ctr);
     }
 
     if cfg.discipline != Discipline::Easy || queue.is_empty() {
@@ -868,7 +1168,7 @@ fn schedule(
         queue.retain(|&q| q != id);
         let free_ids = fleet.free_ids();
         let need = trackers.get(&id).map_or(0, |t| t.job.nodes_needed());
-        admit(id, &free_ids[..need], now, true, cfg, oracle, fleet, trackers, running, conformance, events);
+        admit(id, &free_ids[..need], now, true, cfg, oracle, fleet, trackers, running, records, conformance_src, events, ctr);
     }
 }
 
@@ -891,19 +1191,35 @@ fn admit(
     fleet: &mut Fleet,
     trackers: &mut BTreeMap<u64, Tracker>,
     running: &mut Vec<Running>,
-    conformance: &mut Vec<(u64, Report)>,
+    records: &mut BTreeMap<u64, JobRecord>,
+    conformance_src: &mut Vec<(u64, JobSpec)>,
     events: &mut Vec<BatchEvent>,
+    ctr: &Counters,
 ) {
+    let run = {
+        let Some(tr) = trackers.get(&id) else {
+            // INVARIANT: admit is only called with queued ids, which
+            // always have trackers.
+            return;
+        };
+        oracle.measure(id, &tr.remaining)
+    };
+    if let Some(reason) = run.failed {
+        // The supervisor gave up on this job's kernel measurement
+        // (quarantined panic loop or watchdog timeout): there is no
+        // service time to schedule with, so the job degrades with the
+        // typed reason instead of starting.
+        degrade(id, now, reason, fleet, trackers, records, events, ctr);
+        return;
+    }
     let Some(tr) = trackers.get_mut(&id) else {
-        // INVARIANT: admit is only called with queued ids, which always
-        // have trackers.
         return;
     };
-    let run = oracle.measure(id, &tr.remaining);
     if cfg.verify_jobs && tr.requeues == 0 {
-        for rep in &run.reports {
-            conformance.push((id, rep.clone()));
-        }
+        // Record the *source* of the conformance check, not the reports:
+        // the oracle is pure and memoized, so reports re-derive at outcome
+        // build — which keeps checkpoints free of report payloads.
+        conformance_src.push((id, tr.remaining.clone()));
     }
     let service = run.service + tr.restart_due;
     tr.restart_due = 0.0;

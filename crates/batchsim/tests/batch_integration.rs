@@ -6,6 +6,7 @@ use batchsim::{
     FleetStats,
 };
 use cluster::{JobSpec, LocalSched};
+use faultsim::TaskAbortSpec;
 
 fn cfg(discipline: Discipline) -> BatchConfig {
     BatchConfig { discipline, ..Default::default() }
@@ -147,6 +148,62 @@ fn per_job_kernels_are_conformance_clean() {
             assert!(rep.is_clean(), "{sched:?} job {id}:\n{}", rep.render());
         }
     }
+}
+
+#[test]
+fn transient_task_abort_is_absorbed_byte_identically() {
+    // Aborts within the retry budget: the supervisor retries the pure
+    // kernel, so the whole run is byte-identical to an unfaulted one.
+    let jobs = heavy_light_mix(2008, 12);
+    let clean = run_batch(&jobs, &cfg(Discipline::Easy), None);
+    let abort = TaskAbortSpec { job: 5, node: 0, aborts: 2, hang: false };
+    let c = BatchConfig { abort: Some(abort), discipline: Discipline::Easy, ..Default::default() };
+    assert!(abort.aborts <= c.retry_limit, "fault sized to be absorbable");
+    let faulted = run_batch(&jobs, &c, None);
+    assert_eq!(faulted.render_trace(), clean.render_trace());
+    assert_eq!(faulted.metrics, clean.metrics);
+    // Absorption is thread-count-invariant too.
+    let wide = run_batch(&jobs, &BatchConfig { threads: 4, ..c }, None);
+    assert_eq!(wide.render_trace(), clean.render_trace());
+}
+
+#[test]
+fn exhausted_task_abort_quarantines_the_job() {
+    let jobs = heavy_light_mix(2008, 12);
+    let abort = TaskAbortSpec { job: 5, node: 0, aborts: 9, hang: false };
+    let c = BatchConfig { abort: Some(abort), ..Default::default() };
+    assert!(abort.aborts > c.retry_limit, "fault sized to exhaust the budget");
+    let out = run_batch(&jobs, &c, None);
+    let victim = out.jobs.iter().find(|j| j.id == 5).expect("job 5 accounted");
+    assert!(victim.outcome.degraded, "quarantined, not panicked");
+    assert!(out
+        .events
+        .iter()
+        .any(|e| matches!(e, BatchEvent::Degraded { job: 5, reason: "task-quarantined", .. })));
+    assert_eq!(out.metrics.counter("batch.jobs.degraded"), 1);
+    assert!(out.jobs.iter().filter(|j| j.id != 5).all(|j| !j.outcome.degraded));
+    // Deterministic at any width: the quarantine lands identically.
+    let wide = run_batch(&jobs, &BatchConfig { threads: 4, ..c }, None);
+    assert_eq!(wide.render_trace(), out.render_trace());
+}
+
+#[test]
+fn hung_task_times_out_under_the_watchdog() {
+    let jobs = heavy_light_mix(2008, 6);
+    let abort = TaskAbortSpec { job: 2, node: 0, aborts: 1, hang: true };
+    let c = BatchConfig {
+        abort: Some(abort),
+        watchdog_secs: Some(0.05),
+        ..Default::default()
+    };
+    let out = run_batch(&jobs, &c, None);
+    assert!(out
+        .events
+        .iter()
+        .any(|e| matches!(e, BatchEvent::Degraded { job: 2, reason: "task-timeout", .. })));
+    let victim = out.jobs.iter().find(|j| j.id == 2).expect("job 2 accounted");
+    assert!(victim.outcome.degraded);
+    assert!(out.jobs.iter().filter(|j| j.id != 2).all(|j| !j.outcome.degraded));
 }
 
 #[test]

@@ -14,6 +14,21 @@ pub struct JobSpec {
     pub iterations: u32,
 }
 
+impl simcore::snapshot::Snapshot for JobSpec {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_str(&self.name);
+        w.put(&self.rank_loads);
+        w.put_u32(self.iterations);
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        // Bypass `new`'s panicking validation: a decoded spec is either a
+        // faithful image of a validated one, or the checksum already failed.
+        Ok(JobSpec { name: r.get_str()?, rank_loads: r.get()?, iterations: r.get_u32()? })
+    }
+}
+
 impl JobSpec {
     /// # Panics
     /// If any load is non-positive or the job is empty.

@@ -64,6 +64,22 @@ impl LocalSched {
     }
 }
 
+impl simcore::snapshot::Snapshot for LocalSched {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        // The canonical label is the wire form: `parse` re-interns policy
+        // names through the registry, so `Policy(&'static str)` survives
+        // serialization without a second name table.
+        w.put_str(self.label());
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        let label = r.get_str()?;
+        LocalSched::parse(&label)
+            .ok_or(simcore::snapshot::SnapshotError::Malformed("unknown LocalSched label"))
+    }
+}
+
 /// Static hardware priorities for a slot-load vector: ranks within 1% of
 /// the heaviest get HIGH, everyone else MEDIUM (mirrors the static mode of
 /// the MetBench experiments).

@@ -58,6 +58,38 @@ pub struct Placement {
     pub nodes: Vec<Vec<usize>>,
 }
 
+impl simcore::snapshot::Snapshot for PlacementStrategy {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_u8(match self {
+            PlacementStrategy::RoundRobin => 0,
+            PlacementStrategy::GreedyLpt => 1,
+            PlacementStrategy::SmtAware => 2,
+        });
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(PlacementStrategy::RoundRobin),
+            1 => Ok(PlacementStrategy::GreedyLpt),
+            2 => Ok(PlacementStrategy::SmtAware),
+            _ => Err(simcore::snapshot::SnapshotError::Malformed("bad PlacementStrategy tag")),
+        }
+    }
+}
+
+impl simcore::snapshot::Snapshot for Placement {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put(&self.strategy);
+        w.put(&self.nodes);
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(Placement { strategy: r.get()?, nodes: r.get()? })
+    }
+}
+
 impl Placement {
     /// Total load assigned to a node.
     pub fn node_load(&self, job: &JobSpec, node: usize) -> f64 {

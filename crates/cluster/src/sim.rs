@@ -46,6 +46,19 @@ pub struct ClusterResult {
     pub makespan: f64,
 }
 
+impl simcore::snapshot::Snapshot for ClusterResult {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put(&self.placement);
+        w.put(&self.node_secs);
+        w.put_f64(self.makespan);
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(ClusterResult { placement: r.get()?, node_secs: r.get()?, makespan: r.get_f64()? })
+    }
+}
+
 /// A node-level fault to inject into a cluster run (fault class 4).
 ///
 /// `node` dies after the job's `at_iteration`-th iteration; the scheduler
@@ -82,6 +95,38 @@ pub struct ClusterOutcome {
     /// True when the job could not finish on the surviving nodes; the
     /// result then holds partial pre-failure work, never a panic.
     pub degraded: bool,
+}
+
+impl simcore::snapshot::Snapshot for NodeFailureRecord {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_len(self.node);
+        w.put_u32(self.at_iteration);
+        w.put_u32(self.retries_used);
+        w.put_bool(self.absorbed);
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(NodeFailureRecord {
+            node: r.get_len()?,
+            at_iteration: r.get_u32()?,
+            retries_used: r.get_u32()?,
+            absorbed: r.get_bool()?,
+        })
+    }
+}
+
+impl simcore::snapshot::Snapshot for ClusterOutcome {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put(&self.result);
+        w.put(&self.failure);
+        w.put_bool(self.degraded);
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(ClusterOutcome { result: r.get()?, failure: r.get()?, degraded: r.get_bool()? })
+    }
 }
 
 /// Place and run `job` on the cluster, serially.

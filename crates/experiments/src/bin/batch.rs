@@ -12,18 +12,34 @@
 //! * `--jobs N` / `--seed N` — stream length and seed (default 200 / 2008);
 //! * `--smoke` — short stream under 3 disciplines x 3 local scheduler
 //!   modes with per-job kernel conformance (C001–C005) checked;
-//! * `--faults <spec>` — inject a `nodefail:` plan into the queued system;
+//! * `--faults <spec>` — inject a fault plan into the queued system:
+//!   `nodefail:` kills a fleet node, `taskabort:` panics node kernels for
+//!   the supervisor's retry/quarantine path to absorb, `ckptcorrupt:`
+//!   tears a checkpoint save so recovery exercises the fallback;
 //! * `--threads N` — per-node kernel runs on N pool workers (default 1;
 //!   the study always cross-checks serial vs. parallel byte-identity);
+//! * `--watchdog-ms N` — per-attempt wall-clock watchdog on node kernels;
+//! * `--checkpoint <dir>` — run one EASY stream with periodic checkpoints
+//!   rotated into `<dir>` (cadence `--ckpt-events N` / `--ckpt-jobs N`);
+//! * `--resume <path>` — continue a saved checkpoint (a file, or a
+//!   `--checkpoint` dir to pick the newest usable generation) and print
+//!   the completed run's trace hash;
+//! * `--ckpt-smoke` — crash/resume self-test: checkpoint every discipline
+//!   at several cuts, reload through the store (honoring `ckptcorrupt:`),
+//!   and require the resumed traces to be byte-identical;
 //! * `--telemetry` / `--verify` — standard parity with the other binaries.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use batchsim::{
-    heavy_light_mix, run_batch, BatchConfig, BatchFault, BatchOutcome, Discipline, FleetStats,
+    heavy_light_mix, resume_batch, run_batch, run_batch_checkpointed, run_batch_until,
+    BatchConfig, BatchFault, BatchOutcome, CheckpointPolicy, CheckpointStore, Discipline,
+    FleetStats,
 };
 use cluster::LocalSched;
 use experiments::cli::{self, CliFlags};
+use faultsim::{CkptCorruptSpec, TaskAbortSpec};
 
 /// Thread count the study benchmarks against serial when the user did not
 /// ask for a specific one.
@@ -130,6 +146,34 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// Supervision knobs shared by every mode: the injected `taskabort:`
+/// fault (if any) and the `--watchdog-ms` wall-clock limit.
+#[derive(Clone, Copy, Default)]
+struct Supervision {
+    abort: Option<TaskAbortSpec>,
+    watchdog_secs: Option<f64>,
+}
+
+impl Supervision {
+    fn from_flags(flags: &CliFlags) -> Supervision {
+        let watchdog_secs = cli::value_of("--watchdog-ms").map(|v| {
+            let ms: u64 = v.parse().unwrap_or_else(|_| {
+                eprintln!("--watchdog-ms wants an integer, got `{v}`");
+                std::process::exit(2);
+            });
+            ms as f64 / 1000.0
+        });
+        Supervision {
+            abort: flags.faults.as_ref().and_then(|p| p.task_abort),
+            watchdog_secs,
+        }
+    }
+
+    fn apply(&self, cfg: BatchConfig) -> BatchConfig {
+        BatchConfig { abort: self.abort, watchdog_secs: self.watchdog_secs, ..cfg }
+    }
+}
+
 /// The full study: every discipline over one stream, determinism proved by
 /// a serial double-run plus a parallel run that must match byte-for-byte.
 /// Returns the per-discipline outcomes and the serial/parallel wall times.
@@ -139,13 +183,19 @@ fn study(
     verify: bool,
     sched: LocalSched,
     threads: usize,
+    sup: Supervision,
     failed: &mut bool,
 ) -> (Vec<(Discipline, BatchOutcome)>, f64, f64) {
     let mut outs = Vec::new();
     let serial_started = Instant::now();
     for discipline in Discipline::ALL {
-        let cfg =
-            BatchConfig { discipline, sched, verify_jobs: verify, threads: 1, ..Default::default() };
+        let cfg = sup.apply(BatchConfig {
+            discipline,
+            sched,
+            verify_jobs: verify,
+            threads: 1,
+            ..Default::default()
+        });
         let a = run_batch(jobs, &cfg, fault);
         let b = run_batch(jobs, &cfg, fault);
         if a.render_trace() != b.render_trace() {
@@ -159,13 +209,13 @@ fn study(
 
     let parallel_started = Instant::now();
     for (discipline, serial) in &outs {
-        let cfg = BatchConfig {
+        let cfg = sup.apply(BatchConfig {
             discipline: *discipline,
             sched,
             verify_jobs: verify,
             threads,
             ..Default::default()
-        };
+        });
         let par = run_batch(jobs, &cfg, fault);
         if par.render_trace() != serial.render_trace() {
             println!(
@@ -192,7 +242,7 @@ fn study(
     (outs, wall_serial, wall_parallel)
 }
 
-fn smoke(flags: &CliFlags, seed: u64) -> bool {
+fn smoke(flags: &CliFlags, seed: u64, sup: Supervision) -> bool {
     println!(
         "== smoke: 3 disciplines x 3 local schedulers, per-job conformance, {} thread(s) ==",
         flags.threads
@@ -208,13 +258,13 @@ fn smoke(flags: &CliFlags, seed: u64) -> bool {
     };
     for sched in scheds {
         for discipline in Discipline::ALL {
-            let cfg = BatchConfig {
+            let cfg = sup.apply(BatchConfig {
                 discipline,
                 sched,
                 verify_jobs: true,
                 threads: flags.threads,
                 ..Default::default()
-            };
+            });
             let out = run_batch(&jobs, &cfg, fault.as_ref());
             let clean = out.conformance_clean();
             let stats = FleetStats::from_outcome(&out);
@@ -248,12 +298,196 @@ fn smoke(flags: &CliFlags, seed: u64) -> bool {
     failed
 }
 
+/// Crash/resume self-test: checkpoint every discipline's run at several
+/// event cuts, rotate the images through an on-disk store (honoring an
+/// injected `ckptcorrupt:`), reload the newest usable generation, and
+/// require the resumed trace and metrics to match the uninterrupted run
+/// byte-for-byte. Returns true on any divergence.
+fn ckpt_smoke(
+    flags: &CliFlags,
+    seed: u64,
+    sup: Supervision,
+    corrupt: Option<CkptCorruptSpec>,
+    dir: &Path,
+) -> bool {
+    println!(
+        "== ckpt-smoke: crash/resume byte-identity, 3 disciplines, {} thread(s), store {} ==",
+        flags.threads,
+        dir.display()
+    );
+    let jobs = heavy_light_mix(seed, 30);
+    let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
+    let mut failed = false;
+    for discipline in Discipline::ALL {
+        let cfg = sup.apply(BatchConfig {
+            discipline,
+            threads: flags.threads,
+            ..Default::default()
+        });
+        let full = run_batch(&jobs, &cfg, fault.as_ref());
+        let subdir = dir.join(discipline.label());
+        let mut store = CheckpointStore::new(&subdir);
+        if let Some(c) = corrupt {
+            store = store.corrupt_nth_save(c.nth);
+        }
+        let mut saves = 0u32;
+        for cut in [5usize, 25, 75] {
+            if let Some(ckpt) = run_batch_until(&jobs, &cfg, fault.as_ref(), cut) {
+                match store.save(&ckpt) {
+                    Ok(_) => saves += 1,
+                    Err(e) => {
+                        println!("{}: SAVE FAILED at cut {cut}: {e}", discipline.label());
+                        failed = true;
+                    }
+                }
+            }
+        }
+        if saves == 0 {
+            println!("{}: stream drained before the first cut; nothing to resume", discipline.label());
+            continue;
+        }
+        let (ckpt, fell_back) = match CheckpointStore::load_latest(&subdir) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("{}: RECOVERY FAILED: {e}", discipline.label());
+                failed = true;
+                continue;
+            }
+        };
+        let resumed = resume_batch(&ckpt);
+        let identical =
+            resumed.render_trace() == full.render_trace() && resumed.metrics == full.metrics;
+        println!(
+            "{}: {saves} checkpoint(s), resumed from {} events{}: trace-hash {:016x} {}",
+            discipline.label(),
+            ckpt.events_len(),
+            if fell_back { " (fell back to .prev)" } else { "" },
+            fnv1a(&resumed.render_trace()),
+            if identical { "byte-identical" } else { "DIVERGED" }
+        );
+        failed |= !identical;
+        // A torn save that was later rotated out is invisible to recovery;
+        // only a corrupt *latest* generation must force the fallback.
+        let must_fall_back = corrupt.is_some_and(|c| c.nth == saves);
+        if fell_back != must_fall_back {
+            println!(
+                "{}: fallback mismatch (ckptcorrupt expected fallback={must_fall_back}, got {fell_back})",
+                discipline.label()
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
+/// `--checkpoint <dir>`: one EASY stream with periodic checkpoints rotated
+/// into the store, leaving `<dir>/batch.ckpt` for a later `--resume`.
+fn checkpointed_run(flags: &CliFlags, seed: u64, njobs: usize, sup: Supervision, dir: &Path) {
+    let every_events = cli::value_of("--ckpt-events").map(|v| parsed_str("--ckpt-events", &v) as usize);
+    let every_jobs = cli::value_of("--ckpt-jobs").map(|v| parsed_str("--ckpt-jobs", &v) as u32);
+    let policy = CheckpointPolicy {
+        // Default cadence: a checkpoint every 10 completed jobs.
+        every_jobs: every_jobs.or(if every_events.is_none() { Some(10) } else { None }),
+        every_events,
+    };
+    let corrupt = flags.faults.as_ref().and_then(|p| p.ckpt_corrupt);
+    let jobs = heavy_light_mix(seed, njobs);
+    let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
+    let cfg = sup.apply(BatchConfig {
+        discipline: Discipline::Easy,
+        threads: flags.threads,
+        ..Default::default()
+    });
+    let mut store = CheckpointStore::new(dir);
+    if let Some(c) = corrupt {
+        store = store.corrupt_nth_save(c.nth);
+    }
+    let mut saves = 0u32;
+    let out = run_batch_checkpointed(&jobs, &cfg, fault.as_ref(), &policy, |ckpt| {
+        match store.save(ckpt) {
+            Ok(path) => {
+                saves += 1;
+                println!(
+                    "checkpoint {saves}: {} events, t={:.3}s -> {}",
+                    ckpt.events_len(),
+                    ckpt.captured_at().as_secs_f64(),
+                    path.display()
+                );
+            }
+            Err(e) => println!("warning: checkpoint save failed: {e}"),
+        }
+    });
+    let stats = FleetStats::from_outcome(&out);
+    println!("{}", stats.render_row("easy/checkpointed"));
+    println!("trace-hash easy {:016x}", fnv1a(&out.render_trace()));
+    println!("\nbatch checkpoint run: OK ({saves} checkpoint(s) in {})", dir.display());
+}
+
+/// `--resume <path>`: continue a saved checkpoint to completion. A
+/// directory picks the newest usable generation (with `.prev` fallback);
+/// a file loads exactly that image.
+fn resume_run(path: &Path) -> bool {
+    let loaded = if path.is_dir() {
+        CheckpointStore::load_latest(path)
+    } else {
+        CheckpointStore::load_file(path).map(|c| (c, false))
+    };
+    let (ckpt, fell_back) = match loaded {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("--resume: {e}");
+            return true;
+        }
+    };
+    println!(
+        "== resume: {} events already traced, t={:.3}s{} ==",
+        ckpt.events_len(),
+        ckpt.captured_at().as_secs_f64(),
+        if fell_back { " (latest corrupt; using .prev)" } else { "" }
+    );
+    let out = resume_batch(&ckpt);
+    let stats = FleetStats::from_outcome(&out);
+    println!("{}", stats.render_row("resumed"));
+    println!("trace-hash resumed {:016x}", fnv1a(&out.render_trace()));
+    println!("\nbatch resume: OK");
+    false
+}
+
+fn parsed_str(name: &str, v: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{name} wants an integer, got `{v}`");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let flags = CliFlags::from_env();
     let seed = parsed("--seed", 2008);
+    let sup = Supervision::from_flags(&flags);
+
+    if let Some(path) = cli::value_of("--resume") {
+        if resume_run(Path::new(&path)) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if cli::flag("--ckpt-smoke") {
+        let corrupt = flags.faults.as_ref().and_then(|p| p.ckpt_corrupt);
+        let dir = cli::value_of("--checkpoint").map_or_else(
+            || std::env::temp_dir().join(format!("batch-ckpt-{}", std::process::id())),
+            PathBuf::from,
+        );
+        if ckpt_smoke(&flags, seed, sup, corrupt, &dir) {
+            eprintln!("batch ckpt-smoke: FAILED");
+            std::process::exit(1);
+        }
+        println!("\nbatch ckpt-smoke: OK");
+        return;
+    }
 
     if cli::flag("--smoke") {
-        if smoke(&flags, seed) {
+        if smoke(&flags, seed, sup) {
             eprintln!("batch smoke: FAILED");
             std::process::exit(1);
         }
@@ -262,6 +496,12 @@ fn main() {
     }
 
     let njobs = parsed("--jobs", 200) as usize;
+
+    if let Some(dir) = cli::value_of("--checkpoint") {
+        checkpointed_run(&flags, seed, njobs, sup, Path::new(&dir));
+        return;
+    }
+
     let jobs = heavy_light_mix(seed, njobs);
     let fault = flags.faults.as_ref().and_then(|p| p.node_failure.as_ref()).map(BatchFault::from_spec);
     let bench_threads = if flags.threads > 1 { flags.threads } else { BENCH_THREADS };
@@ -275,7 +515,7 @@ fn main() {
         sched.label()
     );
     let (outs, wall_serial, wall_parallel) =
-        study(&jobs, fault.as_ref(), flags.verify, sched, bench_threads, &mut failed);
+        study(&jobs, fault.as_ref(), flags.verify, sched, bench_threads, sup, &mut failed);
 
     let mut rows = Vec::new();
     let mut wait_of = std::collections::BTreeMap::new();
@@ -350,7 +590,7 @@ fn main() {
 
     // The baseline only tracks the clean configuration; a faulted,
     // resized, or policy-overridden run would churn the committed file.
-    if fault.is_none() && njobs == 200 && seed == 2008 && flags.policy.is_none() {
+    if fault.is_none() && sup.abort.is_none() && njobs == 200 && seed == 2008 && flags.policy.is_none() {
         println!("\n== policy zoo: 30-job FCFS stream per registered --policy ==");
         let policies = policy_rows(seed, &mut failed);
         let bench = Bench {

@@ -39,7 +39,8 @@ pub mod summary;
 
 pub use error::FaultError;
 pub use plan::{
-    CrashPolicy, CrashSpec, DelaySpec, FaultPlan, NodeFailSpec, SlowSpec, SpecError, StealSpec,
+    CkptCorruptSpec, CrashPolicy, CrashSpec, DelaySpec, FaultPlan, NodeFailSpec, SlowSpec,
+    SpecError, StealSpec, TaskAbortSpec,
 };
 pub use rng::SplitMix64;
 pub use summary::FaultSummary;

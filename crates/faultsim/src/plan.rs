@@ -12,6 +12,8 @@
 //! crash:rank=2,iter=3,policy=failstop
 //! crash:rank=2,iter=3,policy=restart,delay=100ms
 //! nodefail:node=1,iter=5,retries=2[,restart=1s]
+//! taskabort:job=3,node=0,aborts=2[,hang]
+//! ckptcorrupt:at=2
 //! ```
 //!
 //! Durations accept `s`, `ms`, `us` and `ns` suffixes; a bare number means
@@ -114,6 +116,33 @@ pub struct NodeFailSpec {
     pub restart_secs: f64,
 }
 
+/// Class 5 — transient task abort: a worker task in the batch fleet panics
+/// (or, with `hang`, wedges) while simulating one job's segment on one
+/// node. Consumed by `batchsim`'s supervised oracle: the first `aborts`
+/// attempts fail, so the outcome depends only on the supervisor's retry
+/// budget, never on wall-clock scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskAbortSpec {
+    /// Batch job id whose measurement aborts.
+    pub job: u64,
+    /// Node index (within the job's placement) whose segment aborts.
+    pub node: usize,
+    /// Number of leading attempts that fail before one succeeds.
+    pub aborts: u32,
+    /// Wedge instead of panicking, so the supervisor's watchdog — not the
+    /// unwind path — has to convert the attempt into a typed failure.
+    pub hang: bool,
+}
+
+/// Class 6 — checkpoint corruption: the `at`-th checkpoint file written
+/// (1-based) is corrupted in place after the save, so a later resume must
+/// detect the bad checksum and fall back to the previous good checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CkptCorruptSpec {
+    /// Which save gets corrupted, counting from 1.
+    pub nth: u32,
+}
+
 /// A complete, seeded fault schedule for one run.
 ///
 /// `FaultPlan::default()` is the empty plan: it injects nothing, draws no
@@ -127,6 +156,8 @@ pub struct FaultPlan {
     pub mpi_delay: Option<DelaySpec>,
     pub crash: Option<CrashSpec>,
     pub node_failure: Option<NodeFailSpec>,
+    pub task_abort: Option<TaskAbortSpec>,
+    pub ckpt_corrupt: Option<CkptCorruptSpec>,
 }
 
 impl FaultPlan {
@@ -137,6 +168,8 @@ impl FaultPlan {
             && self.mpi_delay.is_none()
             && self.crash.is_none()
             && self.node_failure.is_none()
+            && self.task_abort.is_none()
+            && self.ckpt_corrupt.is_none()
     }
 
     /// Parse a `--faults` spec string (see module docs for the grammar).
@@ -201,9 +234,22 @@ impl FaultPlan {
                         restart_secs: params.get_secs_or("restart", 1.0)?,
                     })
                 }
+                "taskabort" => {
+                    plan.task_abort = Some(TaskAbortSpec {
+                        job: params.get_u64("job")?,
+                        node: params.get_usize("node")?,
+                        aborts: params.get_u32("aborts")?,
+                        hang: params.has_flag("hang"),
+                    })
+                }
+                "ckptcorrupt" => {
+                    plan.ckpt_corrupt =
+                        Some(CkptCorruptSpec { nth: params.get_u32_or("at", 1)? })
+                }
                 other => {
                     return Err(SpecError(format!(
-                        "unknown fault kind `{other}` (want steal|slow|mpidelay|crash|nodefail)"
+                        "unknown fault kind `{other}` \
+                         (want steal|slow|mpidelay|crash|nodefail|taskabort|ckptcorrupt)"
                     )))
                 }
             }
@@ -228,7 +274,67 @@ impl FaultPlan {
                 return Err(SpecError("mpidelay prob must be in [0,1], extra >= 0".into()));
             }
         }
+        if let Some(t) = &self.task_abort {
+            if t.aborts == 0 {
+                return Err(SpecError("taskabort aborts must be >= 1".into()));
+            }
+        }
+        if let Some(c) = &self.ckpt_corrupt {
+            if c.nth == 0 {
+                return Err(SpecError("ckptcorrupt at counts from 1".into()));
+            }
+        }
         Ok(())
+    }
+
+    /// Render the plan back into its canonical `--faults` spelling, such
+    /// that `parse(render(p)) == p` for every valid plan. Durations come
+    /// out as bare seconds (`f64` `Display` round-trips exactly), flags as
+    /// trailing `,jitter`/`,hang`, clauses joined by `"; "`. Checkpoint
+    /// metadata uses this to record the fault context a run was taken
+    /// under without inventing a second encoding.
+    pub fn render(&self) -> String {
+        let mut clauses: Vec<String> = Vec::new();
+        if self.seed != 0 {
+            clauses.push(format!("seed={}", self.seed));
+        }
+        for s in &self.steal {
+            let jitter = if s.jitter { ",jitter" } else { "" };
+            clauses.push(format!(
+                "steal:cpu={},period={},duration={},count={}{jitter}",
+                s.cpu, s.period, s.duration, s.count
+            ));
+        }
+        for s in &self.slow {
+            clauses.push(format!("slow:rank={},at={},factor={}", s.rank, s.at, s.factor));
+        }
+        if let Some(d) = &self.mpi_delay {
+            clauses.push(format!("mpidelay:prob={},extra={}", d.prob, d.extra));
+        }
+        if let Some(c) = &self.crash {
+            let policy = match c.policy {
+                CrashPolicy::FailStop => "policy=failstop".to_string(),
+                CrashPolicy::Restart { delay } => format!("policy=restart,delay={delay}"),
+            };
+            clauses.push(format!("crash:rank={},iter={},{policy}", c.rank, c.iteration));
+        }
+        if let Some(n) = &self.node_failure {
+            clauses.push(format!(
+                "nodefail:node={},iter={},retries={},restart={}",
+                n.node, n.iteration, n.retries, n.restart_secs
+            ));
+        }
+        if let Some(t) = &self.task_abort {
+            let hang = if t.hang { ",hang" } else { "" };
+            clauses.push(format!(
+                "taskabort:job={},node={},aborts={}{hang}",
+                t.job, t.node, t.aborts
+            ));
+        }
+        if let Some(c) = &self.ckpt_corrupt {
+            clauses.push(format!("ckptcorrupt:at={}", c.nth));
+        }
+        clauses.join("; ")
     }
 
     /// Compile the kernel-level fault classes (steal bursts, slowdown drift)
@@ -343,6 +449,18 @@ impl<'a> Params<'a> {
         v.parse().map_err(|_| SpecError(format!("{}: `{key}={v}` is not an integer", self.kind)))
     }
 
+    fn get_u32_or(&self, key: &str, default: u32) -> Result<u32, SpecError> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            Some(_) => self.get_u32(key),
+            None => Ok(default),
+        }
+    }
+
+    fn get_u64(&self, key: &str) -> Result<u64, SpecError> {
+        let v = self.get_str(key)?;
+        v.parse().map_err(|_| SpecError(format!("{}: `{key}={v}` is not an integer", self.kind)))
+    }
+
     fn get_f64(&self, key: &str) -> Result<f64, SpecError> {
         let v = self.get_str(key)?;
         v.parse().map_err(|_| SpecError(format!("{}: `{key}={v}` is not a number", self.kind)))
@@ -452,6 +570,61 @@ mod tests {
         let plan =
             FaultPlan::parse("slow:rank=9,at=1,factor=0.5").expect("spec parses");
         assert!(plan.kernel_events(&[TaskId(0)]).is_empty());
+    }
+
+    #[test]
+    fn parse_taskabort_and_ckptcorrupt() {
+        let plan = FaultPlan::parse("taskabort:job=3,node=0,aborts=2,hang; ckptcorrupt:at=2")
+            .expect("spec parses");
+        assert_eq!(
+            plan.task_abort,
+            Some(TaskAbortSpec { job: 3, node: 0, aborts: 2, hang: true })
+        );
+        assert_eq!(plan.ckpt_corrupt, Some(CkptCorruptSpec { nth: 2 }));
+        assert!(!plan.is_empty());
+
+        // `at` defaults to the first save; `hang` is opt-in.
+        let plan = FaultPlan::parse("taskabort:job=1,node=2,aborts=1; ckptcorrupt:")
+            .expect("defaults parse");
+        assert_eq!(
+            plan.task_abort,
+            Some(TaskAbortSpec { job: 1, node: 2, aborts: 1, hang: false })
+        );
+        assert_eq!(plan.ckpt_corrupt, Some(CkptCorruptSpec { nth: 1 }));
+
+        assert!(FaultPlan::parse("taskabort:job=1,node=0,aborts=0").is_err());
+        assert!(FaultPlan::parse("ckptcorrupt:at=0").is_err());
+        assert!(FaultPlan::parse("taskabort:node=0,aborts=1").is_err()); // missing job
+    }
+
+    #[test]
+    fn render_round_trips_every_clause_kind() {
+        let specs = [
+            "",
+            "seed=7",
+            "seed=7; steal:cpu=0,period=250ms,duration=20ms,count=3,jitter",
+            "slow:rank=1,at=2s,factor=0.5; mpidelay:prob=0.1,extra=500us",
+            "crash:rank=2,iter=3,policy=failstop",
+            "crash:rank=2,iter=3,policy=restart,delay=100ms",
+            "nodefail:node=1,iter=5,retries=2,restart=1500ms",
+            "taskabort:job=3,node=0,aborts=2,hang",
+            "taskabort:job=9,node=1,aborts=1; ckptcorrupt:at=2",
+            "seed=42; steal:cpu=1,period=100ms,duration=5ms,count=8; \
+             nodefail:node=0,iter=1,retries=3; ckptcorrupt:",
+        ];
+        for spec in specs {
+            let plan = FaultPlan::parse(spec).expect("spec parses");
+            let rendered = plan.render();
+            let reparsed = FaultPlan::parse(&rendered)
+                .unwrap_or_else(|e| panic!("render of `{spec}` unparseable: {e}"));
+            assert_eq!(reparsed, plan, "parse(render(p)) != p for `{spec}` -> `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn render_of_default_plan_is_empty() {
+        assert_eq!(FaultPlan::default().render(), "");
+        assert_eq!(FaultPlan::parse("").expect("empty parses"), FaultPlan::default());
     }
 
     #[test]

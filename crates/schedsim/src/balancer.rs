@@ -28,6 +28,7 @@ use crate::balance::{plan_pull, BalanceView};
 use crate::class::{ClassCtx, Migration};
 use crate::task::TaskId;
 use power5::{CpuId, HwPriority};
+use simcore::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use simcore::SimDuration;
 
 /// One completed iteration of an HPC task, as observed by the kernel.
@@ -107,6 +108,21 @@ pub trait Balancer: Send {
     ) -> Option<Migration> {
         plan_pull(view, cpu, idle, allowed)
     }
+
+    /// Serialize the policy's accumulated decision state (DESIGN.md §14):
+    /// everything a freshly-built instance of the same policy (same
+    /// registry entry, same tunables) needs to continue making
+    /// byte-identical decisions. Stateless policies write nothing — the
+    /// default. The encoding must be byte-stable: equal state, equal
+    /// bytes (no hash-order iteration).
+    fn snapshot(&self, _w: &mut SnapshotWriter) {}
+
+    /// Restore state written by [`Balancer::snapshot`] into this
+    /// freshly-built instance. The default consumes nothing, matching the
+    /// default `snapshot`.
+    fn restore(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        Ok(())
+    }
 }
 
 impl<B: Balancer + ?Sized> Balancer for Box<B> {
@@ -146,6 +162,14 @@ impl<B: Balancer + ?Sized> Balancer for Box<B> {
         allowed: &dyn Fn(TaskId, CpuId) -> bool,
     ) -> Option<Migration> {
         (**self).plan_migrations(view, cpu, idle, allowed)
+    }
+
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        (**self).snapshot(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        (**self).restore(r)
     }
 }
 

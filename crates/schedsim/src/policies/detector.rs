@@ -15,6 +15,7 @@
 
 use super::tunables::HpcTunables;
 use crate::task::TaskId;
+use simcore::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use simcore::SimDuration;
 use std::collections::BTreeMap;
 
@@ -40,6 +41,23 @@ impl TaskIterStats {
     }
 }
 
+impl Snapshot for TaskIterStats {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.iterations);
+        w.put_f64(self.last_util);
+        w.put_f64(self.global_util);
+        w.put_f64(self.prev_global_util);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TaskIterStats {
+            iterations: r.get_u64()?,
+            last_util: r.get_f64()?,
+            global_util: r.get_f64()?,
+            prev_global_util: r.get_f64()?,
+        })
+    }
+}
+
 #[derive(Clone, Copy, Debug, Default)]
 struct Accum {
     run: SimDuration,
@@ -47,6 +65,25 @@ struct Accum {
     iterations: u64,
     last_util: f64,
     prev_global: f64,
+}
+
+impl Snapshot for Accum {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put(&self.run);
+        w.put(&self.wall);
+        w.put_u64(self.iterations);
+        w.put_f64(self.last_util);
+        w.put_f64(self.prev_global);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Accum {
+            run: r.get()?,
+            wall: r.get()?,
+            iterations: r.get_u64()?,
+            last_util: r.get_f64()?,
+            prev_global: r.get_f64()?,
+        })
+    }
 }
 
 /// Tracks iteration statistics for every task in the HPC class.
@@ -177,6 +214,17 @@ impl LoadImbalanceDetector {
     /// immediately.
     pub fn is_balanced_recent(&self, tun: &HpcTunables) -> bool {
         self.spread(tun.negligible_util, |s| s.last_util) <= tun.balance_spread
+    }
+}
+
+impl Snapshot for LoadImbalanceDetector {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        // BTreeMap iterates in key order, so equal detectors produce
+        // equal bytes.
+        w.put(&self.tasks);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(LoadImbalanceDetector { tasks: r.get()? })
     }
 }
 

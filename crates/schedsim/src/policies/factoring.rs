@@ -19,6 +19,7 @@ use super::zoo::{classify, usable_util, StepCore};
 use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
 use crate::class::ClassCtx;
 use crate::task::TaskId;
+use simcore::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use simcore::SimDuration;
 use std::collections::BTreeMap;
 
@@ -34,6 +35,17 @@ struct Batch {
 impl Default for Batch {
     fn default() -> Self {
         Batch { sum: 0.0, count: 0, size: FAC_INITIAL_BATCH }
+    }
+}
+
+impl Snapshot for Batch {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.sum);
+        w.put_u32(self.count);
+        w.put_u32(self.size);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Batch { sum: r.get_f64()?, count: r.get_u32()?, size: r.get_u32()? })
     }
 }
 
@@ -88,12 +100,32 @@ impl Balancer for FacBalancer {
     fn task_exited(&mut self, task: TaskId) {
         self.batches.remove(&task);
     }
+
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put(&self.batches);
+        self.core.snapshot_pending(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.batches = r.get()?;
+        self.core.restore_pending(r)
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Accum {
     run: SimDuration,
     wall: SimDuration,
+}
+
+impl Snapshot for Accum {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put(&self.run);
+        w.put(&self.wall);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Accum { run: r.get()?, wall: r.get()? })
+    }
 }
 
 impl Accum {
@@ -167,5 +199,15 @@ impl Balancer for AwfBalancer {
 
     fn task_exited(&mut self, task: TaskId) {
         self.accum.remove(&task);
+    }
+
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put(&self.accum);
+        self.core.snapshot_pending(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.accum = r.get()?;
+        self.core.restore_pending(r)
     }
 }

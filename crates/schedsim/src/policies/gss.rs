@@ -12,6 +12,7 @@ use super::zoo::{classify, usable_util, StepCore};
 use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
 use crate::class::ClassCtx;
 use crate::task::TaskId;
+use simcore::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::BTreeMap;
 
 pub struct GssBalancer {
@@ -59,5 +60,15 @@ impl Balancer for GssBalancer {
 
     fn task_exited(&mut self, task: TaskId) {
         self.estimate.remove(&task);
+    }
+
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put(&self.estimate);
+        self.core.snapshot_pending(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.estimate = r.get()?;
+        self.core.restore_pending(r)
     }
 }

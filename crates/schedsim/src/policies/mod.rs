@@ -247,4 +247,177 @@ mod tests {
             assert!(table.contains(spec.name));
         }
     }
+
+    mod snapshot_round_trip {
+        use super::super::*;
+        use super::ctx;
+        use crate::balancer::{IterSample, PrioAssignment, SampleOutcome};
+        use crate::class::ClassCtx;
+        use crate::policy::SchedPolicy;
+        use crate::program::ScriptedProgram;
+        use crate::task::{Task, TaskId};
+        use power5::Topology;
+        use simcore::snapshot::{SnapshotReader, SnapshotWriter};
+        use simcore::{SimDuration, SimTime};
+
+        fn fleet(n: usize) -> Vec<Task> {
+            (0..n)
+                .map(|i| {
+                    Task::new(
+                        TaskId(i),
+                        format!("rank{i}"),
+                        SchedPolicy::Hpc,
+                        Box::new(ScriptedProgram::compute_once(1.0)),
+                        SimTime::ZERO,
+                    )
+                })
+                .collect()
+        }
+
+        /// Feed one iteration sample through the full decision pipeline and
+        /// apply whatever priorities the policy hands back — the same loop
+        /// the kernel's class driver runs.
+        fn step(
+            b: &mut dyn Balancer,
+            tasks: &mut Vec<Task>,
+            topo: &Topology,
+            idx: usize,
+            run_ms: u64,
+            wall_ms: u64,
+        ) -> Vec<PrioAssignment> {
+            let task = TaskId(idx);
+            let sample = IterSample {
+                task,
+                run: SimDuration::from_millis(run_ms),
+                wall: SimDuration::from_millis(wall_ms),
+            };
+            let assignments = {
+                let ctx =
+                    ClassCtx { now: SimTime::ZERO, tasks, topology: topo, running: vec![] };
+                match b.on_sample(&ctx, sample) {
+                    SampleOutcome::Recorded => b.assign_priorities(&ctx, task),
+                    SampleOutcome::Unusable => b.on_fault(&ctx, task),
+                }
+            };
+            for a in &assignments {
+                tasks[a.task.0].hw_prio = a.prio;
+            }
+            assignments
+        }
+
+        fn snapshot_bytes(b: &dyn Balancer) -> Vec<u8> {
+            let mut w = SnapshotWriter::new();
+            b.snapshot(&mut w);
+            w.finish()
+        }
+
+        /// A mixed schedule: hot tasks (raise), cold tasks (lower), a
+        /// mid-band hold, and one unusable sample (zero wall) so the
+        /// detector/fault paths all accumulate history before the cut.
+        const WARMUP: &[(usize, u64, u64)] =
+            &[(0, 95, 100), (1, 20, 100), (0, 96, 100), (2, 70, 100), (1, 15, 100), (2, 0, 0)];
+        const TAIL: &[(usize, u64, u64)] =
+            &[(0, 97, 100), (1, 18, 100), (2, 92, 100), (0, 30, 100), (1, 94, 100)];
+
+        /// Every zoo policy must resume from a mid-run snapshot with its
+        /// decision stream intact: drive A, snapshot, restore into a fresh
+        /// B, then drive both identically and require identical priority
+        /// assignments and identical re-snapshot bytes.
+        #[test]
+        fn every_policy_round_trips_mid_run_state() {
+            let topo = Topology::openpower_710();
+            for spec in registry() {
+                let c = ctx();
+                let mut a = (spec.make)(&c);
+                let mut tasks_a = fleet(3);
+                for &(i, r, w) in WARMUP {
+                    step(a.as_mut(), &mut tasks_a, &topo, i, r, w);
+                }
+
+                let bytes = snapshot_bytes(a.as_ref());
+                let mut b = (spec.make)(&c);
+                let mut r = SnapshotReader::new(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: bad snapshot: {e}", spec.name));
+                b.restore(&mut r).unwrap_or_else(|e| panic!("{}: restore: {e}", spec.name));
+                r.finish().unwrap_or_else(|e| panic!("{}: leftover bytes: {e}", spec.name));
+
+                // Kernel-side task state (hw priorities) is restored by the
+                // surrounding checkpoint; mirror it for the clone.
+                let mut tasks_b = fleet(3);
+                for (tb, ta) in tasks_b.iter_mut().zip(tasks_a.iter()) {
+                    tb.hw_prio = ta.hw_prio;
+                }
+
+                assert_eq!(
+                    snapshot_bytes(a.as_ref()),
+                    snapshot_bytes(b.as_ref()),
+                    "{}: restored state must re-encode to identical bytes",
+                    spec.name
+                );
+                for &(i, r, w) in TAIL {
+                    let da = step(a.as_mut(), &mut tasks_a, &topo, i, r, w);
+                    let db = step(b.as_mut(), &mut tasks_b, &topo, i, r, w);
+                    assert_eq!(da, db, "{}: decision diverged after restore", spec.name);
+                }
+                assert_eq!(
+                    snapshot_bytes(a.as_ref()),
+                    snapshot_bytes(b.as_ref()),
+                    "{}: states diverged after identical post-restore drive",
+                    spec.name
+                );
+            }
+        }
+
+        /// A snapshot taken between `on_sample` and `assign_priorities`
+        /// must carry the in-flight pending decision across the cut.
+        #[test]
+        fn pending_decision_survives_the_cut() {
+            let topo = Topology::openpower_710();
+            for spec in registry() {
+                let c = ctx();
+                let mut a = (spec.make)(&c);
+                let mut tasks_a = fleet(3);
+                for &(i, r, w) in WARMUP {
+                    step(a.as_mut(), &mut tasks_a, &topo, i, r, w);
+                }
+                // Record a hot sample but cut before the assignment lands.
+                let sample = IterSample {
+                    task: TaskId(0),
+                    run: SimDuration::from_millis(95),
+                    wall: SimDuration::from_millis(100),
+                };
+                {
+                    let ctx = ClassCtx {
+                        now: SimTime::ZERO,
+                        tasks: &mut tasks_a,
+                        topology: &topo,
+                        running: vec![],
+                    };
+                    assert_eq!(a.on_sample(&ctx, sample), SampleOutcome::Recorded);
+                }
+
+                let bytes = snapshot_bytes(a.as_ref());
+                let mut b = (spec.make)(&c);
+                let mut r = SnapshotReader::new(&bytes).expect("snapshot decodes");
+                b.restore(&mut r).expect("restore succeeds");
+                let mut tasks_b = fleet(3);
+                for (tb, ta) in tasks_b.iter_mut().zip(tasks_a.iter()) {
+                    tb.hw_prio = ta.hw_prio;
+                }
+
+                let settle = |bal: &mut Box<dyn Balancer>, tasks: &mut Vec<Task>| {
+                    let ctx = ClassCtx {
+                        now: SimTime::ZERO,
+                        tasks,
+                        topology: &topo,
+                        running: vec![],
+                    };
+                    bal.assign_priorities(&ctx, TaskId(0))
+                };
+                let da = settle(&mut a, &mut tasks_a);
+                let db = settle(&mut b, &mut tasks_b);
+                assert_eq!(da, db, "{}: pending decision lost across snapshot", spec.name);
+            }
+        }
+    }
 }

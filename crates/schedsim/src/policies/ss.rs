@@ -11,6 +11,7 @@ use super::zoo::{classify, usable_util, StepCore};
 use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
 use crate::class::ClassCtx;
 use crate::task::TaskId;
+use simcore::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 pub struct SsBalancer {
     core: StepCore,
@@ -46,5 +47,13 @@ impl Balancer for SsBalancer {
 
     fn on_fault(&mut self, ctx: &ClassCtx<'_>, task: TaskId) -> Vec<PrioAssignment> {
         self.core.fault(ctx, task)
+    }
+
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        self.core.snapshot_pending(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.core.restore_pending(r)
     }
 }

@@ -17,6 +17,7 @@ use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
 use crate::class::ClassCtx;
 use crate::task::TaskId;
 use power5::HwPriority;
+use simcore::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use simcore::SimDuration;
 
 /// Telemetry handles for the policy's balancing decisions, registered via
@@ -216,5 +217,22 @@ impl Balancer for Table1Balancer {
 
     fn task_exited(&mut self, task: TaskId) {
         self.detector.forget(task);
+    }
+
+    /// Everything that accumulates across iterations: the detector's
+    /// per-task history, the balance gate's hysteresis bit, and an
+    /// in-flight sample awaiting `assign_priorities`. Heuristic,
+    /// mechanism, and tunables are construction-time configuration.
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put(&self.detector);
+        w.put_bool(self.was_balanced);
+        w.put(&self.pending);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.detector = r.get()?;
+        self.was_balanced = r.get_bool()?;
+        self.pending = r.get()?;
+        Ok(())
     }
 }

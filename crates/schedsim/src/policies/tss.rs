@@ -11,6 +11,7 @@ use super::zoo::{classify, usable_util, StepCore};
 use crate::balancer::{Balancer, IterSample, PrioAssignment, SampleOutcome};
 use crate::class::ClassCtx;
 use crate::task::TaskId;
+use simcore::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::{BTreeMap, VecDeque};
 
 const WINDOW: usize = 8;
@@ -73,5 +74,15 @@ impl Balancer for TssBalancer {
 
     fn task_exited(&mut self, task: TaskId) {
         self.window.remove(&task);
+    }
+
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put(&self.window);
+        self.core.snapshot_pending(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.window = r.get()?;
+        self.core.restore_pending(r)
     }
 }

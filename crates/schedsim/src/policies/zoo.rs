@@ -13,6 +13,7 @@ use super::SharedTunables;
 use crate::balancer::{degrade_to_floor, BalancerTelemetry, PrioAssignment};
 use crate::class::ClassCtx;
 use crate::task::TaskId;
+use simcore::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use simcore::SimDuration;
 
 /// Utilization (percent) of one iteration, or `None` for an unusable
@@ -108,6 +109,19 @@ impl StepCore {
                 Vec::new()
             }
         }
+    }
+
+    /// Snapshot the core's only mutable state: the pending one-step
+    /// decision. Tunables/mechanism are construction-time configuration
+    /// and belong to the fresh instance restore happens into.
+    pub fn snapshot_pending(&self, w: &mut SnapshotWriter) {
+        w.put(&self.pending);
+    }
+
+    /// Inverse of [`StepCore::snapshot_pending`].
+    pub fn restore_pending(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.pending = r.get()?;
+        Ok(())
     }
 
     /// The shared do-no-harm fault path: count the degraded sample, then

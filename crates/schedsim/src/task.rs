@@ -17,6 +17,17 @@ impl fmt::Debug for TaskId {
     }
 }
 
+impl simcore::snapshot::Snapshot for TaskId {
+    fn snapshot(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_len(self.0);
+    }
+    fn restore(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(TaskId(r.get_len()?))
+    }
+}
+
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "task{}", self.0)

@@ -12,10 +12,12 @@
 //!   OS-noise models need,
 //!
 //! plus small online-statistics utilities ([`stats`]) used by the scheduler
-//! metrics and by the experiment harness, and [`exec`] — a deterministic
+//! metrics and by the experiment harness, [`exec`] — a deterministic
 //! scoped-thread work pool that runs independent simulation pieces (one
 //! node-level kernel per task) in parallel while keeping every reduction
-//! order-stable and byte-identical to serial execution.
+//! order-stable and byte-identical to serial execution — and [`snapshot`] —
+//! versioned, checksummed, byte-stable state encoding for crash-consistent
+//! checkpoint/restore.
 //!
 //! # Determinism
 //!
@@ -27,11 +29,13 @@
 pub mod event;
 pub mod exec;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventId, EventQueue, EventQueueCounters, ScheduledEvent};
-pub use exec::{Pool, PoolCounters};
+pub use exec::{Pool, PoolCounters, SupervisePolicy, Supervised, TaskFailure};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, UtilizationTracker};
 pub use time::{SimDuration, SimTime};

@@ -1,4 +1,4 @@
-//! The rule catalog (SV001–SV012) and the token-level evaluation engine.
+//! The rule catalog (SV001–SV013) and the token-level evaluation engine.
 //!
 //! Two rule scopes exist:
 //!
@@ -280,7 +280,16 @@ pub const RULES: &[Rule] = &[
         },
         scope: Scope::Reachable,
         zones: &["crates/"],
-        exempt: &["crates/simverify/", "crates/experiments/", "crates/bench/"],
+        exempt: &[
+            "crates/simverify/",
+            "crates/experiments/",
+            "crates/bench/",
+            // Checkpoint durability quarantine: atomic save/rotate/load is
+            // filesystem code by design and never reachable from a purity
+            // root — the engine hands CheckpointStore plain bytes
+            // (DESIGN.md §14).
+            "crates/batchsim/src/checkpoint.rs",
+        ],
         invariant_escape: false,
     },
     Rule {
@@ -327,6 +336,21 @@ pub const RULES: &[Rule] = &[
             // The pool implements the ordered merge itself.
             "crates/simcore/src/exec.rs",
         ],
+        invariant_escape: false,
+    },
+    Rule {
+        id: "SV013",
+        summary: "checksum-bypassing snapshot read; decode checkpoints through \
+                  SnapshotReader::new so corruption is detected, not replayed",
+        kind: RuleKind::Tokens {
+            patterns: &[Pattern { toks: &["::", "new_unchecked"], show: "::new_unchecked" }],
+        },
+        scope: Scope::Zones,
+        zones: &["crates/"],
+        // The analyzer spells the pattern in its own table; the forensic
+        // constructor's definition site lives in simcore::snapshot and is
+        // `fn new_unchecked(`, which the `::`-prefixed pattern skips.
+        exempt: &["crates/simverify/"],
         invariant_escape: false,
     },
 ];

@@ -81,6 +81,17 @@ fn sv012_flags_unordered_channels() {
     assert_eq!(findings(&r), vec![("SV012".into(), "crates/app/src/lib.rs".into(), 3)]);
 }
 
+#[test]
+fn sv013_flags_unchecked_snapshot_reads_but_not_the_definition() {
+    let r = run_fixture("sv013");
+    assert_eq!(
+        findings(&r),
+        vec![("SV013".into(), "crates/app/src/lib.rs".into(), 3)],
+        "only the `::new_unchecked` call site fires; `fn new_unchecked(` and \
+         the checked twin stay silent"
+    );
+}
+
 // -------------------------------------------------------------- reachability
 
 #[test]
