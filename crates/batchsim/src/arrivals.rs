@@ -100,55 +100,228 @@ fn exp_gap(mean: f64, rng: &mut SplitMix64) -> f64 {
     -mean * (1.0 - rng.unit()).ln()
 }
 
+/// Lazy Poisson-like stream: each `next()` draws exactly the variates
+/// the materialised path drew for that index, so any prefix of the
+/// stream is identical to [`poisson_stream`] of the same seed —
+/// million-job streams cost O(1) memory instead of a job list.
+pub struct PoissonJobs {
+    cfg: StreamConfig,
+    arrivals: SplitMix64,
+    shapes: SplitMix64,
+    t: f64,
+    next_id: u64,
+}
+
+impl Iterator for PoissonJobs {
+    type Item = BatchJob;
+
+    fn next(&mut self) -> Option<BatchJob> {
+        if self.next_id >= self.cfg.jobs as u64 {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.t += exp_gap(self.cfg.mean_interarrival, &mut self.arrivals);
+        let template = JobTemplate::ALL[(self.shapes.next_u64() % 5) as usize];
+        let heavy = self.shapes.unit() < self.cfg.heavy_fraction;
+        let (ranks, iterations, peak) = if heavy {
+            (12, 3 + (self.shapes.next_u64() % 3) as u32, self.cfg.peak_load)
+        } else {
+            (2 + (self.shapes.next_u64() % 3) as usize, 2, self.cfg.peak_load / 3.0)
+        };
+        let loads = template.rank_loads(peak, ranks, &mut self.shapes);
+        let name = format!("{}-{id}", template.label());
+        Some(BatchJob::new(id, JobSpec::new(name, loads, iterations), self.t))
+    }
+}
+
+/// Streaming generator behind [`poisson_stream`]: yields the same jobs
+/// lazily from `(seed, index)`.
+pub fn poisson_jobs(cfg: &StreamConfig) -> PoissonJobs {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let arrivals = rng.fork(0x0a11);
+    let shapes = rng.fork(0x5a9e);
+    PoissonJobs { cfg: *cfg, arrivals, shapes, t: 0.0, next_id: 0 }
+}
+
 /// Generate a synthetic Poisson-like stream: shapes cycle through the five
 /// workload templates, widths and lengths drawn from the seeded generator.
+/// Materialises [`poisson_jobs`]; the streaming form is the source of
+/// truth, which is what makes prefix equivalence hold by construction.
 pub fn poisson_stream(cfg: &StreamConfig) -> Vec<BatchJob> {
-    let mut rng = SplitMix64::new(cfg.seed);
-    let mut arrivals = rng.fork(0x0a11);
-    let mut shapes = rng.fork(0x5a9e);
-    let mut t = 0.0;
-    (0..cfg.jobs as u64)
-        .map(|id| {
-            t += exp_gap(cfg.mean_interarrival, &mut arrivals);
-            let template = JobTemplate::ALL[(shapes.next_u64() % 5) as usize];
-            let heavy = shapes.unit() < cfg.heavy_fraction;
-            let (ranks, iterations, peak) = if heavy {
-                (12, 3 + (shapes.next_u64() % 3) as u32, cfg.peak_load)
-            } else {
-                (2 + (shapes.next_u64() % 3) as usize, 2, cfg.peak_load / 3.0)
-            };
-            let loads = template.rank_loads(peak, ranks, &mut shapes);
-            let name = format!("{}-{id}", template.label());
-            BatchJob::new(id, JobSpec::new(name, loads, iterations), t)
-        })
-        .collect()
+    poisson_jobs(cfg).collect()
+}
+
+/// Lazy form of the bundled heavy/light mix — same per-index draws as
+/// [`heavy_light_mix`], yielded on demand.
+pub struct HeavyLightJobs {
+    rng: SplitMix64,
+    t: f64,
+    next_id: u64,
+    total: u64,
+}
+
+impl Iterator for HeavyLightJobs {
+    type Item = BatchJob;
+
+    fn next(&mut self) -> Option<BatchJob> {
+        if self.next_id >= self.total {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.t += exp_gap(0.15, &mut self.rng);
+        let heavy = self.rng.unit() < 0.25;
+        let (template, spec) = if heavy {
+            let template = JobTemplate::ALL[(self.rng.next_u64() % 4) as usize];
+            let loads = template.rank_loads(0.12, 12, &mut self.rng);
+            (template, (loads, 4))
+        } else {
+            let template = JobTemplate::Irregular;
+            let loads =
+                template.rank_loads(0.04, 2 + (self.rng.next_u64() % 3) as usize, &mut self.rng);
+            (template, (loads, 2))
+        };
+        let kind = if heavy { "heavy" } else { "light" };
+        let name = format!("{kind}-{}-{id}", template.label());
+        Some(BatchJob::new(id, JobSpec::new(name, spec.0, spec.1), self.t))
+    }
+}
+
+/// Streaming generator behind [`heavy_light_mix`].
+pub fn heavy_light_jobs(seed: u64, jobs: usize) -> HeavyLightJobs {
+    HeavyLightJobs { rng: SplitMix64::new(seed), t: 0.0, next_id: 0, total: jobs as u64 }
 }
 
 /// The bundled heavy/light mix (the acceptance stream): one wide long job
 /// in four, narrow short fillers otherwise, bursty enough that a queue
 /// forms behind every wide job. Sized for a 4-node fleet: wide jobs take 3
 /// nodes, so exactly one node is left for backfill when a wide job runs.
+/// Materialises [`heavy_light_jobs`].
 pub fn heavy_light_mix(seed: u64, jobs: usize) -> Vec<BatchJob> {
-    let mut rng = SplitMix64::new(seed);
-    let mut t = 0.0;
-    (0..jobs as u64)
-        .map(|id| {
-            t += exp_gap(0.15, &mut rng);
+    heavy_light_jobs(seed, jobs).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-scale class-catalog streams.
+// ---------------------------------------------------------------------------
+
+/// Parameters of a fleet-scale streaming mix: jobs are drawn from a small
+/// catalog of *classes*, each with a fixed shape and length, so the
+/// service-time oracle measures one kernel per `(class, iterations)`
+/// instead of one per job — the property that makes 10^6-job streams
+/// affordable (see [`crate::fleet`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetStreamConfig {
+    pub seed: u64,
+    pub jobs: u64,
+    /// Catalog size: number of distinct job classes.
+    pub classes: u32,
+    /// Mean exponential interarrival gap, seconds.
+    pub mean_interarrival: f64,
+}
+
+impl Default for FleetStreamConfig {
+    fn default() -> Self {
+        FleetStreamConfig { seed: 2008, jobs: 10_000, classes: 24, mean_interarrival: 0.05 }
+    }
+}
+
+/// One catalog entry: the spec every job of the class runs.
+#[derive(Clone, Debug)]
+pub struct ClassSpec {
+    pub loads: Vec<f64>,
+    pub iterations: u32,
+}
+
+/// Build the class catalog for a fleet stream: each class draws its
+/// template, width, and length from its own seeded generator, so the
+/// catalog is a pure function of `(seed, classes)`. Roughly one class in
+/// four is a wide heavy one (up to 36 ranks), the rest are narrow
+/// fillers — the same shape economy as the heavy/light mix, scaled up.
+pub fn class_catalog(cfg: &FleetStreamConfig) -> Vec<ClassSpec> {
+    (0..u64::from(cfg.classes.max(1)))
+        .map(|c| {
+            let mut rng = SplitMix64::new(cfg.seed ^ (c + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let template = JobTemplate::ALL[(rng.next_u64() % 5) as usize];
             let heavy = rng.unit() < 0.25;
-            let (template, spec) = if heavy {
-                let template = JobTemplate::ALL[(rng.next_u64() % 4) as usize];
-                let loads = template.rank_loads(0.12, 12, &mut rng);
-                (template, (loads, 4))
+            let (ranks, iterations, peak) = if heavy {
+                (8 + 4 * (rng.next_u64() % 8) as usize, 2 + (rng.next_u64() % 3) as u32, 0.12)
             } else {
-                let template = JobTemplate::Irregular;
-                let loads = template.rank_loads(0.04, 2 + (rng.next_u64() % 3) as usize, &mut rng);
-                (template, (loads, 2))
+                (2 + (rng.next_u64() % 3) as usize, 2, 0.04)
             };
-            let kind = if heavy { "heavy" } else { "light" };
-            let name = format!("{kind}-{}-{id}", template.label());
-            BatchJob::new(id, JobSpec::new(name, spec.0, spec.1), t)
+            ClassSpec { loads: template.rank_loads(peak, ranks, &mut rng), iterations }
         })
         .collect()
+}
+
+/// Lazy fleet-scale stream: exponential interarrivals, classes drawn
+/// uniformly from the catalog. Pure in `(cfg, index)`; any prefix is
+/// independent of `cfg.jobs`, which is what lets checkpoints image the
+/// generator as `(cfg, emitted)` and replay it on resume.
+pub struct FleetJobs {
+    cfg: FleetStreamConfig,
+    catalog: Vec<ClassSpec>,
+    arrivals: SplitMix64,
+    classes: SplitMix64,
+    t: f64,
+    emitted: u64,
+}
+
+impl FleetJobs {
+    pub fn new(cfg: &FleetStreamConfig) -> FleetJobs {
+        let mut rng = SplitMix64::new(cfg.seed);
+        let arrivals = rng.fork(0xf1ee);
+        let classes = rng.fork(0xc1a5);
+        FleetJobs {
+            cfg: *cfg,
+            catalog: class_catalog(cfg),
+            arrivals,
+            classes,
+            t: 0.0,
+            emitted: 0,
+        }
+    }
+
+    /// Jobs generated so far — the checkpointable progress mark.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    pub fn config(&self) -> &FleetStreamConfig {
+        &self.cfg
+    }
+
+    /// Rebuild a generator positioned after `emitted` jobs by replaying
+    /// the (cheap, kernel-free) draws from the start — generation is pure
+    /// in `(cfg, index)`, so the replayed state is exact.
+    pub fn replay(cfg: &FleetStreamConfig, emitted: u64) -> FleetJobs {
+        let mut gen = FleetJobs::new(cfg);
+        for _ in 0..emitted.min(cfg.jobs) {
+            let _ = gen.next();
+        }
+        gen
+    }
+}
+
+impl Iterator for FleetJobs {
+    type Item = BatchJob;
+
+    fn next(&mut self) -> Option<BatchJob> {
+        if self.emitted >= self.cfg.jobs {
+            return None;
+        }
+        let id = self.emitted;
+        self.emitted += 1;
+        self.t += exp_gap(self.cfg.mean_interarrival, &mut self.arrivals);
+        let class = self.classes.next_u64() % self.catalog.len() as u64;
+        let entry = &self.catalog[class as usize];
+        let spec =
+            JobSpec::new(format!("c{class}-{id}"), entry.loads.clone(), entry.iterations);
+        let mut job = BatchJob::new(id, spec, self.t);
+        job.class = Some(class);
+        Some(job)
+    }
 }
 
 #[cfg(test)]

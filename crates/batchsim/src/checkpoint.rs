@@ -19,12 +19,21 @@ use cluster::JobSpec;
 use faultsim::TaskAbortSpec;
 use simcore::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use simcore::SimTime;
+use telemetry::MetricsSnapshot;
 
+use crate::arrivals::FleetStreamConfig;
 use crate::discipline::Discipline;
+use crate::fleet::FleetAccum;
 use crate::job::BatchJob;
 use crate::sim::{
     BatchConfig, BatchEvent, BatchFault, JobRecord, ReservationRecord, Tracker,
 };
+
+/// Version of the batch checkpoint payload layout. Bumped to 2 when the
+/// fleet extension, `BatchConfig::backfill_window`, and `BatchJob::class`
+/// entered the format; decode rejects other versions rather than
+/// misinterpreting old images.
+pub const BATCH_CHECKPOINT_VERSION: u32 = 2;
 
 /// When a checkpointing run captures images (checked at the engine loop
 /// boundary; both cadences may be set, either firing captures).
@@ -58,6 +67,105 @@ pub struct BatchCheckpoint {
     pub(crate) records: BTreeMap<u64, JobRecord>,
     pub(crate) conformance_src: Vec<(u64, JobSpec)>,
     pub(crate) queue_peak: i64,
+    /// Present when the image belongs to a fleet-scale streaming run.
+    pub(crate) fleet: Option<FleetExtra>,
+}
+
+/// The fleet-mode extension of a checkpoint: everything the streaming
+/// structures hold that the classic plain-data fields cannot express. The
+/// generator images as `(config, popped)` because generation is pure in
+/// `(config, index)`; the trace as its running FNV fold; statistics as the
+/// scalar accumulator; and the metric registry as a full value snapshot
+/// (fleet resumes cannot replay metrics from records — none are kept).
+#[derive(Clone, Debug)]
+pub struct FleetExtra {
+    pub(crate) stream: FleetStreamConfig,
+    /// Jobs the engine has consumed from the generator.
+    pub(crate) popped: u64,
+    pub(crate) trace_hash: u64,
+    pub(crate) trace_len: u64,
+    pub(crate) trace_max_t: SimTime,
+    pub(crate) reservation_count: u64,
+    pub(crate) reservation_last: Option<u64>,
+    pub(crate) accum: FleetAccum,
+    pub(crate) metrics: MetricsSnapshot,
+}
+
+impl Snapshot for FleetStreamConfig {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.seed);
+        w.put_u64(self.jobs);
+        w.put_u32(self.classes);
+        w.put_f64(self.mean_interarrival);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FleetStreamConfig {
+            seed: r.get_u64()?,
+            jobs: r.get_u64()?,
+            classes: r.get_u32()?,
+            mean_interarrival: r.get_f64()?,
+        })
+    }
+}
+
+impl Snapshot for FleetAccum {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.jobs);
+        w.put_u64(self.completed);
+        w.put_u64(self.degraded);
+        w.put_u64(self.backfilled);
+        w.put_u64(self.requeued);
+        w.put_f64(self.wait_sum);
+        w.put_f64(self.wait_max);
+        w.put_f64(self.turnaround_sum);
+        w.put_f64(self.turnaround_max);
+        w.put_f64(self.slowdown_sum);
+        w.put_f64(self.slowdown_max);
+        w.put_f64(self.node_secs);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FleetAccum {
+            jobs: r.get_u64()?,
+            completed: r.get_u64()?,
+            degraded: r.get_u64()?,
+            backfilled: r.get_u64()?,
+            requeued: r.get_u64()?,
+            wait_sum: r.get_f64()?,
+            wait_max: r.get_f64()?,
+            turnaround_sum: r.get_f64()?,
+            turnaround_max: r.get_f64()?,
+            slowdown_sum: r.get_f64()?,
+            slowdown_max: r.get_f64()?,
+            node_secs: r.get_f64()?,
+        })
+    }
+}
+
+impl Snapshot for FleetExtra {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        self.stream.snapshot(w);
+        w.put_u64(self.popped);
+        w.put_u64(self.trace_hash);
+        w.put_u64(self.trace_len);
+        w.put(&self.trace_max_t);
+        w.put_u64(self.reservation_count);
+        w.put(&self.reservation_last);
+        self.accum.snapshot(w);
+        w.put(&self.metrics);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FleetExtra {
+            stream: r.get()?,
+            popped: r.get_u64()?,
+            trace_hash: r.get_u64()?,
+            trace_len: r.get_u64()?,
+            trace_max_t: r.get()?,
+            reservation_count: r.get_u64()?,
+            reservation_last: r.get()?,
+            accum: r.get()?,
+            metrics: r.get()?,
+        })
+    }
 }
 
 impl BatchCheckpoint {
@@ -90,14 +198,25 @@ impl BatchCheckpoint {
         self.now
     }
 
-    /// Trace events accumulated before the capture.
+    /// Trace events accumulated before the capture. Classic images count
+    /// their stored events; fleet images count the hashed-trace fold.
     pub fn events_len(&self) -> usize {
-        self.events.len()
+        match &self.fleet {
+            Some(extra) => extra.trace_len as usize,
+            None => self.events.len(),
+        }
+    }
+
+    /// Whether this image belongs to a fleet-scale streaming run (resume
+    /// it with [`crate::resume_fleet`] rather than [`crate::resume_batch`]).
+    pub fn is_fleet(&self) -> bool {
+        self.fleet.is_some()
     }
 }
 
 impl Snapshot for BatchCheckpoint {
     fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u32(BATCH_CHECKPOINT_VERSION);
         self.cfg.snapshot(w);
         w.put(&self.fault_armed);
         w.put(&self.now);
@@ -113,9 +232,13 @@ impl Snapshot for BatchCheckpoint {
         w.put(&self.records);
         w.put(&self.conformance_src);
         w.put_i64(self.queue_peak);
+        w.put(&self.fleet);
     }
 
     fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        if r.get_u32()? != BATCH_CHECKPOINT_VERSION {
+            return Err(SnapshotError::Malformed("unsupported batch checkpoint version"));
+        }
         Ok(BatchCheckpoint {
             cfg: r.get()?,
             fault_armed: r.get()?,
@@ -132,6 +255,7 @@ impl Snapshot for BatchCheckpoint {
             records: r.get()?,
             conformance_src: r.get()?,
             queue_peak: r.get_i64()?,
+            fleet: r.get()?,
         })
     }
 }
@@ -175,6 +299,7 @@ impl Snapshot for BatchConfig {
                 w.put_bool(a.hang);
             }
         }
+        w.put(&self.backfill_window);
     }
 
     fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
@@ -199,6 +324,7 @@ impl Snapshot for BatchConfig {
             } else {
                 None
             },
+            backfill_window: r.get()?,
         })
     }
 }
@@ -225,9 +351,15 @@ impl Snapshot for BatchJob {
         w.put_u64(self.id);
         self.spec.snapshot(w);
         w.put_f64(self.arrival);
+        w.put(&self.class);
     }
     fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
-        Ok(BatchJob { id: r.get_u64()?, spec: r.get()?, arrival: r.get_f64()? })
+        Ok(BatchJob {
+            id: r.get_u64()?,
+            spec: r.get()?,
+            arrival: r.get_f64()?,
+            class: r.get()?,
+        })
     }
 }
 

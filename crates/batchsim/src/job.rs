@@ -13,11 +13,22 @@ pub struct BatchJob {
     pub spec: JobSpec,
     /// Submission time, seconds from stream start.
     pub arrival: f64,
+    /// Service-time class. Jobs sharing a class have identical specs (up
+    /// to the name), so the oracle memoizes one kernel measurement per
+    /// `(class, iterations)` instead of one per job — what makes
+    /// million-job fleet streams affordable. `None` keys the oracle by
+    /// job id, the classic per-job behaviour.
+    pub class: Option<u64>,
 }
 
 impl BatchJob {
     pub fn new(id: u64, spec: JobSpec, arrival: f64) -> BatchJob {
-        BatchJob { id, spec, arrival }
+        BatchJob { id, spec, arrival, class: None }
+    }
+
+    /// The oracle memoization key: the class when present, else the id.
+    pub fn service_key(&self) -> u64 {
+        self.class.unwrap_or(self.id)
     }
 
     /// Nodes this gang occupies: allocation is node-exclusive, so a job

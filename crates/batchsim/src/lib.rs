@@ -28,16 +28,29 @@
 pub mod arrivals;
 pub mod checkpoint;
 pub mod discipline;
+pub mod fleet;
+pub mod index;
 pub mod job;
+pub mod pending;
 pub mod sim;
 pub mod stats;
 
-pub use arrivals::{heavy_light_mix, poisson_stream, JobTemplate, StreamConfig};
-pub use checkpoint::{BatchCheckpoint, CheckpointPolicy, CheckpointStore, StoreError};
+pub use arrivals::{
+    class_catalog, heavy_light_jobs, heavy_light_mix, poisson_jobs, poisson_stream, ClassSpec,
+    FleetJobs, FleetStreamConfig, HeavyLightJobs, JobTemplate, PoissonJobs, StreamConfig,
+};
+pub use checkpoint::{
+    BatchCheckpoint, CheckpointPolicy, CheckpointStore, FleetExtra, StoreError,
+    BATCH_CHECKPOINT_VERSION,
+};
 pub use discipline::Discipline;
+pub use fleet::{FleetAccum, FleetConfig, FleetOutcome};
+pub use index::ReleaseIndex;
 pub use job::BatchJob;
+pub use pending::PendingQueue;
 pub use sim::{
-    resume_batch, run_batch, run_batch_checkpointed, run_batch_until, BatchConfig, BatchEvent,
-    BatchFault, BatchOutcome, JobRecord, ReservationRecord,
+    resume_batch, resume_fleet, run_batch, run_batch_checkpointed, run_batch_until, run_fleet,
+    run_fleet_until, text_fnv1a, BatchConfig, BatchEvent, BatchFault, BatchOutcome, JobRecord,
+    ReservationRecord,
 };
 pub use stats::FleetStats;

@@ -1,0 +1,190 @@
+//! The discipline-ordered pending-job queue.
+//!
+//! The engine used to keep pending job ids in a `VecDeque`, which made
+//! head requeues and candidate removal O(n) and SJF a full re-sort every
+//! scheduling pass. [`PendingQueue`] keeps the same observable orders in
+//! ordered sets, so every operation the engine needs — front insert on
+//! requeue, discipline-ordered insert, removal by id, widest-first
+//! unplaceable scans — is O(log n):
+//!
+//! * FCFS/EASY order is an insertion sequence number: `push_back` counts
+//!   up from the origin, `push_front` counts down, so a requeued victim
+//!   lands ahead of everything queued — exactly the old
+//!   `VecDeque::push_front` order.
+//! * SJF order is the service time as a sort key: non-negative finite
+//!   `f64` bit patterns order identically to the floats, so
+//!   `(service.to_bits(), id)` reproduces the old
+//!   `partial_cmp`-then-id sort without re-sorting.
+//! * A parallel `(nodes_needed, id)` set answers "which queued jobs are
+//!   wider than the surviving fleet" as a range query instead of a full
+//!   scan.
+//!
+//! One queue instance is always driven by a single discipline: sequence
+//! ranks and service-bit ranks are never mixed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// Rank space origin for sequence-ordered (FCFS/EASY) insertion: back
+/// inserts count up from here, front inserts count down. Service-bit
+/// ranks (SJF) are positive-`f64` bit patterns, which stay below `1 << 63`
+/// and never mix with sequence ranks in one queue anyway.
+const SEQ_ORIGIN: u64 = 1 << 62;
+
+/// Ordered pending queue over job ids. Iteration order is the queue
+/// order; all mutations are O(log n).
+#[derive(Clone, Debug, Default)]
+pub struct PendingQueue {
+    /// `(rank, id)` — the queue order.
+    by_rank: BTreeSet<(u64, u64)>,
+    /// id → `(rank, nodes_needed)`, for O(log n) removal and re-ranking.
+    meta: BTreeMap<u64, (u64, usize)>,
+    /// `(nodes_needed, id)` — widest-first range scans for unplaceable
+    /// detection.
+    by_need: BTreeSet<(usize, u64)>,
+    back_seq: u64,
+    front_seq: u64,
+}
+
+impl PendingQueue {
+    pub fn new() -> PendingQueue {
+        PendingQueue {
+            by_rank: BTreeSet::new(),
+            meta: BTreeMap::new(),
+            by_need: BTreeSet::new(),
+            back_seq: SEQ_ORIGIN,
+            front_seq: SEQ_ORIGIN - 1,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_rank.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_rank.is_empty()
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.meta.contains_key(&id)
+    }
+
+    /// Head of the queue in discipline order.
+    pub fn first(&self) -> Option<u64> {
+        self.by_rank.first().map(|&(_, id)| id)
+    }
+
+    /// Ids in queue order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.by_rank.iter().map(|&(_, id)| id)
+    }
+
+    /// Append in arrival order (FCFS/EASY).
+    pub fn push_back(&mut self, id: u64, need: usize) {
+        let rank = self.back_seq;
+        self.back_seq += 1;
+        self.insert(id, rank, need);
+    }
+
+    /// Insert ahead of everything queued — the requeue-victim path. Each
+    /// later front insert lands ahead of earlier ones, matching repeated
+    /// `VecDeque::push_front`.
+    pub fn push_front(&mut self, id: u64, need: usize) {
+        let rank = self.front_seq;
+        self.front_seq -= 1;
+        self.insert(id, rank, need);
+    }
+
+    /// Insert at an explicit rank (SJF: `service.to_bits()`); ties break
+    /// by id.
+    pub fn push_ranked(&mut self, id: u64, rank: u64, need: usize) {
+        self.insert(id, rank, need);
+    }
+
+    fn insert(&mut self, id: u64, rank: u64, need: usize) {
+        self.remove(id);
+        self.by_rank.insert((rank, id));
+        self.by_need.insert((need, id));
+        self.meta.insert(id, (rank, need));
+    }
+
+    /// Remove a job by id; `false` when it was not queued.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.meta.remove(&id) {
+            Some((rank, need)) => {
+                self.by_rank.remove(&(rank, id));
+                self.by_need.remove(&(need, id));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Jobs needing more than `limit` nodes, in queue order. A range
+    /// query over the width set — O(matches · log n), not O(n).
+    pub fn wider_than(&self, limit: usize) -> Vec<u64> {
+        let mut hits: Vec<(u64, u64)> = self
+            .by_need
+            .range((Excluded((limit, u64::MAX)), Unbounded))
+            .map(|&(_, id)| (self.meta.get(&id).map_or(0, |&(rank, _)| rank), id))
+            .collect();
+        hits.sort_unstable();
+        hits.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_and_front_orders_match_a_deque() {
+        let mut q = PendingQueue::new();
+        q.push_back(1, 1);
+        q.push_back(2, 1);
+        q.push_front(7, 2);
+        q.push_back(3, 1);
+        q.push_front(9, 2);
+        // Deque image: push_back 1,2 / push_front 7 / push_back 3 /
+        // push_front 9 → [9, 7, 1, 2, 3].
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![9, 7, 1, 2, 3]);
+        assert_eq!(q.first(), Some(9));
+        assert!(q.remove(7));
+        assert!(!q.remove(7));
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![9, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ranked_order_matches_float_sort() {
+        let mut q = PendingQueue::new();
+        let services = [(10u64, 3.5f64), (11, 0.25), (12, 3.5), (13, 0.0)];
+        for (id, svc) in services {
+            q.push_ranked(id, svc.to_bits(), 1);
+        }
+        // Sorted by (service, id): 0.0 → 13, 0.25 → 11, 3.5 → 10, 12.
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![13, 11, 10, 12]);
+    }
+
+    #[test]
+    fn wider_than_returns_queue_order() {
+        let mut q = PendingQueue::new();
+        q.push_back(1, 4);
+        q.push_back(2, 1);
+        q.push_front(3, 6);
+        q.push_back(4, 5);
+        assert_eq!(q.wider_than(3), vec![3, 1, 4]);
+        assert_eq!(q.wider_than(6), Vec::<u64>::new());
+        assert_eq!(q.wider_than(0).len(), 4);
+    }
+
+    #[test]
+    fn reinsert_replaces_the_old_position() {
+        let mut q = PendingQueue::new();
+        q.push_back(5, 2);
+        q.push_back(6, 2);
+        q.push_front(5, 3);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(q.wider_than(2), vec![5]);
+        assert_eq!(q.len(), 2);
+    }
+}

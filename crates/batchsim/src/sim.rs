@@ -8,12 +8,18 @@
 //!
 //! * arrivals are a sorted input, ties broken by submission id;
 //! * every queue decision iterates jobs in a total order (discipline
-//!   order, then id) over `BTreeMap`/`Vec` state — no hash iteration;
+//!   order, then id) over ordered-set state — no hash iteration; the
+//!   pending queue ([`crate::pending::PendingQueue`]) and the release
+//!   index ([`crate::index::ReleaseIndex`]) keep exactly the orders the
+//!   old linear structures exposed, in O(log n) per operation;
 //! * a job's *service time* is computed by seeded kernel runs whose seeds
-//!   mix only `(config seed, job id, local node index)` — never the start
-//!   time or the global node ids — so the oracle used for SJF ordering and
-//!   EASY shadow arithmetic returns exactly the duration the job will
-//!   take when it actually runs, whenever that is;
+//!   mix only `(config seed, service key, local node index)` — never the
+//!   start time or the global node ids — so the oracle used for SJF
+//!   ordering and EASY shadow arithmetic returns exactly the duration the
+//!   job will take when it actually runs, whenever that is. The service
+//!   key is the job id, or the job's class when the stream assigns one
+//!   ([`BatchJob::service_key`]) — class catalogs are what make
+//!   million-job fleet streams affordable (one measurement per class);
 //! * event timestamps are exact [`SimTime`] nanoseconds — equality and
 //!   ordering of completions, arrivals, and EASY shadow deadlines are
 //!   integer comparisons, with no float slack;
@@ -30,6 +36,16 @@
 //! rather than estimate-based: the reservation (shadow time) computed when
 //! the queue head blocks is the time the head actually starts, unless an
 //! earlier completion improves it.
+//!
+//! # Fleet mode
+//!
+//! [`run_fleet`] drives the same engine with streaming replacements for
+//! every O(jobs) structure: arrivals come from a lazy generator, the
+//! trace folds into an FNV-1a fingerprint as it is emitted, and records
+//! fold into a [`FleetAccum`] — see [`crate::fleet`]. Because the engine
+//! is shared, a fleet run over a materialised copy of the same stream
+//! through [`run_batch`] produces a trace whose fingerprint equals the
+//! fleet run's `trace_hash`.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
@@ -43,9 +59,30 @@ use simcore::{Pool, PoolCounters, SimDuration, SimTime, SupervisePolicy, TaskFai
 use simverify::conformance::{check_with_metrics, CheckConfig, Report};
 use telemetry::{MetricsRegistry, MetricsSnapshot};
 
-use crate::checkpoint::{BatchCheckpoint, CheckpointPolicy};
+use crate::arrivals::FleetJobs;
+use crate::checkpoint::{BatchCheckpoint, CheckpointPolicy, FleetExtra};
 use crate::discipline::Discipline;
+use crate::fleet::{FleetAccum, FleetConfig, FleetOutcome};
+use crate::index::ReleaseIndex;
 use crate::job::BatchJob;
+use crate::pending::PendingQueue;
+use crate::stats::FleetStats;
+
+/// FNV-1a 64-bit offset basis — the trace fingerprint seed.
+pub const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a fingerprint of a rendered text blob. Hashing a full rendered
+/// trace with this equals the incremental per-line fold a fleet run keeps.
+pub fn text_fnv1a(text: &str) -> u64 {
+    let mut h = FNV_BASIS;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// Batch scheduler configuration.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +112,11 @@ pub struct BatchConfig {
     /// Injected transient task-abort fault (faultsim `taskabort:` class),
     /// exercised by the supervisor's retry/quarantine path.
     pub abort: Option<TaskAbortSpec>,
+    /// EASY backfill candidate budget per scheduling pass (the
+    /// `bf_max_job_test` analogue): only the first N queued jobs behind
+    /// the head are considered. `None` examines the whole queue — the
+    /// classic behaviour, byte-identical to the pre-window engine.
+    pub backfill_window: Option<usize>,
 }
 
 impl Default for BatchConfig {
@@ -91,6 +133,7 @@ impl Default for BatchConfig {
             retry_limit: 2,
             watchdog_secs: None,
             abort: None,
+            backfill_window: None,
         }
     }
 }
@@ -161,6 +204,56 @@ impl BatchEvent {
     }
 }
 
+fn event_time(e: &BatchEvent) -> SimTime {
+    match e {
+        BatchEvent::Submit { t, .. }
+        | BatchEvent::Start { t, .. }
+        | BatchEvent::Finish { t, .. }
+        | BatchEvent::NodeFail { t, .. }
+        | BatchEvent::Requeue { t, .. }
+        | BatchEvent::Degraded { t, .. } => *t,
+    }
+}
+
+/// The event log: classic runs keep every event; fleet runs fold each
+/// rendered line (plus its newline) into an FNV-1a fingerprint the moment
+/// it is emitted, so the hash equals [`text_fnv1a`] of the full rendered
+/// trace while holding O(1) memory.
+pub(crate) enum TraceLog {
+    Full(Vec<BatchEvent>),
+    Hashing { hash: u64, count: u64, max_t: SimTime },
+}
+
+impl TraceLog {
+    fn push(&mut self, e: BatchEvent) {
+        match self {
+            TraceLog::Full(v) => v.push(e),
+            TraceLog::Hashing { hash, count, max_t } => {
+                let line = e.render();
+                let mut h = *hash;
+                for b in line.bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(FNV_PRIME);
+                }
+                h ^= u64::from(b'\n');
+                *hash = h.wrapping_mul(FNV_PRIME);
+                *count += 1;
+                let t = event_time(&e);
+                if t > *max_t {
+                    *max_t = t;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TraceLog::Full(v) => v.len(),
+            TraceLog::Hashing { count, .. } => *count as usize,
+        }
+    }
+}
+
 /// The head-of-queue reservation EASY computed when the head first
 /// blocked: the head is guaranteed to start no later than `shadow`.
 #[derive(Clone, Copy, Debug)]
@@ -170,6 +263,30 @@ pub struct ReservationRecord {
     pub at: SimTime,
     /// The shadow time: earliest instant enough nodes free up.
     pub shadow: SimTime,
+}
+
+/// Reservation bookkeeping: classic runs keep the first reservation per
+/// head job; fleet runs keep only a count, deduplicated per blocked-head
+/// stretch (a head re-reserves every pass while it stays blocked).
+pub(crate) enum ReservationLog {
+    Full(BTreeMap<u64, ReservationRecord>),
+    Count { count: u64, last: Option<u64> },
+}
+
+impl ReservationLog {
+    fn note(&mut self, job: u64, at: SimTime, shadow: SimTime) {
+        match self {
+            ReservationLog::Full(m) => {
+                m.entry(job).or_insert(ReservationRecord { job, at, shadow });
+            }
+            ReservationLog::Count { count, last } => {
+                if *last != Some(job) {
+                    *count += 1;
+                    *last = Some(job);
+                }
+            }
+        }
+    }
 }
 
 /// Final per-job accounting. Times here are derived *reporting* floats;
@@ -196,6 +313,24 @@ pub struct JobRecord {
     /// The per-job cluster outcome — degraded-but-clean under faults, in
     /// the same shape single-job cluster runs produce.
     pub outcome: ClusterOutcome,
+}
+
+/// Where finished job records go: classic runs keep them all; fleet runs
+/// fold each into the O(1) accumulator and drop it.
+pub(crate) enum RecordSink {
+    Full(BTreeMap<u64, JobRecord>),
+    Streaming(FleetAccum),
+}
+
+impl RecordSink {
+    fn put(&mut self, r: JobRecord) {
+        match self {
+            RecordSink::Full(m) => {
+                m.insert(r.id, r);
+            }
+            RecordSink::Streaming(a) => a.fold(&r),
+        }
+    }
 }
 
 /// Everything a batch run produces.
@@ -240,7 +375,8 @@ impl BatchOutcome {
     }
 }
 
-/// One per-(job, iterations) kernel measurement, cached by the oracle.
+/// One per-(service key, iterations) kernel measurement, cached by the
+/// oracle.
 #[derive(Clone, Debug)]
 struct SegmentRun {
     placement: Placement,
@@ -254,10 +390,13 @@ struct SegmentRun {
     failed: Option<&'static str>,
 }
 
-/// The service-time oracle: runs each distinct (job, remaining
+/// The service-time oracle: runs each distinct (service key, remaining
 /// iterations) segment once on real kernels and memoizes. Because seeds
 /// never involve time or global node ids, SJF ordering and EASY shadow
-/// arithmetic read the *exact* durations later admissions will take.
+/// arithmetic read the *exact* durations later admissions will take. Keys
+/// are [`BatchJob::service_key`]: the job id classically, the job class in
+/// fleet streams — which collapses a million-job stream to one
+/// measurement per (class, iterations).
 ///
 /// Node runs within a segment are independent and go through the pool;
 /// seeds are forked serially in node order first, so the fork sequence —
@@ -272,15 +411,15 @@ struct Oracle {
     /// Supervisor policy for every node measurement: bounded deterministic
     /// retry on panic, optional wall-clock watchdog per attempt.
     policy: SupervisePolicy,
-    /// Injected transient abort (faultsim `taskabort:`), keyed on (job,
-    /// local node, attempt) so outcomes are thread-count-invariant.
+    /// Injected transient abort (faultsim `taskabort:`), keyed on (service
+    /// key, local node, attempt) so outcomes are thread-count-invariant.
     abort: Option<TaskAbortSpec>,
     pool: Pool,
 }
 
 impl Oracle {
-    fn measure(&mut self, id: u64, spec: &JobSpec) -> SegmentRun {
-        if let Some(hit) = self.cache.get(&(id, spec.iterations)) {
+    fn measure(&mut self, key: u64, spec: &JobSpec) -> SegmentRun {
+        if let Some(hit) = self.cache.get(&(key, spec.iterations)) {
             return hit.clone();
         }
         let nodes_needed = spec.ranks().div_ceil(cluster::placement::NODE_SLOTS);
@@ -290,7 +429,7 @@ impl Oracle {
             place(spec, nodes_needed, self.placement).expect("sized allocation always fits");
         // Fork per-node seeds serially, in node order, exactly as the
         // serial loop did: empty slots draw nothing. Only then fan out.
-        let mut rng = SplitMix64::new(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SplitMix64::new(self.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let seeds: Vec<Option<u64>> = placement
             .nodes
             .iter()
@@ -306,7 +445,7 @@ impl Oracle {
         let sched = self.sched;
         let verify = self.verify_jobs;
         let iterations = spec.iterations;
-        let abort = self.abort.filter(|a| a.job == id);
+        let abort = self.abort.filter(|a| a.job == key);
         let watchdog = self.policy.timeout.is_some();
         let tasks: Vec<_> = placement
             .nodes
@@ -377,15 +516,15 @@ impl Oracle {
         let slowest = node_secs.iter().cloned().fold(0.0, f64::max);
         let service = slowest + self.internode_latency * spec.iterations as f64;
         let run = SegmentRun { placement, node_secs, service, reports, failed };
-        self.cache.insert((id, spec.iterations), run.clone());
+        self.cache.insert((key, spec.iterations), run.clone());
         run
     }
 
-    fn service(&mut self, id: u64, spec: &JobSpec) -> f64 {
-        if let Some(hit) = self.cache.get(&(id, spec.iterations)) {
+    fn service(&mut self, key: u64, spec: &JobSpec) -> f64 {
+        if let Some(hit) = self.cache.get(&(key, spec.iterations)) {
             return hit.service;
         }
-        self.measure(id, spec).service
+        self.measure(key, spec).service
     }
 }
 
@@ -419,17 +558,97 @@ struct Running {
     run: SegmentRun,
 }
 
+/// The node fleet. `up`/`busy` are the checkpoint image; the free set and
+/// alive count are derived views kept in lockstep so allocation is
+/// O(width · log n) instead of an O(n) scan per decision.
 pub(crate) struct Fleet {
     pub(crate) up: Vec<bool>,
     pub(crate) busy: Vec<bool>,
+    free: std::collections::BTreeSet<usize>,
+    alive: usize,
 }
 
 impl Fleet {
-    fn free_ids(&self) -> Vec<usize> {
-        (0..self.up.len()).filter(|&n| self.up[n] && !self.busy[n]).collect()
+    fn new(n: usize) -> Fleet {
+        Fleet {
+            up: vec![true; n],
+            busy: vec![false; n],
+            free: (0..n).collect(),
+            alive: n,
+        }
     }
+
+    /// Rebuild the derived views from checkpoint images.
+    fn from_images(up: Vec<bool>, busy: Vec<bool>) -> Fleet {
+        let free = (0..up.len()).filter(|&n| up[n] && !busy[n]).collect();
+        let alive = up.iter().filter(|&&u| u).count();
+        Fleet { up, busy, free, alive }
+    }
+
     fn alive(&self) -> usize {
-        self.up.iter().filter(|&&u| u).count()
+        self.alive
+    }
+
+    fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The first `need` free node ids, in node-id order — the same ids a
+    /// full scan used to return.
+    fn first_free(&self, need: usize) -> Vec<usize> {
+        self.free.iter().copied().take(need).collect()
+    }
+
+    fn occupy(&mut self, n: usize) {
+        self.busy[n] = true;
+        self.free.remove(&n);
+    }
+
+    fn release(&mut self, n: usize) {
+        self.busy[n] = false;
+        if self.up[n] {
+            self.free.insert(n);
+        }
+    }
+
+    fn kill(&mut self, n: usize) {
+        if self.up[n] {
+            self.up[n] = false;
+            self.alive -= 1;
+            self.free.remove(&n);
+        }
+    }
+}
+
+/// Where jobs come from: a materialised sorted list (classic) or a lazy
+/// generator plus one job of lookahead (fleet). The generator yields in
+/// nondecreasing arrival order, so one job of lookahead is enough to
+/// answer "when is the next arrival".
+pub(crate) enum JobSource {
+    Materialized(VecDeque<BatchJob>),
+    Stream { gen: FleetJobs, next: Option<BatchJob>, popped: u64 },
+}
+
+impl JobSource {
+    fn peek_arrival(&self) -> Option<SimTime> {
+        match self {
+            JobSource::Materialized(q) => q.front().map(arrival_time),
+            JobSource::Stream { next, .. } => next.as_ref().map(arrival_time),
+        }
+    }
+
+    fn pop(&mut self) -> Option<BatchJob> {
+        match self {
+            JobSource::Materialized(q) => q.pop_front(),
+            JobSource::Stream { gen, next, popped } => {
+                let out = next.take();
+                if out.is_some() {
+                    *popped += 1;
+                    *next = gen.next();
+                }
+                out
+            }
+        }
     }
 }
 
@@ -442,6 +661,10 @@ struct Counters {
     nodes_failed: telemetry::Counter,
     wait_us: telemetry::HistogramHandle,
     turnaround_us: telemetry::HistogramHandle,
+    /// Bounded slowdown ×1000 — log2-bucketed distribution, O(1) memory.
+    slowdown_milli: telemetry::HistogramHandle,
+    /// Node·seconds held per completed job ×1000, log2-bucketed.
+    node_secs_ms: telemetry::HistogramHandle,
     queue_peak: telemetry::Gauge,
 }
 
@@ -456,6 +679,8 @@ impl Counters {
             nodes_failed: reg.counter("batch.nodes.failed"),
             wait_us: reg.histogram("batch.wait_us"),
             turnaround_us: reg.histogram("batch.turnaround_us"),
+            slowdown_milli: reg.histogram("batch.slowdown_milli"),
+            node_secs_ms: reg.histogram("batch.node_secs_ms"),
             queue_peak: reg.gauge("batch.queue_depth_peak"),
         }
     }
@@ -470,16 +695,21 @@ fn arrival_time(job: &BatchJob) -> SimTime {
 /// exactly what a checkpoint captures. Every field is either plain data
 /// or re-derivable from plain data plus the pure oracle.
 pub(crate) struct EngineState {
-    pub(crate) arrivals: VecDeque<BatchJob>,
+    pub(crate) source: JobSource,
     pub(crate) fleet: Fleet,
     pub(crate) trackers: BTreeMap<u64, Tracker>,
-    pub(crate) queue: VecDeque<u64>,
-    running: Vec<Running>,
-    pub(crate) events: Vec<BatchEvent>,
-    pub(crate) reservations: BTreeMap<u64, ReservationRecord>,
-    pub(crate) records: BTreeMap<u64, JobRecord>,
-    /// Jobs (in admit order) whose kernel conformance must be reported;
-    /// reports re-derive from the memoized oracle at outcome build.
+    pub(crate) pending: PendingQueue,
+    /// Admission sequence → running segment; iteration order is admission
+    /// order, which the release index's tie-break mirrors.
+    running: BTreeMap<u64, Running>,
+    release: ReleaseIndex,
+    next_seq: u64,
+    pub(crate) trace: TraceLog,
+    pub(crate) reservations: ReservationLog,
+    pub(crate) sink: RecordSink,
+    /// Jobs (service key, in admit order) whose kernel conformance must be
+    /// reported; reports re-derive from the memoized oracle at outcome
+    /// build.
     pub(crate) conformance_src: Vec<(u64, JobSpec)>,
     pub(crate) completions: u32,
     pub(crate) fault_armed: Option<BatchFault>,
@@ -512,6 +742,7 @@ fn init_state(
     stream: &[BatchJob],
     cfg: &BatchConfig,
     fault: Option<&BatchFault>,
+    oracle: &mut Oracle,
     ctr: &Counters,
 ) -> EngineState {
     let arrivals: VecDeque<BatchJob> = {
@@ -520,14 +751,16 @@ fn init_state(
         v.into()
     };
     let mut st = EngineState {
-        arrivals,
-        fleet: Fleet { up: vec![true; cfg.num_nodes], busy: vec![false; cfg.num_nodes] },
+        source: JobSource::Materialized(arrivals),
+        fleet: Fleet::new(cfg.num_nodes),
         trackers: BTreeMap::new(),
-        queue: VecDeque::new(),
-        running: Vec::new(),
-        events: Vec::new(),
-        reservations: BTreeMap::new(),
-        records: BTreeMap::new(),
+        pending: PendingQueue::new(),
+        running: BTreeMap::new(),
+        release: ReleaseIndex::new(),
+        next_seq: 0,
+        trace: TraceLog::Full(Vec::new()),
+        reservations: ReservationLog::Full(BTreeMap::new()),
+        sink: RecordSink::Full(BTreeMap::new()),
         conformance_src: Vec::new(),
         completions: 0,
         fault_armed: fault.filter(|f| f.node < cfg.num_nodes).copied(),
@@ -536,19 +769,29 @@ fn init_state(
     // A fault at zero completions hits an idle fleet before any admission.
     // This fires exactly once at init, so a checkpoint (always captured
     // after init) never replays it.
-    maybe_fire_fault(
-        &mut st.fault_armed,
-        st.completions,
-        st.now,
-        &mut st.fleet,
-        &mut st.running,
-        &mut st.trackers,
-        &mut st.queue,
-        &mut st.records,
-        &mut st.events,
-        ctr,
-    );
+    maybe_fire_fault(cfg, oracle, ctr, &mut st);
     st
+}
+
+fn init_fleet_state(cfg: &FleetConfig, _ctr: &Counters) -> EngineState {
+    let mut gen = FleetJobs::new(&cfg.stream);
+    let next = gen.next();
+    EngineState {
+        source: JobSource::Stream { gen, next, popped: 0 },
+        fleet: Fleet::new(cfg.batch.num_nodes),
+        trackers: BTreeMap::new(),
+        pending: PendingQueue::new(),
+        running: BTreeMap::new(),
+        release: ReleaseIndex::new(),
+        next_seq: 0,
+        trace: TraceLog::Hashing { hash: FNV_BASIS, count: 0, max_t: SimTime::ZERO },
+        reservations: ReservationLog::Count { count: 0, last: None },
+        sink: RecordSink::Streaming(FleetAccum::default()),
+        conformance_src: Vec::new(),
+        completions: 0,
+        fault_armed: None,
+        now: SimTime::ZERO,
+    }
 }
 
 /// Drive the event loop until the stream drains (returns `false`) or
@@ -568,23 +811,10 @@ fn run_engine(
         if stop(st) {
             return true;
         }
-        schedule(
-            cfg,
-            st.now,
-            oracle,
-            &mut st.fleet,
-            &mut st.trackers,
-            &mut st.queue,
-            &mut st.running,
-            &mut st.records,
-            &mut st.reservations,
-            &mut st.conformance_src,
-            &mut st.events,
-            ctr,
-        );
+        schedule(cfg, oracle, ctr, st);
 
-        let next_finish = st.running.iter().map(|r| r.end).min().unwrap_or(SimTime::MAX);
-        let next_arrival = st.arrivals.front().map_or(SimTime::MAX, arrival_time);
+        let next_finish = st.release.next_release().unwrap_or(SimTime::MAX);
+        let next_arrival = st.source.peek_arrival().unwrap_or(SimTime::MAX);
         if next_finish == SimTime::MAX && next_arrival == SimTime::MAX {
             return false;
         }
@@ -593,48 +823,31 @@ fn run_engine(
         // Completions first (freeing nodes for same-instant arrivals), in
         // id order for determinism. Timestamps are exact nanoseconds, so
         // "same instant" is integer equality.
-        let mut finished: Vec<Running> = Vec::new();
-        let mut keep: Vec<Running> = Vec::new();
-        for r in st.running.drain(..) {
-            if r.end <= st.now {
-                finished.push(r);
-            } else {
-                keep.push(r);
-            }
-        }
-        st.running = keep;
+        let released = st.release.pop_released(st.now);
+        let mut finished: Vec<Running> =
+            released.iter().filter_map(|seq| st.running.remove(seq)).collect();
         finished.sort_by_key(|r| r.id);
         for seg in finished {
-            complete(seg, st.now, &mut st.fleet, &mut st.trackers, &mut st.records, &mut st.events, ctr, oracle);
+            complete(seg, oracle, ctr, st);
             st.completions += 1;
-            maybe_fire_fault(
-                &mut st.fault_armed,
-                st.completions,
-                st.now,
-                &mut st.fleet,
-                &mut st.running,
-                &mut st.trackers,
-                &mut st.queue,
-                &mut st.records,
-                &mut st.events,
-                ctr,
-            );
+            maybe_fire_fault(cfg, oracle, ctr, st);
         }
 
-        while st.arrivals.front().is_some_and(|j| arrival_time(j) <= st.now) {
+        while st.source.peek_arrival().is_some_and(|t| t <= st.now) {
             // INVARIANT: guarded by the is_some_and above.
-            let job = st.arrivals.pop_front().expect("front checked");
+            let job = st.source.pop().expect("peeked arrival present");
             ctr.submitted.inc();
-            st.events.push(BatchEvent::Submit {
+            st.trace.push(BatchEvent::Submit {
                 t: st.now,
                 job: job.id,
                 ranks: job.spec.ranks(),
                 nodes: job.nodes_needed(),
             });
+            let id = job.id;
+            let need = job.nodes_needed();
             let remaining = job.spec.clone();
-            st.queue.push_back(job.id);
             st.trackers.insert(
-                job.id,
+                id,
                 Tracker {
                     job,
                     remaining,
@@ -648,8 +861,14 @@ fn run_engine(
                     failure: None,
                 },
             );
+            if cfg.discipline == Discipline::Sjf {
+                let rank = queued_service(oracle, &st.trackers, id).to_bits();
+                st.pending.push_ranked(id, rank, need);
+            } else {
+                st.pending.push_back(id, need);
+            }
         }
-        let depth = st.queue.len() as i64;
+        let depth = st.pending.len() as i64;
         if depth > ctr.queue_peak.get() {
             ctr.queue_peak.set(depth);
         }
@@ -668,27 +887,80 @@ fn finish_outcome(
     // for everything else a cache hit — identical reports either way.
     let mut conformance: Vec<(u64, Report)> = Vec::new();
     if cfg.verify_jobs {
-        for (id, spec) in &st.conformance_src {
-            let run = oracle.measure(*id, spec);
+        for (key, spec) in &st.conformance_src {
+            let run = oracle.measure(*key, spec);
             for rep in run.reports {
-                conformance.push((*id, rep));
+                conformance.push((*key, rep));
             }
         }
     }
-    let makespan =
-        st.events.iter().map(event_time).max().map_or(0.0, |t| t.as_secs_f64());
-    let mut jobs: Vec<JobRecord> = st.records.into_values().collect();
-    jobs.sort_by_key(|r| r.id);
+    let events = match st.trace {
+        TraceLog::Full(v) => v,
+        // INVARIANT: classic runs always carry a Full trace; an empty
+        // trace is a safe degenerate for a mismatched caller.
+        TraceLog::Hashing { .. } => Vec::new(),
+    };
+    let makespan = events.iter().map(event_time).max().map_or(0.0, |t| t.as_secs_f64());
+    let jobs: Vec<JobRecord> = match st.sink {
+        RecordSink::Full(m) => m.into_values().collect(),
+        RecordSink::Streaming(_) => Vec::new(),
+    };
+    let reservations = match st.reservations {
+        ReservationLog::Full(m) => m.into_values().collect(),
+        ReservationLog::Count { .. } => Vec::new(),
+    };
     BatchOutcome {
         config_nodes: cfg.num_nodes,
         jobs,
-        events: st.events,
-        reservations: st.reservations.into_values().collect(),
+        events,
+        reservations,
         failed_nodes: (0..cfg.num_nodes).filter(|&n| !st.fleet.up[n]).collect(),
         makespan,
         metrics: registry.snapshot(),
         pool_metrics: pool_registry.snapshot(),
         conformance,
+    }
+}
+
+fn finish_fleet(
+    cfg: &FleetConfig,
+    st: EngineState,
+    registry: &MetricsRegistry,
+    pool_registry: &MetricsRegistry,
+    ctr: &Counters,
+) -> FleetOutcome {
+    let (trace_hash, trace_events, max_t) = match st.trace {
+        TraceLog::Hashing { hash, count, max_t } => (hash, count, max_t),
+        // INVARIANT: fleet runs always hash their trace; fall back to the
+        // empty-trace fingerprint for a mismatched caller.
+        TraceLog::Full(_) => (FNV_BASIS, 0, SimTime::ZERO),
+    };
+    let reservations = match st.reservations {
+        ReservationLog::Count { count, .. } => count,
+        ReservationLog::Full(m) => m.len() as u64,
+    };
+    let accum = match st.sink {
+        RecordSink::Streaming(a) => a,
+        RecordSink::Full(m) => {
+            let mut a = FleetAccum::default();
+            for r in m.values() {
+                a.fold(r);
+            }
+            a
+        }
+    };
+    let makespan = max_t.as_secs_f64();
+    FleetOutcome {
+        config_nodes: cfg.batch.num_nodes,
+        trace_hash,
+        trace_events,
+        makespan,
+        reservations,
+        queue_peak: ctr.queue_peak.get(),
+        accum,
+        stats: FleetStats::from_accum(&accum, cfg.batch.num_nodes, makespan),
+        metrics: registry.snapshot(),
+        pool_metrics: pool_registry.snapshot(),
     }
 }
 
@@ -705,7 +977,7 @@ pub fn run_batch(
     let ctr = Counters::new(&registry);
     let pool_registry = MetricsRegistry::new();
     let mut oracle = make_oracle(cfg, &pool_registry);
-    let mut st = init_state(stream, cfg, fault, &ctr);
+    let mut st = init_state(stream, cfg, fault, &mut oracle, &ctr);
     run_engine(cfg, &mut oracle, &ctr, &mut st, |_| false);
     finish_outcome(cfg, st, &mut oracle, &registry, &pool_registry)
 }
@@ -726,15 +998,15 @@ pub fn run_batch_checkpointed(
     let ctr = Counters::new(&registry);
     let pool_registry = MetricsRegistry::new();
     let mut oracle = make_oracle(cfg, &pool_registry);
-    let mut st = init_state(stream, cfg, fault, &ctr);
+    let mut st = init_state(stream, cfg, fault, &mut oracle, &ctr);
     let mut last_events = 0usize;
     let mut last_jobs = 0u32;
     run_engine(cfg, &mut oracle, &ctr, &mut st, |s| {
         let due_events =
-            policy.every_events.is_some_and(|k| s.events.len() - last_events >= k);
+            policy.every_events.is_some_and(|k| s.trace.len() - last_events >= k);
         let due_jobs = policy.every_jobs.is_some_and(|j| s.completions - last_jobs >= j);
         if due_events || due_jobs {
-            last_events = s.events.len();
+            last_events = s.trace.len();
             last_jobs = s.completions;
             sink(&capture(cfg, s, ctr.queue_peak.get()));
         }
@@ -757,9 +1029,9 @@ pub fn run_batch_until(
     let ctr = Counters::new(&registry);
     let pool_registry = MetricsRegistry::new();
     let mut oracle = make_oracle(cfg, &pool_registry);
-    let mut st = init_state(stream, cfg, fault, &ctr);
+    let mut st = init_state(stream, cfg, fault, &mut oracle, &ctr);
     let stopped =
-        run_engine(cfg, &mut oracle, &ctr, &mut st, |s| s.events.len() >= stop_after_events);
+        run_engine(cfg, &mut oracle, &ctr, &mut st, |s| s.trace.len() >= stop_after_events);
     stopped.then(|| capture(cfg, &st, ctr.queue_peak.get()))
 }
 
@@ -776,41 +1048,101 @@ pub fn resume_batch(ckpt: &BatchCheckpoint) -> BatchOutcome {
     let pool_registry = MetricsRegistry::new();
     let mut oracle = make_oracle(&cfg, &pool_registry);
     replay_metrics(&ctr, ckpt);
-
-    let trackers = ckpt.trackers.clone();
-    // Re-attach kernel measurements to in-flight segments: the oracle is
-    // pure in (seed, job, spec), so this recomputes exactly the SegmentRun
-    // the interrupted run held. Segments without a tracker cannot exist in
-    // a checksummed checkpoint; they are skipped rather than unwrapped.
-    let mut running: Vec<Running> = Vec::new();
-    for (id, nodes, start, end) in &ckpt.running {
-        if let Some(tr) = trackers.get(id) {
-            let run = oracle.measure(*id, &tr.remaining);
-            running.push(Running {
-                id: *id,
-                nodes: nodes.clone(),
-                start: *start,
-                end: *end,
-                run,
-            });
-        }
-    }
-    let mut st = EngineState {
-        arrivals: ckpt.arrivals.clone(),
-        fleet: Fleet { up: ckpt.fleet_up.clone(), busy: ckpt.fleet_busy.clone() },
-        trackers,
-        queue: ckpt.queue.clone(),
-        running,
-        events: ckpt.events.clone(),
-        reservations: ckpt.reservations.clone(),
-        records: ckpt.records.clone(),
-        conformance_src: ckpt.conformance_src.clone(),
-        completions: ckpt.completions,
-        fault_armed: ckpt.fault_armed,
-        now: ckpt.now,
-    };
+    let mut st = restore_engine(
+        ckpt,
+        &mut oracle,
+        JobSource::Materialized(ckpt.arrivals.clone()),
+        TraceLog::Full(ckpt.events.clone()),
+        ReservationLog::Full(ckpt.reservations.clone()),
+        RecordSink::Full(ckpt.records.clone()),
+    );
     run_engine(&cfg, &mut oracle, &ctr, &mut st, |_| false);
     finish_outcome(&cfg, st, &mut oracle, &registry, &pool_registry)
+}
+
+/// Run a fleet-scale streaming batch to completion: lazy arrivals, hashed
+/// trace, O(1)-memory statistics. See [`crate::fleet`].
+// PURITY-ROOT: fleet runs fan per-node kernels out exactly like run_batch;
+// the outcome must be a pure function of (stream cfg, batch cfg) at any
+// thread count.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+    let pool_registry = MetricsRegistry::new();
+    let mut oracle = make_oracle(&cfg.batch, &pool_registry);
+    let mut st = init_fleet_state(cfg, &ctr);
+    run_engine(&cfg.batch, &mut oracle, &ctr, &mut st, |_| false);
+    finish_fleet(cfg, st, &registry, &pool_registry, &ctr)
+}
+
+/// Run a fleet stream until the trace holds at least `stop_after_events`
+/// events and capture a (fleet-extended) checkpoint there; `None` when
+/// the stream drained first.
+pub fn run_fleet_until(cfg: &FleetConfig, stop_after_events: usize) -> Option<BatchCheckpoint> {
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+    let pool_registry = MetricsRegistry::new();
+    let mut oracle = make_oracle(&cfg.batch, &pool_registry);
+    let mut st = init_fleet_state(cfg, &ctr);
+    let stopped =
+        run_engine(&cfg.batch, &mut oracle, &ctr, &mut st, |s| s.trace.len() >= stop_after_events);
+    stopped.then(|| capture_fleet(cfg, &st, &registry, ctr.queue_peak.get()))
+}
+
+/// Continue a checkpointed fleet run to completion. The resumed trace
+/// fingerprint (which folds the pre-checkpoint prefix) equals the
+/// uninterrupted run's, as do the accumulator and metrics: the generator
+/// replays to its imaged position (generation is pure in `(cfg, index)`),
+/// the trace hash continues from the imaged fold, and metric state is
+/// restored from the imaged snapshot.
+// PURITY-ROOT: resumed fleet runs fan node kernels out exactly like
+// run_fleet.
+pub fn resume_fleet(ckpt: &BatchCheckpoint) -> FleetOutcome {
+    let Some(extra) = ckpt.fleet.clone() else {
+        // INVARIANT: callers resume fleet checkpoints with fleet images; a
+        // classic image has no generator to continue, so return the empty
+        // outcome rather than panicking.
+        let accum = FleetAccum::default();
+        return FleetOutcome {
+            config_nodes: ckpt.cfg.num_nodes,
+            trace_hash: FNV_BASIS,
+            trace_events: 0,
+            makespan: 0.0,
+            reservations: 0,
+            queue_peak: 0,
+            accum,
+            stats: FleetStats::from_accum(&accum, ckpt.cfg.num_nodes, 0.0),
+            metrics: MetricsRegistry::new().snapshot(),
+            pool_metrics: MetricsRegistry::new().snapshot(),
+        };
+    };
+    let cfg = FleetConfig { stream: extra.stream, batch: ckpt.cfg };
+    let registry = MetricsRegistry::new();
+    let ctr = Counters::new(&registry);
+    registry.restore(&extra.metrics);
+    let pool_registry = MetricsRegistry::new();
+    let mut oracle = make_oracle(&cfg.batch, &pool_registry);
+    // Replay the generator to its imaged position: `popped` jobs were
+    // handed to the engine, and the lookahead slot refills from there.
+    let mut gen = FleetJobs::replay(&extra.stream, extra.popped);
+    let next = gen.next();
+    let mut st = restore_engine(
+        ckpt,
+        &mut oracle,
+        JobSource::Stream { gen, next, popped: extra.popped },
+        TraceLog::Hashing {
+            hash: extra.trace_hash,
+            count: extra.trace_len,
+            max_t: extra.trace_max_t,
+        },
+        ReservationLog::Count {
+            count: extra.reservation_count,
+            last: extra.reservation_last,
+        },
+        RecordSink::Streaming(extra.accum),
+    );
+    run_engine(&cfg.batch, &mut oracle, &ctr, &mut st, |_| false);
+    finish_fleet(&cfg, st, &registry, &pool_registry, &ctr)
 }
 
 /// Image the engine state into a checkpoint (plain data only).
@@ -822,19 +1154,132 @@ fn capture(cfg: &BatchConfig, st: &EngineState, queue_peak: i64) -> BatchCheckpo
         completions: st.completions,
         fleet_up: st.fleet.up.clone(),
         fleet_busy: st.fleet.busy.clone(),
-        arrivals: st.arrivals.clone(),
-        queue: st.queue.clone(),
+        arrivals: match &st.source {
+            JobSource::Materialized(q) => q.clone(),
+            JobSource::Stream { .. } => VecDeque::new(),
+        },
+        queue: st.pending.iter().collect(),
         trackers: st.trackers.clone(),
         running: st
             .running
-            .iter()
+            .values()
             .map(|r| (r.id, r.nodes.clone(), r.start, r.end))
             .collect(),
-        events: st.events.clone(),
-        reservations: st.reservations.clone(),
-        records: st.records.clone(),
+        events: match &st.trace {
+            TraceLog::Full(v) => v.clone(),
+            TraceLog::Hashing { .. } => Vec::new(),
+        },
+        reservations: match &st.reservations {
+            ReservationLog::Full(m) => m.clone(),
+            ReservationLog::Count { .. } => BTreeMap::new(),
+        },
+        records: match &st.sink {
+            RecordSink::Full(m) => m.clone(),
+            RecordSink::Streaming(_) => BTreeMap::new(),
+        },
         conformance_src: st.conformance_src.clone(),
         queue_peak,
+        fleet: None,
+    }
+}
+
+/// [`capture`] plus the fleet extension: generator position, trace-hash
+/// fold, reservation tally, accumulator, and a full metrics image (fleet
+/// resumes cannot replay metrics from records — there are none).
+fn capture_fleet(
+    cfg: &FleetConfig,
+    st: &EngineState,
+    registry: &MetricsRegistry,
+    queue_peak: i64,
+) -> BatchCheckpoint {
+    let mut ckpt = capture(&cfg.batch, st, queue_peak);
+    let popped = match &st.source {
+        JobSource::Stream { popped, .. } => *popped,
+        JobSource::Materialized(_) => 0,
+    };
+    let (trace_hash, trace_len, trace_max_t) = match &st.trace {
+        TraceLog::Hashing { hash, count, max_t } => (*hash, *count, *max_t),
+        TraceLog::Full(_) => (FNV_BASIS, 0, SimTime::ZERO),
+    };
+    let (reservation_count, reservation_last) = match &st.reservations {
+        ReservationLog::Count { count, last } => (*count, *last),
+        ReservationLog::Full(_) => (0, None),
+    };
+    let accum = match &st.sink {
+        RecordSink::Streaming(a) => *a,
+        RecordSink::Full(_) => FleetAccum::default(),
+    };
+    ckpt.fleet = Some(FleetExtra {
+        stream: cfg.stream,
+        popped,
+        trace_hash,
+        trace_len,
+        trace_max_t,
+        reservation_count,
+        reservation_last,
+        accum,
+        metrics: registry.snapshot(),
+    });
+    ckpt
+}
+
+/// Rebuild engine state from a checkpoint's plain data: re-attach kernel
+/// measurements to in-flight segments (the oracle is pure, so this
+/// recomputes exactly the `SegmentRun` the interrupted run held),
+/// re-derive admission sequences in imaged order, and rebuild the pending
+/// queue in its imaged order — sequence-ranked for FCFS/EASY, service-
+/// ranked for SJF.
+fn restore_engine(
+    ckpt: &BatchCheckpoint,
+    oracle: &mut Oracle,
+    source: JobSource,
+    trace: TraceLog,
+    reservations: ReservationLog,
+    sink: RecordSink,
+) -> EngineState {
+    let trackers = ckpt.trackers.clone();
+    let mut running: BTreeMap<u64, Running> = BTreeMap::new();
+    let mut release = ReleaseIndex::new();
+    let mut next_seq = 0u64;
+    // Segments without a tracker cannot exist in a checksummed
+    // checkpoint; they are skipped rather than unwrapped.
+    for (id, nodes, start, end) in &ckpt.running {
+        if let Some(tr) = trackers.get(id) {
+            let run = oracle.measure(tr.job.service_key(), &tr.remaining);
+            let seq = next_seq;
+            next_seq += 1;
+            release.insert(seq, *end, nodes.len());
+            running.insert(
+                seq,
+                Running { id: *id, nodes: nodes.clone(), start: *start, end: *end, run },
+            );
+        }
+    }
+    let mut pending = PendingQueue::new();
+    for &id in &ckpt.queue {
+        let need = trackers.get(&id).map_or(0, |t| t.job.nodes_needed());
+        if ckpt.cfg.discipline == Discipline::Sjf {
+            let rank = queued_service(oracle, &trackers, id).to_bits();
+            pending.push_ranked(id, rank, need);
+        } else {
+            pending.push_back(id, need);
+        }
+    }
+    EngineState {
+        source,
+        fleet: Fleet::from_images(ckpt.fleet_up.clone(), ckpt.fleet_busy.clone()),
+        trackers,
+        pending,
+        running,
+        release,
+        next_seq,
+        trace,
+        reservations,
+        sink,
+        conformance_src: ckpt.conformance_src.clone(),
+        completions: ckpt.completions,
+        fault_armed: ckpt.fault_armed,
+        now: ckpt.now,
     }
 }
 
@@ -860,38 +1305,20 @@ fn replay_metrics(ctr: &Counters, ckpt: &BatchCheckpoint) {
         }
         ctr.wait_us.record((r.wait * 1e6) as u64);
         ctr.turnaround_us.record((r.turnaround * 1e6) as u64);
+        ctr.slowdown_milli.record((r.slowdown * 1e3) as u64);
+        ctr.node_secs_ms.record((r.node_secs_held * 1e3) as u64);
     }
     ctr.queue_peak.set(ckpt.queue_peak);
 }
 
-fn event_time(e: &BatchEvent) -> SimTime {
-    match e {
-        BatchEvent::Submit { t, .. }
-        | BatchEvent::Start { t, .. }
-        | BatchEvent::Finish { t, .. }
-        | BatchEvent::NodeFail { t, .. }
-        | BatchEvent::Requeue { t, .. }
-        | BatchEvent::Degraded { t, .. } => *t,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn complete(
-    seg: Running,
-    now: SimTime,
-    fleet: &mut Fleet,
-    trackers: &mut BTreeMap<u64, Tracker>,
-    records: &mut BTreeMap<u64, JobRecord>,
-    events: &mut Vec<BatchEvent>,
-    ctr: &Counters,
-    oracle: &mut Oracle,
-) {
+fn complete(seg: Running, oracle: &mut Oracle, ctr: &Counters, st: &mut EngineState) {
+    let now = st.now;
     for &n in &seg.nodes {
-        fleet.busy[n] = false;
+        st.fleet.release(n);
     }
-    events.push(BatchEvent::Finish { t: now, job: seg.id });
+    st.trace.push(BatchEvent::Finish { t: now, job: seg.id });
     ctr.completed.inc();
-    let Some(mut tr) = trackers.remove(&seg.id) else {
+    let Some(mut tr) = st.trackers.remove(&seg.id) else {
         // INVARIANT: every running segment has a tracker; nothing to do
         // if the map was corrupted, and degrading silently beats a panic.
         return;
@@ -900,85 +1327,84 @@ fn complete(
     tr.node_secs_held += ran * seg.nodes.len() as f64;
     tr.run_secs += ran;
     tr.iters_done += tr.remaining.iterations;
-    let full_service = oracle.service(tr.job.id, &tr.job.spec);
+    let full_service = oracle.service(tr.job.service_key(), &tr.job.spec);
     let first_start = tr.first_start.unwrap_or(seg.start);
     let wait = first_start.saturating_since(arrival_time(&tr.job)).as_secs_f64();
     let turnaround = now.saturating_since(arrival_time(&tr.job)).as_secs_f64();
+    let slowdown = if full_service > 0.0 { turnaround / full_service } else { 1.0 };
     ctr.wait_us.record((wait * 1e6) as u64);
     ctr.turnaround_us.record((turnaround * 1e6) as u64);
+    ctr.slowdown_milli.record((slowdown * 1e3) as u64);
+    ctr.node_secs_ms.record((tr.node_secs_held * 1e3) as u64);
     if tr.backfilled {
         ctr.backfilled.inc();
     }
-    records.insert(
-        seg.id,
-        JobRecord {
-            id: seg.id,
-            name: tr.job.spec.name.clone(),
-            ranks: tr.job.spec.ranks(),
-            arrival: arrival_time(&tr.job).as_secs_f64(),
-            first_start: Some(first_start.as_secs_f64()),
-            end: now.as_secs_f64(),
-            wait,
-            turnaround,
-            slowdown: if full_service > 0.0 { turnaround / full_service } else { 1.0 },
-            backfilled: tr.backfilled,
-            requeues: tr.requeues,
-            node_secs_held: tr.node_secs_held,
-            outcome: ClusterOutcome {
-                result: ClusterResult {
-                    placement: seg.run.placement,
-                    node_secs: seg.run.node_secs,
-                    makespan: tr.run_secs,
-                },
-                failure: tr.failure.map(|(node, at)| NodeFailureRecord {
-                    node,
-                    at_iteration: at,
-                    retries_used: tr.requeues,
-                    absorbed: true,
-                }),
-                degraded: false,
+    st.sink.put(JobRecord {
+        id: seg.id,
+        name: tr.job.spec.name.clone(),
+        ranks: tr.job.spec.ranks(),
+        arrival: arrival_time(&tr.job).as_secs_f64(),
+        first_start: Some(first_start.as_secs_f64()),
+        end: now.as_secs_f64(),
+        wait,
+        turnaround,
+        slowdown,
+        backfilled: tr.backfilled,
+        requeues: tr.requeues,
+        node_secs_held: tr.node_secs_held,
+        outcome: ClusterOutcome {
+            result: ClusterResult {
+                placement: seg.run.placement,
+                node_secs: seg.run.node_secs,
+                makespan: tr.run_secs,
             },
+            failure: tr.failure.map(|(node, at)| NodeFailureRecord {
+                node,
+                at_iteration: at,
+                retries_used: tr.requeues,
+                absorbed: true,
+            }),
+            degraded: false,
         },
-    );
+    });
 }
 
-#[allow(clippy::too_many_arguments)]
-fn maybe_fire_fault(
-    fault: &mut Option<BatchFault>,
-    completions: u32,
-    now: SimTime,
-    fleet: &mut Fleet,
-    running: &mut Vec<Running>,
-    trackers: &mut BTreeMap<u64, Tracker>,
-    queue: &mut VecDeque<u64>,
-    records: &mut BTreeMap<u64, JobRecord>,
-    events: &mut Vec<BatchEvent>,
-    ctr: &Counters,
-) {
-    let fires = fault.is_some_and(|f| completions >= f.after_completions);
+fn maybe_fire_fault(cfg: &BatchConfig, oracle: &mut Oracle, ctr: &Counters, st: &mut EngineState) {
+    let fires = st.fault_armed.is_some_and(|f| st.completions >= f.after_completions);
     if !fires {
         return;
     }
-    let Some(f) = fault.take() else {
+    let Some(f) = st.fault_armed.take() else {
         // INVARIANT: is_some_and above guarantees presence.
         return;
     };
-    if !fleet.up[f.node] {
+    if !st.fleet.up[f.node] {
         return;
     }
-    fleet.up[f.node] = false;
+    st.fleet.kill(f.node);
     ctr.nodes_failed.inc();
-    events.push(BatchEvent::NodeFail { t: now, node: f.node });
+    st.trace.push(BatchEvent::NodeFail { t: st.now, node: f.node });
 
-    let hit = running.iter().position(|r| r.nodes.contains(&f.node));
-    let Some(idx) = hit else {
+    // First victim in admission order — the same segment the old linear
+    // scan over the admission-ordered running list found.
+    let hit = st
+        .running
+        .iter()
+        .find(|(_, r)| r.nodes.contains(&f.node))
+        .map(|(&seq, _)| seq);
+    let Some(seq) = hit else {
         return;
     };
-    let seg = running.remove(idx);
+    let Some(seg) = st.running.remove(&seq) else {
+        // INVARIANT: seq was just found in the map.
+        return;
+    };
+    st.release.remove(seq);
     for &n in &seg.nodes {
-        fleet.busy[n] = false;
+        st.fleet.release(n);
     }
-    let Some(tr) = trackers.get_mut(&seg.id) else {
+    let now = st.now;
+    let Some(tr) = st.trackers.get_mut(&seg.id) else {
         // INVARIANT: every running segment has a tracker (see `complete`).
         return;
     };
@@ -996,7 +1422,7 @@ fn maybe_fire_fault(
     ctr.requeues.inc();
 
     if tr.requeues > f.max_retries {
-        degrade(seg.id, now, "retries-exhausted", fleet, trackers, records, events, ctr);
+        degrade(seg.id, "retries-exhausted", ctr, st);
         return;
     }
     tr.remaining = JobSpec::new(
@@ -1005,155 +1431,115 @@ fn maybe_fire_fault(
         remaining_iters,
     );
     tr.restart_due = f.restart_secs;
-    queue.push_front(seg.id);
-    events.push(BatchEvent::Requeue { t: now, job: seg.id, remaining_iters });
+    let need = tr.job.nodes_needed();
+    if cfg.discipline == Discipline::Sjf {
+        // Re-rank under the new remaining segment + restart overhead —
+        // the position the old full re-sort would have given it.
+        let rank = queued_service(oracle, &st.trackers, seg.id).to_bits();
+        st.pending.push_ranked(seg.id, rank, need);
+    } else {
+        st.pending.push_front(seg.id, need);
+    }
+    st.trace.push(BatchEvent::Requeue { t: now, job: seg.id, remaining_iters });
 }
 
-#[allow(clippy::too_many_arguments)]
-fn degrade(
-    id: u64,
-    now: SimTime,
-    reason: &'static str,
-    fleet: &Fleet,
-    trackers: &mut BTreeMap<u64, Tracker>,
-    records: &mut BTreeMap<u64, JobRecord>,
-    events: &mut Vec<BatchEvent>,
-    ctr: &Counters,
-) {
-    let Some(tr) = trackers.remove(&id) else {
+fn degrade(id: u64, reason: &'static str, ctr: &Counters, st: &mut EngineState) {
+    let Some(tr) = st.trackers.remove(&id) else {
         // INVARIANT: callers only degrade ids they hold in the map.
         return;
     };
     ctr.degraded.inc();
-    events.push(BatchEvent::Degraded { t: now, job: id, reason });
-    let n = tr.job.nodes_needed().min(fleet.up.len().max(1));
-    records.insert(
+    st.trace.push(BatchEvent::Degraded { t: st.now, job: id, reason });
+    let n = tr.job.nodes_needed().min(st.fleet.up.len().max(1));
+    st.sink.put(JobRecord {
         id,
-        JobRecord {
-            id,
-            name: tr.job.spec.name.clone(),
-            ranks: tr.job.spec.ranks(),
-            arrival: arrival_time(&tr.job).as_secs_f64(),
-            first_start: tr.first_start.map(SimTime::as_secs_f64),
-            end: now.as_secs_f64(),
-            wait: 0.0,
-            turnaround: now.saturating_since(arrival_time(&tr.job)).as_secs_f64(),
-            slowdown: 0.0,
-            backfilled: tr.backfilled,
-            requeues: tr.requeues,
-            node_secs_held: tr.node_secs_held,
-            outcome: ClusterOutcome {
-                result: ClusterResult {
-                    placement: Placement { strategy: PlacementStrategy::RoundRobin, nodes: vec![Vec::new(); n] },
-                    node_secs: vec![0.0; n],
-                    makespan: tr.run_secs,
+        name: tr.job.spec.name.clone(),
+        ranks: tr.job.spec.ranks(),
+        arrival: arrival_time(&tr.job).as_secs_f64(),
+        first_start: tr.first_start.map(SimTime::as_secs_f64),
+        end: st.now.as_secs_f64(),
+        wait: 0.0,
+        turnaround: st.now.saturating_since(arrival_time(&tr.job)).as_secs_f64(),
+        slowdown: 0.0,
+        backfilled: tr.backfilled,
+        requeues: tr.requeues,
+        node_secs_held: tr.node_secs_held,
+        outcome: ClusterOutcome {
+            result: ClusterResult {
+                placement: Placement {
+                    strategy: PlacementStrategy::RoundRobin,
+                    nodes: vec![Vec::new(); n],
                 },
-                failure: tr.failure.map(|(node, at)| NodeFailureRecord {
-                    node,
-                    at_iteration: at,
-                    retries_used: tr.requeues,
-                    absorbed: false,
-                }),
-                degraded: true,
+                node_secs: vec![0.0; n],
+                makespan: tr.run_secs,
             },
+            failure: tr.failure.map(|(node, at)| NodeFailureRecord {
+                node,
+                at_iteration: at,
+                retries_used: tr.requeues,
+                absorbed: false,
+            }),
+            degraded: true,
         },
-    );
+    });
 }
 
-#[allow(clippy::too_many_arguments)]
-fn schedule(
-    cfg: &BatchConfig,
-    now: SimTime,
-    oracle: &mut Oracle,
-    fleet: &mut Fleet,
-    trackers: &mut BTreeMap<u64, Tracker>,
-    queue: &mut VecDeque<u64>,
-    running: &mut Vec<Running>,
-    records: &mut BTreeMap<u64, JobRecord>,
-    reservations: &mut BTreeMap<u64, ReservationRecord>,
-    conformance_src: &mut Vec<(u64, JobSpec)>,
-    events: &mut Vec<BatchEvent>,
-    ctr: &Counters,
-) {
+fn schedule(cfg: &BatchConfig, oracle: &mut Oracle, ctr: &Counters, st: &mut EngineState) {
     // Jobs wider than the surviving fleet can never start: degrade them
-    // instead of deadlocking the queue.
-    let alive = fleet.alive();
-    let unplaceable: Vec<u64> = queue
-        .iter()
-        .copied()
-        .filter(|id| trackers.get(id).is_some_and(|t| t.job.nodes_needed() > alive))
-        .collect();
-    if !unplaceable.is_empty() {
-        queue.retain(|id| !unplaceable.contains(id));
-        for id in unplaceable {
-            degrade(id, now, "unplaceable", fleet, trackers, records, events, ctr);
-        }
+    // instead of deadlocking the queue. The width index answers this as a
+    // range query, in queue order.
+    let alive = st.fleet.alive();
+    for id in st.pending.wider_than(alive) {
+        st.pending.remove(id);
+        degrade(id, "unplaceable", ctr, st);
     }
 
-    if cfg.discipline == Discipline::Sjf {
-        let mut v: Vec<u64> = queue.iter().copied().collect();
-        v.sort_by(|&a, &b| {
-            let (sa, sb) = (queued_service(oracle, trackers, a), queued_service(oracle, trackers, b));
-            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-        });
-        *queue = v.into();
-    }
-
-    // Admit from the head while it fits.
+    // Admit from the head while it fits. The pending queue iterates in
+    // discipline order (insertion sequence for FCFS/EASY, service rank
+    // for SJF), so no per-pass re-sort is needed.
     loop {
-        let Some(&head) = queue.front() else { return };
-        let need = trackers.get(&head).map_or(0, |t| t.job.nodes_needed());
-        let free = fleet.free_ids();
-        if need > free.len() {
+        let Some(head) = st.pending.first() else { return };
+        let need = st.trackers.get(&head).map_or(0, |t| t.job.nodes_needed());
+        if need > st.fleet.free_count() {
             break;
         }
-        queue.pop_front();
-        admit(head, &free[..need], now, false, cfg, oracle, fleet, trackers, running, records, conformance_src, events, ctr);
+        st.pending.remove(head);
+        let alloc = st.fleet.first_free(need);
+        admit(head, &alloc, false, cfg, oracle, ctr, st);
     }
 
-    if cfg.discipline != Discipline::Easy || queue.is_empty() {
+    if cfg.discipline != Discipline::Easy || st.pending.is_empty() {
         return;
     }
 
     // EASY backfill: reserve the head, let later jobs jump ahead iff they
-    // cannot delay it.
-    let Some(&head) = queue.front() else { return };
-    let head_need = trackers.get(&head).map_or(0, |t| t.job.nodes_needed());
-    let mut free = fleet.free_ids().len();
-    let mut ends: Vec<(SimTime, usize)> = running.iter().map(|r| (r.end, r.nodes.len())).collect();
-    ends.sort_by_key(|&(end, _)| end);
-    let mut avail = free;
-    let mut shadow: Option<SimTime> = None;
-    for (end, n) in ends {
-        avail += n;
-        if avail >= head_need {
-            shadow = Some(end);
-            break;
-        }
-    }
-    let Some(shadow) = shadow else {
+    // cannot delay it. The shadow walk visits releases in end order and
+    // stops once the head fits — O(head_need · log r), not a sort.
+    let Some(head) = st.pending.first() else { return };
+    let head_need = st.trackers.get(&head).map_or(0, |t| t.job.nodes_needed());
+    let mut free = st.fleet.free_count();
+    let Some((shadow, avail)) = st.release.shadow(free, head_need) else {
         // Head cannot be satisfied even when everything drains — it would
         // have been dropped as unplaceable above; leave the queue alone.
         return;
     };
-    reservations
-        .entry(head)
-        .or_insert(ReservationRecord { job: head, at: now, shadow });
+    st.reservations.note(head, st.now, shadow);
     // Nodes free at the shadow instant beyond what the head will take.
     let mut spare = avail - head_need;
 
-    let candidates: Vec<u64> = queue.iter().copied().skip(1).collect();
+    let window = cfg.backfill_window.unwrap_or(usize::MAX);
+    let candidates: Vec<u64> = st.pending.iter().skip(1).take(window).collect();
     let mut admitted: Vec<u64> = Vec::new();
     for id in candidates {
-        let Some(tr) = trackers.get(&id) else { continue };
+        let Some(tr) = st.trackers.get(&id) else { continue };
         let need = tr.job.nodes_needed();
         if need > free {
             continue;
         }
-        let svc = queued_service(oracle, trackers, id);
+        let svc = queued_service(oracle, &st.trackers, id);
         // Exact nanosecond comparison: the candidate's completion instant
         // is computed the same way `admit` will compute it.
-        let fits_before_shadow = now + SimDuration::from_secs_f64(svc) <= shadow;
+        let fits_before_shadow = st.now + SimDuration::from_secs_f64(svc) <= shadow;
         let fits_in_spare = need <= spare;
         if !fits_before_shadow && !fits_in_spare {
             continue;
@@ -1165,10 +1551,10 @@ fn schedule(
         admitted.push(id);
     }
     for id in admitted {
-        queue.retain(|&q| q != id);
-        let free_ids = fleet.free_ids();
-        let need = trackers.get(&id).map_or(0, |t| t.job.nodes_needed());
-        admit(id, &free_ids[..need], now, true, cfg, oracle, fleet, trackers, running, records, conformance_src, events, ctr);
+        st.pending.remove(id);
+        let need = st.trackers.get(&id).map_or(0, |t| t.job.nodes_needed());
+        let alloc = st.fleet.first_free(need);
+        admit(id, &alloc, true, cfg, oracle, ctr, st);
     }
 }
 
@@ -1177,49 +1563,43 @@ fn schedule(
 fn queued_service(oracle: &mut Oracle, trackers: &BTreeMap<u64, Tracker>, id: u64) -> f64 {
     trackers
         .get(&id)
-        .map_or(0.0, |t| oracle.service(id, &t.remaining) + t.restart_due)
+        .map_or(0.0, |t| oracle.service(t.job.service_key(), &t.remaining) + t.restart_due)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn admit(
     id: u64,
     alloc: &[usize],
-    now: SimTime,
     backfilled: bool,
     cfg: &BatchConfig,
     oracle: &mut Oracle,
-    fleet: &mut Fleet,
-    trackers: &mut BTreeMap<u64, Tracker>,
-    running: &mut Vec<Running>,
-    records: &mut BTreeMap<u64, JobRecord>,
-    conformance_src: &mut Vec<(u64, JobSpec)>,
-    events: &mut Vec<BatchEvent>,
     ctr: &Counters,
+    st: &mut EngineState,
 ) {
     let run = {
-        let Some(tr) = trackers.get(&id) else {
+        let Some(tr) = st.trackers.get(&id) else {
             // INVARIANT: admit is only called with queued ids, which
             // always have trackers.
             return;
         };
-        oracle.measure(id, &tr.remaining)
+        oracle.measure(tr.job.service_key(), &tr.remaining)
     };
     if let Some(reason) = run.failed {
         // The supervisor gave up on this job's kernel measurement
         // (quarantined panic loop or watchdog timeout): there is no
         // service time to schedule with, so the job degrades with the
         // typed reason instead of starting.
-        degrade(id, now, reason, fleet, trackers, records, events, ctr);
+        degrade(id, reason, ctr, st);
         return;
     }
-    let Some(tr) = trackers.get_mut(&id) else {
+    let now = st.now;
+    let Some(tr) = st.trackers.get_mut(&id) else {
         return;
     };
     if cfg.verify_jobs && tr.requeues == 0 {
         // Record the *source* of the conformance check, not the reports:
         // the oracle is pure and memoized, so reports re-derive at outcome
         // build — which keeps checkpoints free of report payloads.
-        conformance_src.push((id, tr.remaining.clone()));
+        st.conformance_src.push((tr.job.service_key(), tr.remaining.clone()));
     }
     let service = run.service + tr.restart_due;
     tr.restart_due = 0.0;
@@ -1230,19 +1610,12 @@ fn admit(
         tr.backfilled = true;
     }
     for &n in alloc {
-        fleet.busy[n] = true;
+        st.fleet.occupy(n);
     }
-    events.push(BatchEvent::Start {
-        t: now,
-        job: id,
-        nodes: alloc.to_vec(),
-        backfilled,
-    });
-    running.push(Running {
-        id,
-        nodes: alloc.to_vec(),
-        start: now,
-        end: now + SimDuration::from_secs_f64(service),
-        run,
-    });
+    st.trace.push(BatchEvent::Start { t: now, job: id, nodes: alloc.to_vec(), backfilled });
+    let end = now + SimDuration::from_secs_f64(service);
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    st.release.insert(seq, end, alloc.len());
+    st.running.insert(seq, Running { id, nodes: alloc.to_vec(), start: now, end, run });
 }

@@ -1,7 +1,14 @@
 //! Fleet-wide outcome statistics.
+//!
+//! Derivation is O(1) in memory: records fold into a [`FleetAccum`]
+//! (scalar sums, counts, maxima — enforced by simverify rule SV014), and
+//! the stats are closed-form functions of the accumulator. Folding in id
+//! order reproduces bit-for-bit the sums the old per-job-vector
+//! implementation computed.
 
 use serde::Serialize;
 
+use crate::fleet::FleetAccum;
 use crate::sim::BatchOutcome;
 
 /// Aggregated queue metrics over one batch run. Wait/turnaround/slowdown
@@ -31,35 +38,32 @@ pub struct FleetStats {
 
 impl FleetStats {
     pub fn from_outcome(out: &BatchOutcome) -> FleetStats {
-        let completed: Vec<_> = out.jobs.iter().filter(|j| !j.outcome.degraded).collect();
-        let n = completed.len();
-        let degraded = out.jobs.len() - n;
-        let mean = |f: &dyn Fn(&&crate::sim::JobRecord) -> f64| -> f64 {
-            if n == 0 {
-                return 0.0;
-            }
-            completed.iter().map(f).sum::<f64>() / n as f64
-        };
-        let held: f64 = out.jobs.iter().map(|j| j.node_secs_held).sum();
-        let capacity = out.config_nodes as f64 * out.makespan;
+        FleetStats::from_accum(
+            &FleetAccum::from_records(&out.jobs),
+            out.config_nodes,
+            out.makespan,
+        )
+    }
+
+    /// Close the streaming accumulator into reported figures.
+    pub fn from_accum(a: &FleetAccum, config_nodes: usize, makespan: f64) -> FleetStats {
+        let n = a.completed;
+        let mean = |sum: f64| if n == 0 { 0.0 } else { sum / n as f64 };
+        let capacity = config_nodes as f64 * makespan;
         FleetStats {
-            jobs: out.jobs.len(),
-            completed: n,
-            degraded,
-            backfilled: completed.iter().filter(|j| j.backfilled).count(),
-            requeued: out.jobs.iter().filter(|j| j.requeues > 0).count(),
-            mean_wait: mean(&|j| j.wait),
-            max_wait: completed.iter().map(|j| j.wait).fold(0.0, f64::max),
-            mean_turnaround: mean(&|j| j.turnaround),
-            mean_slowdown: mean(&|j| j.slowdown),
-            makespan: out.makespan,
-            utilization: if capacity > 0.0 { held / capacity } else { 0.0 },
-            backfill_rate: if n > 0 {
-                completed.iter().filter(|j| j.backfilled).count() as f64 / n as f64
-            } else {
-                0.0
-            },
-            throughput: if out.makespan > 0.0 { n as f64 / out.makespan } else { 0.0 },
+            jobs: a.jobs as usize,
+            completed: n as usize,
+            degraded: a.degraded as usize,
+            backfilled: a.backfilled as usize,
+            requeued: a.requeued as usize,
+            mean_wait: mean(a.wait_sum),
+            max_wait: a.wait_max,
+            mean_turnaround: mean(a.turnaround_sum),
+            mean_slowdown: mean(a.slowdown_sum),
+            makespan,
+            utilization: if capacity > 0.0 { a.node_secs / capacity } else { 0.0 },
+            backfill_rate: if n > 0 { a.backfilled as f64 / n as f64 } else { 0.0 },
+            throughput: if makespan > 0.0 { n as f64 / makespan } else { 0.0 },
         }
     }
 

@@ -1,0 +1,92 @@
+//! Read–modify–write access to the shared `BENCH_*.json` baselines.
+//!
+//! `BENCH_batch.json` is written by two binaries: `batch` owns the
+//! `disciplines`/`policies`/`parallel` sections, `fleet` owns the `fleet`
+//! section. Each must update its own keys without clobbering the other's,
+//! so both go through [`upsert_section`], which round-trips the file as a
+//! raw [`serde::Value`] tree and replaces exactly one top-level key.
+
+use serde::Value;
+
+/// A verbatim JSON tree: serializes to itself, deserializes from
+/// anything. The escape hatch that lets a binary rewrite one section of a
+/// baseline while carrying every other section through untouched.
+pub struct RawJson(pub Value);
+
+impl serde::Serialize for RawJson {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl serde::Deserialize for RawJson {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(RawJson(v.clone()))
+    }
+}
+
+/// Load `path` as a JSON object (missing or malformed file → empty
+/// object), set `key` to `section`, and write the object back pretty-
+/// printed. Existing keys keep their order; a new key appends.
+pub fn upsert_section<T: serde::Serialize>(
+    path: &str,
+    key: &str,
+    section: &T,
+) -> std::io::Result<()> {
+    let base = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<RawJson>(&s).ok())
+        .map(|r| r.0)
+        .unwrap_or(Value::Map(Vec::new()));
+    let mut entries = match base {
+        Value::Map(m) => m,
+        _ => Vec::new(),
+    };
+    let fresh = section.to_value();
+    match entries.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = fresh,
+        None => entries.push((key.to_string(), fresh)),
+    }
+    let json = serde_json::to_string_pretty(&RawJson(Value::Map(entries)))
+        .expect("a Value tree always serializes");
+    std::fs::write(path, json + "\n")
+}
+
+/// Read one top-level section of `path` into a typed value; `None` when
+/// the file or the key is missing or does not parse.
+pub fn read_section<T: serde::Deserialize>(path: &str, key: &str) -> Option<T> {
+    let raw = serde_json::from_str::<RawJson>(&std::fs::read_to_string(path).ok()?).ok()?;
+    let map = raw.0.as_map()?.to_vec();
+    let (_, v) = map.into_iter().find(|(k, _)| k == key)?;
+    T::from_value(&v).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+    struct Row {
+        n: u64,
+        label: String,
+    }
+
+    #[test]
+    fn upsert_preserves_other_sections_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("benchfile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+
+        upsert_section(path, "alpha", &vec![Row { n: 1, label: "a".into() }]).unwrap();
+        upsert_section(path, "beta", &vec![Row { n: 2, label: "b".into() }]).unwrap();
+        upsert_section(path, "alpha", &vec![Row { n: 3, label: "c".into() }]).unwrap();
+
+        let alpha: Vec<Row> = read_section(path, "alpha").unwrap();
+        let beta: Vec<Row> = read_section(path, "beta").unwrap();
+        assert_eq!(alpha, vec![Row { n: 3, label: "c".into() }]);
+        assert_eq!(beta, vec![Row { n: 2, label: "b".into() }]);
+        assert!(read_section::<Vec<Row>>(path, "gamma").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -38,6 +38,7 @@ use batchsim::{
     FleetStats,
 };
 use cluster::LocalSched;
+use experiments::benchfile;
 use experiments::cli::{self, CliFlags};
 use faultsim::{CkptCorruptSpec, TaskAbortSpec};
 
@@ -610,8 +611,12 @@ fn main() {
                 speedup,
             },
         };
-        let json = serde_json::to_string_pretty(&bench).expect("bench rows serialize");
-        match std::fs::write("BENCH_batch.json", json + "\n") {
+        // Upsert section by section so the `fleet` binary's rows in the
+        // same file survive a baseline regeneration (and vice versa).
+        let write = benchfile::upsert_section("BENCH_batch.json", "disciplines", &bench.disciplines)
+            .and_then(|()| benchfile::upsert_section("BENCH_batch.json", "policies", &bench.policies))
+            .and_then(|()| benchfile::upsert_section("BENCH_batch.json", "parallel", &bench.parallel));
+        match write {
             Ok(()) => println!("throughput baseline written to BENCH_batch.json"),
             Err(e) => println!("warning: could not write BENCH_batch.json: {e}"),
         }

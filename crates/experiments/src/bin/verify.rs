@@ -69,6 +69,16 @@ fn trace_fingerprint(records: &[schedsim::TraceRecord]) -> u64 {
     hash
 }
 
+/// FNV-1a 64-bit over an already-rendered trace (batch event traces).
+fn text_fingerprint(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Repository root for the static-analysis pass: the working directory
 /// when run from a checkout, the workspace root when run via `cargo run`.
 fn repo_root() -> std::path::PathBuf {
@@ -79,7 +89,7 @@ fn repo_root() -> std::path::PathBuf {
     }
 }
 
-/// Run the SV001–SV012 static-analysis pass. Returns `false` on rule
+/// Run the SV001–SV014 static-analysis pass. Returns `false` on rule
 /// violations or allowlist hygiene failures (stale/expired entries).
 /// With `json`, the stable report goes to stdout (for the CI baseline
 /// diff); human-readable findings go to stdout otherwise.
@@ -134,7 +144,7 @@ fn main() {
     let wl = small_metbench();
     let mut failed = false;
 
-    println!("== static analysis: simverify SV001-SV012 over the workspace ==");
+    println!("== static analysis: simverify SV001-SV014 over the workspace ==");
     failed |= !run_lint(false);
 
     println!("\n== conformance: MetBench (4 ranks, 6 iterations, seed {SEED}) ==");
@@ -168,6 +178,21 @@ fn main() {
             "trace-hash metbench-steal/Uniform {:016x}",
             trace_fingerprint(&r.records)
         ));
+    }
+    // The 200-job batch study under every discipline: the byte-identity
+    // gate that pins the engine refactors (reservation index, pending
+    // queue) to the pre-refactor traces.
+    {
+        let stream = heavy_light_mix(SEED, 200);
+        for discipline in Discipline::ALL {
+            let cfg = BatchConfig { discipline, ..Default::default() };
+            let out = run_batch(&stream, &cfg, None);
+            hash_lines.push(format!(
+                "trace-hash batch/{} {:016x}",
+                discipline.label(),
+                text_fingerprint(&out.render_trace())
+            ));
+        }
     }
     for line in &hash_lines {
         println!("{line}");

@@ -521,6 +521,61 @@ impl<A: Snapshot, B: Snapshot, C: Snapshot, D: Snapshot> Snapshot for (A, B, C, 
     }
 }
 
+impl Snapshot for telemetry::HistogramStats {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+        self.buckets.snapshot(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(telemetry::HistogramStats {
+            count: r.get_u64()?,
+            sum: r.get_u64()?,
+            min: r.get_u64()?,
+            max: r.get_u64()?,
+            buckets: Vec::restore(r)?,
+        })
+    }
+}
+
+impl Snapshot for telemetry::MetricValue {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        match self {
+            telemetry::MetricValue::Counter(v) => {
+                w.put_u8(0);
+                w.put_u64(*v);
+            }
+            telemetry::MetricValue::Gauge(v) => {
+                w.put_u8(1);
+                w.put_i64(*v);
+            }
+            telemetry::MetricValue::Histogram(h) => {
+                w.put_u8(2);
+                h.snapshot(w);
+            }
+        }
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.get_u8()? {
+            0 => telemetry::MetricValue::Counter(r.get_u64()?),
+            1 => telemetry::MetricValue::Gauge(r.get_i64()?),
+            2 => telemetry::MetricValue::Histogram(telemetry::HistogramStats::restore(r)?),
+            _ => return Err(SnapshotError::Malformed("MetricValue tag out of range")),
+        })
+    }
+}
+
+impl Snapshot for telemetry::MetricsSnapshot {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        self.metrics.snapshot(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(telemetry::MetricsSnapshot { metrics: Vec::restore(r)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +588,16 @@ mod tests {
         let back: T = r.get().expect("decode");
         assert_eq!(back, v);
         r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let registry = telemetry::MetricsRegistry::new();
+        registry.counter("batch.jobs.completed").add(5);
+        registry.gauge("batch.queue.peak").set(11);
+        registry.histogram("batch.wait.us").record(321);
+        roundtrip(registry.snapshot());
+        roundtrip(telemetry::MetricsSnapshot::default());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Workspace lint driver: `cargo run -p simverify --bin lint [root] [--report json]`.
 //!
 //! Scans every shipping `.rs` file under `<root>/crates` against the rule
-//! catalog SV001–SV013, honouring the justified allowlist at
+//! catalog SV001–SV014, honouring the justified allowlist at
 //! `<root>/simverify.allow`. With `--report json` the stable JSON report
 //! goes to stdout instead of the human-readable listing (CI diffs it
 //! against the committed `simverify_baseline.json`).

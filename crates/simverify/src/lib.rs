@@ -6,7 +6,7 @@
 //! * [`graph`] — conservative module-graph/call-edge extraction with
 //!   reachability from declared purity roots (`PURITY-ROOT` markers and
 //!   `Balancer` impls): the parallel-executor contract's pure zone.
-//! * [`rules`] — the rule catalog SV001–SV013, the justified allowlist
+//! * [`rules`] — the rule catalog SV001–SV014, the justified allowlist
 //!   (`simverify.allow` with per-entry reason + expiry), and the stable
 //!   JSON report.
 //! * [`lint`] — the workspace driver tying the above together. Run it with

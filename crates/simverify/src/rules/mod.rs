@@ -1,4 +1,4 @@
-//! The rule catalog (SV001–SV013) and the token-level evaluation engine.
+//! The rule catalog (SV001–SV014) and the token-level evaluation engine.
 //!
 //! Two rule scopes exist:
 //!
@@ -69,7 +69,8 @@ pub struct Rule {
 
 /// The rule table. SV001–SV005 are the zone rules from DESIGN.md §8,
 /// re-homed onto the token stream; SV006–SV012 are the §13 purity rules
-/// evaluated on the reachable set.
+/// evaluated on the reachable set; SV013 guards checkpoint decoding, and
+/// SV014 enforces the fleet-scale O(1)-memory statistics contract (§15).
 pub const RULES: &[Rule] = &[
     Rule {
         id: "SV001",
@@ -352,6 +353,22 @@ pub const RULES: &[Rule] = &[
         // `fn new_unchecked(`, which the `::`-prefixed pattern skips.
         exempt: &["crates/simverify/"],
         invariant_escape: false,
+    },
+    Rule {
+        id: "SV014",
+        summary: "unbounded per-job accumulation in streaming-stats code; fold \
+                  into scalar sums/maxima/histograms, never a growable container",
+        kind: RuleKind::Tokens {
+            patterns: &[Pattern { toks: &[".", "push", "("], show: ".push(" }],
+        },
+        scope: Scope::Reachable,
+        zones: &[
+            "crates/batchsim/src/stats.rs",
+            "crates/batchsim/src/fleet.rs",
+            "crates/fleetsim/src/",
+        ],
+        exempt: &[],
+        invariant_escape: true,
     },
 ];
 

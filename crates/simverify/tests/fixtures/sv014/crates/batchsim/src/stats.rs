@@ -1,0 +1,25 @@
+// PURITY-ROOT: fixture entry
+pub fn entry(records: &[f64]) -> usize {
+    let mut per_job = Vec::new();
+    for r in records {
+        per_job.push(*r);
+    }
+    per_job.len()
+}
+
+// PURITY-ROOT: streaming twin
+pub fn entry_ok(records: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for r in records {
+        sum += *r;
+    }
+    sum
+}
+
+fn unreached(records: &[f64]) -> usize {
+    let mut v = Vec::new();
+    for r in records {
+        v.push(*r);
+    }
+    v.len()
+}

@@ -1,4 +1,4 @@
-//! Fixture-workspace tests for the reachability rule family (SV006–SV012),
+//! Fixture-workspace tests for the reachability rule family (SV006–SV014),
 //! the lexer false-positive guarantees, and allowlist expiry semantics.
 //!
 //! Each fixture under `tests/fixtures/<case>/` is a miniature workspace
@@ -89,6 +89,17 @@ fn sv013_flags_unchecked_snapshot_reads_but_not_the_definition() {
         vec![("SV013".into(), "crates/app/src/lib.rs".into(), 3)],
         "only the `::new_unchecked` call site fires; `fn new_unchecked(` and \
          the checked twin stay silent"
+    );
+}
+
+#[test]
+fn sv014_flags_reachable_per_job_push_in_stats_zone() {
+    let r = run_fixture("sv014");
+    assert_eq!(
+        findings(&r),
+        vec![("SV014".into(), "crates/batchsim/src/stats.rs".into(), 5)],
+        "only the reachable `.push(` fires; the scalar-fold twin and the \
+         unreached fn stay silent"
     );
 }
 

@@ -105,6 +105,19 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
     }
 }
 
+/// Inverse of [`bucket_upper_bound`]: the bucket index a reported upper
+/// bound came from. Upper bounds are `2^i - 1`, so `ub + 1` is a power of
+/// two whose trailing-zero count recovers `i`.
+fn bucket_index_of_upper_bound(ub: u64) -> usize {
+    if ub == 0 {
+        0
+    } else if ub == u64::MAX {
+        64
+    } else {
+        (ub + 1).trailing_zeros() as usize
+    }
+}
+
 #[derive(Clone, Default)]
 pub struct HistogramHandle {
     core: Arc<HistogramCore>,
@@ -124,7 +137,27 @@ impl HistogramHandle {
         self.core.count.load(Ordering::Relaxed)
     }
 
-    fn stats(&self) -> HistogramStats {
+    /// Overwrite this histogram from a previously captured [`HistogramStats`]
+    /// — the checkpoint-restore path. Buckets absent from `stats` are
+    /// cleared; an empty `stats` resets the histogram to its default state.
+    pub fn restore(&self, stats: &HistogramStats) {
+        let c = &self.core;
+        for b in &c.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        for &(ub, n) in &stats.buckets {
+            c.buckets[bucket_index_of_upper_bound(ub)].store(n, Ordering::Relaxed);
+        }
+        c.count.store(stats.count, Ordering::Relaxed);
+        c.sum.store(stats.sum, Ordering::Relaxed);
+        // `stats` reports min as 0 when empty; internally an empty
+        // histogram keeps min at u64::MAX so the next sample wins.
+        let min = if stats.count == 0 { u64::MAX } else { stats.min };
+        c.min.store(min, Ordering::Relaxed);
+        c.max.store(stats.max, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> HistogramStats {
         let c = &self.core;
         let count = c.count.load(Ordering::Relaxed);
         let buckets: Vec<(u64, u64)> = c
@@ -291,6 +324,26 @@ impl MetricsRegistry {
         }
     }
 
+    /// Restore registry state from a previously captured snapshot — the
+    /// checkpoint-restore path. Each snapshot entry is registered (or
+    /// retrieved) under its recorded kind and overwritten with the captured
+    /// value, so `registry.restore(&snap); registry.snapshot() == snap`.
+    ///
+    /// Panics if a name is already registered under a different kind, the
+    /// same contract as registration itself.
+    pub fn restore(&self, snap: &MetricsSnapshot) {
+        for (name, value) in &snap.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    let c = self.counter(name);
+                    c.value.store(*v, Ordering::Relaxed);
+                }
+                MetricValue::Gauge(v) => self.gauge(name).set(*v),
+                MetricValue::Histogram(h) => self.histogram(name).restore(h),
+            }
+        }
+    }
+
     /// Deterministic snapshot: metrics sorted by name (the BTreeMap order).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let m = self.lock();
@@ -427,6 +480,50 @@ mod tests {
         let names: Vec<&str> = snapshot.metrics.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
         assert_eq!(registry.snapshot(), registry.snapshot());
+    }
+
+    #[test]
+    fn histogram_restore_round_trips() {
+        let h = HistogramHandle::default();
+        for v in [0u64, 1, 7, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let captured = h.stats();
+        let fresh = HistogramHandle::default();
+        fresh.restore(&captured);
+        assert_eq!(fresh.stats(), captured);
+        // Restoring over prior contents overwrites them completely.
+        let dirty = HistogramHandle::default();
+        dirty.record(42);
+        dirty.restore(&captured);
+        assert_eq!(dirty.stats(), captured);
+        // An empty capture resets to the default (next sample sets min).
+        let reset = HistogramHandle::default();
+        reset.record(9);
+        reset.restore(&HistogramStats {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        });
+        reset.record(5);
+        assert_eq!(reset.stats().min, 5);
+    }
+
+    #[test]
+    fn registry_restore_round_trips() {
+        let registry = MetricsRegistry::new();
+        registry.counter("jobs.completed").add(12);
+        registry.gauge("queue.depth").set(-3);
+        registry.histogram("wait.us").record(77);
+        let snap = registry.snapshot();
+        let restored = MetricsRegistry::new();
+        restored.restore(&snap);
+        assert_eq!(restored.snapshot(), snap);
+        // Handles registered after restore keep accumulating on top.
+        restored.counter("jobs.completed").inc();
+        assert_eq!(restored.snapshot().counter("jobs.completed"), 13);
     }
 
     #[test]
