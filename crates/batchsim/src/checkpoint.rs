@@ -26,14 +26,15 @@ use crate::discipline::Discipline;
 use crate::fleet::FleetAccum;
 use crate::job::BatchJob;
 use crate::sim::{
-    BatchConfig, BatchEvent, BatchFault, JobRecord, ReservationRecord, Tracker,
+    BatchConfig, BatchEvent, BatchFault, FleetShape, JobRecord, ReservationRecord, Tracker,
 };
 
 /// Version of the batch checkpoint payload layout. Bumped to 2 when the
 /// fleet extension, `BatchConfig::backfill_window`, and `BatchJob::class`
-/// entered the format; decode rejects other versions rather than
-/// misinterpreting old images.
-pub const BATCH_CHECKPOINT_VERSION: u32 = 2;
+/// entered the format, and to 3 when `BatchConfig::shape` (the
+/// heterogeneous-fleet axis) did; decode rejects other versions rather
+/// than misinterpreting old images.
+pub const BATCH_CHECKPOINT_VERSION: u32 = 3;
 
 /// When a checkpointing run captures images (checked at the engine loop
 /// boundary; both cadences may be set, either firing captures).
@@ -300,6 +301,7 @@ impl Snapshot for BatchConfig {
             }
         }
         w.put(&self.backfill_window);
+        w.put(&self.shape);
     }
 
     fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
@@ -325,7 +327,29 @@ impl Snapshot for BatchConfig {
                 None
             },
             backfill_window: r.get()?,
+            shape: r.get()?,
         })
+    }
+}
+
+impl Snapshot for FleetShape {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        match self {
+            FleetShape::Uniform => w.put_u8(0),
+            FleetShape::Preset(p) => {
+                w.put_u8(1);
+                w.put(p);
+            }
+            FleetShape::Mixed => w.put_u8(2),
+        }
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(FleetShape::Uniform),
+            1 => Ok(FleetShape::Preset(r.get()?)),
+            2 => Ok(FleetShape::Mixed),
+            _ => Err(SnapshotError::Malformed("bad FleetShape tag")),
+        }
     }
 }
 

@@ -50,7 +50,11 @@ pub use job::BatchJob;
 pub use pending::PendingQueue;
 pub use sim::{
     resume_batch, resume_fleet, run_batch, run_batch_checkpointed, run_batch_until, run_fleet,
-    run_fleet_until, text_fnv1a, BatchConfig, BatchEvent, BatchFault, BatchOutcome, JobRecord,
-    ReservationRecord,
+    run_fleet_until, text_fnv1a, BatchConfig, BatchEvent, BatchFault, BatchOutcome, FleetShape,
+    JobRecord, ReservationRecord,
 };
 pub use stats::FleetStats;
+
+// The heterogeneous-fleet vocabulary types, re-exported so fleet callers
+// can build shapes without a direct `cluster` dependency.
+pub use cluster::{NodeShape, TopoPreset};

@@ -51,8 +51,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use cluster::{
-    place, run_node_sched, run_node_traced, ClusterOutcome, ClusterResult, JobSpec, LocalSched,
-    NodeFailureRecord, Placement, PlacementStrategy,
+    place_on, run_node_on, run_node_traced_on, ClusterOutcome, ClusterResult, JobSpec,
+    LocalSched, NodeFailureRecord, NodeShape, Placement, PlacementStrategy, TopoPreset,
 };
 use faultsim::{NodeFailSpec, SplitMix64, TaskAbortSpec};
 use simcore::{Pool, PoolCounters, SimDuration, SimTime, SupervisePolicy, TaskFailure};
@@ -117,6 +117,10 @@ pub struct BatchConfig {
     /// the head are considered. `None` examines the whole queue — the
     /// classic behaviour, byte-identical to the pre-window engine.
     pub backfill_window: Option<usize>,
+    /// Hardware shape of the fleet's nodes; [`FleetShape::Uniform`] is the
+    /// legacy all-reference-node fleet, byte-identical to the pre-shape
+    /// engine.
+    pub shape: FleetShape,
 }
 
 impl Default for BatchConfig {
@@ -134,7 +138,70 @@ impl Default for BatchConfig {
             watchdog_secs: None,
             abort: None,
             backfill_window: None,
+            shape: FleetShape::Uniform,
         }
+    }
+}
+
+/// Hardware shape of the fleet's nodes — the heterogeneous-fleet axis.
+///
+/// Gang sizing stays at the reference 4-slot granularity
+/// ([`crate::job::BatchJob::nodes_needed`]): every preset offers at least
+/// [`cluster::placement::NODE_SLOTS`] slots, so a reference-sized
+/// allocation always fits the catalog and wider nodes simply absorb more
+/// ranks (or leave slots idle). Shapes attach to *gang-local* node
+/// positions — the allocator hands each gang the catalog in canonical
+/// order — which keeps the service oracle pure in
+/// `(service key, iterations)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FleetShape {
+    /// Every node is the reference OpenPower 710: the legacy engine,
+    /// byte-identical to the pre-shape code.
+    #[default]
+    Uniform,
+    /// Every node is the named topology preset at speed 1.0.
+    Preset(TopoPreset),
+    /// A deterministic heterogeneous catalog: gang-local node `i` cycles
+    /// through (2-NUMA box, 1.0×), (wide-SMT core, 1.25×), (reference
+    /// OpenPower 710, 0.5×) — mixed SMT widths, a NUMA tree, and fast and
+    /// slow nodes in one fleet.
+    Mixed,
+}
+
+impl FleetShape {
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetShape::Uniform => "uniform",
+            FleetShape::Preset(p) => p.label(),
+            FleetShape::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a CLI label: `uniform`, `mixed`, or a topology preset name.
+    pub fn parse(s: &str) -> Option<FleetShape> {
+        match s {
+            "uniform" => Some(FleetShape::Uniform),
+            "mixed" => Some(FleetShape::Mixed),
+            other => TopoPreset::parse(other).map(FleetShape::Preset),
+        }
+    }
+
+    /// Shape of gang-local node `i`.
+    pub fn node_shape(self, i: usize) -> NodeShape {
+        match self {
+            FleetShape::Uniform => NodeShape::default(),
+            FleetShape::Preset(p) => p.shape(1.0),
+            FleetShape::Mixed => match i % 3 {
+                0 => TopoPreset::Numa.shape(1.0),
+                1 => TopoPreset::WideSmt.shape(1.25),
+                _ => TopoPreset::Openpower710.shape(0.5),
+            },
+        }
+    }
+
+    /// The node catalog a gang of `n` nodes sees.
+    pub fn catalog(self, n: usize) -> Vec<NodeShape> {
+        (0..n).map(|i| self.node_shape(i)).collect()
     }
 }
 
@@ -405,6 +472,7 @@ struct Oracle {
     cache: BTreeMap<(u64, u32), SegmentRun>,
     sched: LocalSched,
     placement: PlacementStrategy,
+    shape: FleetShape,
     internode_latency: f64,
     seed: u64,
     verify_jobs: bool,
@@ -424,9 +492,11 @@ impl Oracle {
         }
         let nodes_needed = spec.ranks().div_ceil(cluster::placement::NODE_SLOTS);
         // INVARIANT: nodes_needed = ceil(ranks / NODE_SLOTS) always yields
-        // enough slots for every rank, so placement cannot fail here.
+        // enough slots for every rank — every fleet shape offers at least
+        // NODE_SLOTS slots per node — so placement cannot fail here.
+        let catalog = self.shape.catalog(nodes_needed);
         let placement =
-            place(spec, nodes_needed, self.placement).expect("sized allocation always fits");
+            place_on(spec, &catalog, self.placement).expect("sized allocation always fits");
         // Fork per-node seeds serially, in node order, exactly as the
         // serial loop did: empty slots draw nothing. Only then fan out.
         let mut rng = SplitMix64::new(self.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -443,6 +513,7 @@ impl Oracle {
             })
             .collect();
         let sched = self.sched;
+        let fleet_shape = self.shape;
         let verify = self.verify_jobs;
         let iterations = spec.iterations;
         let abort = self.abort.filter(|a| a.job == key);
@@ -454,6 +525,7 @@ impl Oracle {
             .enumerate()
             .map(|(local, (slots, &seed))| {
                 let loads: Vec<f64> = slots.iter().map(|&r| spec.rank_loads[r]).collect();
+                let shape = fleet_shape.node_shape(local);
                 let abort_here = abort.filter(|a| a.node == local);
                 move |attempt: u32| {
                     if let Some(a) = abort_here {
@@ -472,7 +544,7 @@ impl Oracle {
                     match seed {
                         None => (0.0, None),
                         Some(seed) if verify => {
-                            let traced = run_node_traced(&loads, iterations, sched, seed);
+                            let traced = run_node_traced_on(&loads, iterations, sched, seed, &shape);
                             let report = check_with_metrics(
                                 &traced.records,
                                 &traced.metrics,
@@ -481,7 +553,7 @@ impl Oracle {
                             (traced.run.exec_secs, Some(report))
                         }
                         Some(seed) => {
-                            (run_node_sched(&loads, iterations, sched, seed).exec_secs, None)
+                            (run_node_on(&loads, iterations, sched, seed, &shape).exec_secs, None)
                         }
                     }
                 }
@@ -726,6 +798,7 @@ fn make_oracle(cfg: &BatchConfig, pool_registry: &MetricsRegistry) -> Oracle {
         cache: BTreeMap::new(),
         sched: cfg.sched,
         placement: cfg.placement,
+        shape: cfg.shape,
         internode_latency: cfg.internode_latency,
         seed: cfg.seed,
         verify_jobs: cfg.verify_jobs,

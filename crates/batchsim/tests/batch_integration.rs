@@ -213,3 +213,55 @@ fn telemetry_wait_histogram_reconciles_with_records() {
     let hist = out.metrics.histogram("batch.wait_us").expect("wait histogram present");
     assert_eq!(hist.count as usize, out.jobs.len(), "one wait sample per completed job");
 }
+
+#[test]
+fn heterogeneous_shapes_change_service_but_stay_deterministic() {
+    use batchsim::FleetShape;
+    let jobs = heavy_light_mix(2008, 12);
+    let uniform = run_batch(&jobs, &cfg(Discipline::Fcfs), None);
+    for shape in [FleetShape::parse("2-socket").unwrap(), FleetShape::Mixed] {
+        let c = BatchConfig { shape, ..cfg(Discipline::Fcfs) };
+        let a = run_batch(&jobs, &c, None);
+        let b = run_batch(&jobs, &BatchConfig { threads: 4, ..c }, None);
+        assert_eq!(a.jobs.len(), 12, "{shape:?}");
+        assert!(a.jobs.iter().all(|j| !j.outcome.degraded), "{shape:?}");
+        assert_eq!(a.render_trace(), b.render_trace(), "{shape:?}: thread-count invariant");
+        assert_ne!(
+            a.render_trace(),
+            uniform.render_trace(),
+            "{shape:?}: different hardware must change service times"
+        );
+    }
+}
+
+#[test]
+fn uniform_shape_is_the_legacy_engine() {
+    // `FleetShape::Uniform` must be byte-identical to the default config —
+    // the seed-trace compatibility gate at unit-test granularity.
+    let jobs = heavy_light_mix(7, 10);
+    let legacy = run_batch(&jobs, &cfg(Discipline::Easy), None);
+    let explicit = run_batch(
+        &jobs,
+        &BatchConfig { shape: batchsim::FleetShape::Uniform, ..cfg(Discipline::Easy) },
+        None,
+    );
+    assert_eq!(legacy.render_trace(), explicit.render_trace());
+    assert_eq!(legacy.metrics, explicit.metrics);
+}
+
+#[test]
+fn mixed_fleet_checkpoint_resumes_byte_identically() {
+    use batchsim::{resume_batch, run_batch_until, BatchCheckpoint, FleetShape};
+    let jobs = heavy_light_mix(11, 16);
+    let c = BatchConfig {
+        shape: FleetShape::Mixed,
+        discipline: Discipline::Easy,
+        ..Default::default()
+    };
+    let full = run_batch(&jobs, &c, None);
+    let ckpt = run_batch_until(&jobs, &c, None, 9).expect("cut exists");
+    let ckpt = BatchCheckpoint::decode(&ckpt.encode()).expect("shape survives the wire");
+    let resumed = resume_batch(&ckpt);
+    assert_eq!(resumed.render_trace(), full.render_trace());
+    assert_eq!(resumed.metrics, full.metrics);
+}

@@ -1,0 +1,80 @@
+//! Topology-walk micro-benchmarks: the scheduling-domain tree queries on
+//! the balancer's hot path (DESIGN.md §16).
+//!
+//! `group_range`/`migration_cost` are O(levels) index arithmetic and
+//! `domain_cpus` materialises one contiguous range — none of them may
+//! degrade to an O(num_cpus) filter as trees deepen, which is what these
+//! benches watch across a 2-level reference box, a 4-level NUMA machine,
+//! and a deliberately deep 7-level tree.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use power5::{CpuId, DomainLevel, Topology};
+
+/// (label, spec) per tree depth under test.
+const TREES: [(&str, &str); 3] = [
+    ("openpower_710", "2c2t"),
+    ("numa_4level", "2x2n4c2t"),
+    ("deep_7level", "2x2x2x2x2c2t"),
+];
+
+fn bench_walks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_walk");
+    for (label, spec) in TREES {
+        let topo = Topology::parse(spec).expect("bench specs are valid");
+        let n = topo.num_cpus();
+
+        g.bench_function(format!("migration_cost_all_pairs_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for a in 0..n {
+                    for bb in 0..n {
+                        acc += u64::from(topo.migration_cost(CpuId(a), CpuId(bb)));
+                    }
+                }
+                black_box(acc)
+            })
+        });
+
+        g.bench_function(format!("group_range_every_level_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for cpu in 0..n {
+                    for l in 0..topo.num_levels() {
+                        acc += topo.group_range(CpuId(cpu), l).len();
+                    }
+                }
+                black_box(acc)
+            })
+        });
+
+        g.bench_function(format!("domain_cpus_core_and_chip_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for cpu in 0..n {
+                    acc += topo.domain_cpus(CpuId(cpu), DomainLevel::Core).len();
+                    acc += topo.domain_cpus(CpuId(cpu), DomainLevel::Chip).len();
+                }
+                black_box(acc)
+            })
+        });
+
+        g.bench_function(format!("numa_node_of_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for cpu in 0..n {
+                    acc += topo.numa_node_of(CpuId(cpu));
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // The parser itself: spec → tree, the CLI/deserialize path.
+    g.bench_function("parse_deep_spec", |b| {
+        b.iter(|| black_box(Topology::parse(black_box("2x2x2x2x2c2t")).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

@@ -10,11 +10,16 @@
 //!
 //! * [`job`] — a gang-scheduled MPI job: per-rank load estimates;
 //! * [`placement`] — gang placement strategies: naive round-robin, classic
-//!   greedy LPT bin-packing, and **SMT-aware** placement that knows the
+//!   greedy LPT bin-packing, **SMT-aware** placement that knows the
 //!   local HPCSched can absorb intra-core imbalance up to the capacity of
-//!   the ±2 hardware-priority range;
+//!   the ±2 hardware-priority range, and **NUMA-aware** placement that
+//!   additionally packs gangs inside one NUMA node of a heterogeneous
+//!   catalog ([`place_on`]);
+//! * [`shape`] — heterogeneous node catalogs: per-node scheduling-domain
+//!   trees ([`power5::Topology`]) and relative speed factors;
 //! * [`node`] — per-node execution: each node runs a *real* `schedsim`
-//!   kernel (with or without the HPC class) over its assigned ranks;
+//!   kernel (with or without the HPC class) over its assigned ranks, on
+//!   its own topology when the catalog is heterogeneous;
 //! * [`sim`] — the cluster run: for barrier-synchronized SPMD jobs, nodes
 //!   execute independently and the job completes when the slowest node
 //!   does (plus an allreduce latency per iteration) — the standard
@@ -23,13 +28,16 @@
 pub mod job;
 pub mod node;
 pub mod placement;
+pub mod shape;
 pub mod sim;
 
 pub use job::JobSpec;
 pub use node::{
-    run_node, run_node_sched, run_node_traced, static_prios, LocalSched, NodeRun, TracedNodeRun,
+    run_node, run_node_on, run_node_sched, run_node_traced, run_node_traced_on, static_prios,
+    try_run_node_on, try_run_node_traced_on, LocalSched, NodeRun, TracedNodeRun,
 };
-pub use placement::{place, Placement, PlacementError, PlacementStrategy};
+pub use placement::{place, place_on, Placement, PlacementError, PlacementStrategy};
+pub use shape::{NodeShape, TopoPreset};
 pub use sim::{
     run_cluster, run_cluster_faulted, run_cluster_faulted_with, run_cluster_with, ClusterConfig,
     ClusterOutcome, ClusterResult, NodeFailure, NodeFailureRecord,

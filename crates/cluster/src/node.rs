@@ -4,13 +4,15 @@
 //! # Purity contract
 //!
 //! Every entry point here ([`run_node`], [`run_node_sched`],
-//! [`run_node_traced`]) is a *pure function* of `(loads, iterations, sched,
-//! seed)`: the kernel, MPI fabric, and barrier gang are constructed fresh
+//! [`run_node_traced`], and their shape-aware `_on` twins) is a *pure
+//! function* of `(loads, iterations, sched, seed, shape)`: the kernel, MPI
+//! fabric, and barrier gang are constructed fresh
 //! inside the call, nothing escapes, and no global mutable state is read or
 //! written. That is what lets `cluster::sim` and `batchsim` submit node runs
 //! to [`simcore::Pool`] from any thread — the result depends only on the
 //! arguments, never on which thread ran it or when.
 
+use crate::shape::NodeShape;
 use mpisim::{Mpi, MpiConfig};
 use power5::{CpuId, HwPriority};
 use schedsim::{
@@ -135,7 +137,65 @@ pub fn try_run_node_sched(
     sched: LocalSched,
     seed: u64,
 ) -> Result<NodeRun, SchedError> {
-    Ok(try_run_node_impl(loads, iterations, sched, seed, None)?.0)
+    Ok(try_run_node_impl(loads, iterations, sched, seed, None, &NodeShape::default())?.0)
+}
+
+/// [`run_node_sched`] generalized over a [`NodeShape`]: the kernel runs the
+/// shape's scheduling-domain tree (slot capacity comes from the tree, so a
+/// 2-socket node takes 8 ranks and a wide-SMT core 4), and every load is
+/// divided by the node's relative speed. The default shape reproduces
+/// [`run_node_sched`] exactly — dividing by speed 1.0 is the identity.
+// PURITY-ROOT: shape-aware parallel-fleet entry point; result must be a
+// pure function of (loads, iterations, sched, seed, shape).
+pub fn run_node_on(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+    shape: &NodeShape,
+) -> NodeRun {
+    // INVARIANT: panicking wrapper by documented contract; see
+    // `run_node_sched`. Fallible callers use `try_run_node_on`.
+    try_run_node_on(loads, iterations, sched, seed, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_node_on`].
+pub fn try_run_node_on(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+    shape: &NodeShape,
+) -> Result<NodeRun, SchedError> {
+    Ok(try_run_node_impl(loads, iterations, sched, seed, None, shape)?.0)
+}
+
+/// Traced [`run_node_on`] — the shape-aware twin of [`run_node_traced`].
+// PURITY-ROOT: traced shape-aware parallel-fleet entry point.
+pub fn run_node_traced_on(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+    shape: &NodeShape,
+) -> TracedNodeRun {
+    // INVARIANT: panicking wrapper by documented contract; see
+    // `run_node_sched`. Fallible callers use `try_run_node_traced_on`.
+    try_run_node_traced_on(loads, iterations, sched, seed, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_node_traced_on`].
+pub fn try_run_node_traced_on(
+    loads: &[f64],
+    iterations: u32,
+    sched: LocalSched,
+    seed: u64,
+    shape: &NodeShape,
+) -> Result<TracedNodeRun, SchedError> {
+    let sink = SharedSink::new();
+    let (run, metrics) =
+        try_run_node_impl(loads, iterations, sched, seed, Some(sink.clone()), shape)?;
+    Ok(TracedNodeRun { run, records: sink.snapshot(), metrics })
 }
 
 /// Like [`run_node_sched`], but with a trace sink attached and the
@@ -161,7 +221,8 @@ pub fn try_run_node_traced(
     seed: u64,
 ) -> Result<TracedNodeRun, SchedError> {
     let sink = SharedSink::new();
-    let (run, metrics) = try_run_node_impl(loads, iterations, sched, seed, Some(sink.clone()))?;
+    let (run, metrics) =
+        try_run_node_impl(loads, iterations, sched, seed, Some(sink.clone()), &NodeShape::default())?;
     Ok(TracedNodeRun { run, records: sink.snapshot(), metrics })
 }
 
@@ -179,14 +240,16 @@ fn try_run_node_impl(
     sched: LocalSched,
     seed: u64,
     sink: Option<SharedSink>,
+    shape: &NodeShape,
 ) -> Result<(NodeRun, MetricsSnapshot), SchedError> {
-    if loads.is_empty() || loads.len() > 4 {
+    let slots = shape.topology.num_cpus();
+    if loads.is_empty() || loads.len() > slots {
         return Err(SchedError::InvalidTopology(format!(
-            "a node has 4 CPU slots, got a {}-slot load vector",
+            "a node has {slots} CPU slots, got a {}-slot load vector",
             loads.len()
         )));
     }
-    let builder = KernelBuilder::new().seed(seed);
+    let builder = KernelBuilder::new().topology(shape.topology.clone()).seed(seed);
     let mut kernel: Kernel = match sched {
         LocalSched::Hpc => builder.try_build()?,
         LocalSched::Policy(p) => builder.policy(p).try_build()?,
@@ -206,6 +269,9 @@ fn try_run_node_impl(
     let mpi = Mpi::new(loads.len(), MpiConfig::default());
     let mut ids: Vec<TaskId> = Vec::with_capacity(loads.len());
     for (slot, &load) in loads.iter().enumerate() {
+        // A faster node finishes the same work sooner: scale the per-slot
+        // compute down by the relative speed (identity at speed 1.0).
+        let load = load / shape.speed;
         ids.push(kernel.try_spawn(
             format!("slot{slot}"),
             policy,
@@ -292,6 +358,57 @@ mod tests {
     fn unknown_policy_name_is_a_typed_error() {
         let err = try_run_node_sched(&[0.1], 2, LocalSched::Policy("lottery"), 1);
         assert!(matches!(err, Err(SchedError::UnknownPolicy(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn default_shape_delegation_is_exact() {
+        let loads = [0.32, 0.08, 0.16, 0.08];
+        let legacy = run_node_sched(&loads, 4, LocalSched::Hpc, 7);
+        let on = run_node_on(&loads, 4, LocalSched::Hpc, 7, &NodeShape::default());
+        assert_eq!(legacy.exec_secs, on.exec_secs, "speed 1.0 must be the identity");
+        assert_eq!(legacy.final_prios, on.final_prios);
+    }
+
+    #[test]
+    fn wide_node_takes_more_ranks_than_the_reference() {
+        // A 2-socket shape offers 8 slots; the same vector overflows the
+        // reference node.
+        let shape = crate::shape::TopoPreset::TwoSocket.shape(1.0);
+        let loads = [0.08; 8];
+        let r = run_node_on(&loads, 3, LocalSched::Hpc, 1, &shape);
+        assert_eq!(r.final_prios.len(), 8);
+        let err = try_run_node_sched(&loads, 3, LocalSched::Hpc, 1);
+        assert!(matches!(err, Err(SchedError::InvalidTopology(_))), "got {err:?}");
+        let err = try_run_node_on(&loads, 3, LocalSched::Hpc, 1, &NodeShape::default());
+        assert!(matches!(err, Err(SchedError::InvalidTopology(ref m)) if m.contains("4 CPU slots")),
+            "got {err:?}");
+    }
+
+    #[test]
+    fn faster_node_finishes_sooner() {
+        let loads = [0.2, 0.2, 0.2, 0.2];
+        let base = run_node_on(&loads, 4, LocalSched::Hpc, 1, &NodeShape::default());
+        let fast = run_node_on(
+            &loads,
+            4,
+            LocalSched::Hpc,
+            1,
+            &NodeShape::new(power5::Topology::openpower_710(), 2.0),
+        );
+        assert!(
+            fast.exec_secs < base.exec_secs * 0.6,
+            "2x node: {} vs {}",
+            fast.exec_secs,
+            base.exec_secs
+        );
+    }
+
+    #[test]
+    fn wide_smt_shape_runs_under_the_analytic_model() {
+        let shape = crate::shape::TopoPreset::WideSmt.shape(1.0);
+        let r = run_node_on(&[0.1, 0.1, 0.1, 0.1], 3, LocalSched::Hpc, 1, &shape);
+        assert!(r.exec_secs > 0.0);
+        assert_eq!(r.final_prios.len(), 4);
     }
 
     #[test]

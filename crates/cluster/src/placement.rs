@@ -8,6 +8,8 @@
 //! combination the hardware-priority boost exploits best.
 
 use crate::job::JobSpec;
+use crate::shape::NodeShape;
+use power5::CpuId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -49,6 +51,11 @@ pub enum PlacementStrategy {
     /// Greedy placement minimizing *estimated node completion time under
     /// the local HPCSched*, with heavy/light core pairing inside the node.
     SmtAware,
+    /// [`PlacementStrategy::SmtAware`] plus a NUMA-distance penalty: a
+    /// candidate node whose occupied slots would span NUMA nodes has its
+    /// estimated time scaled by the worst pairwise distance (relative to
+    /// local), so gangs pack inside one NUMA node when the catalog allows.
+    NumaAware,
 }
 
 /// A computed placement: `nodes[n]` lists rank indices in CPU-slot order.
@@ -64,6 +71,7 @@ impl simcore::snapshot::Snapshot for PlacementStrategy {
             PlacementStrategy::RoundRobin => 0,
             PlacementStrategy::GreedyLpt => 1,
             PlacementStrategy::SmtAware => 2,
+            PlacementStrategy::NumaAware => 3,
         });
     }
     fn restore(
@@ -73,6 +81,7 @@ impl simcore::snapshot::Snapshot for PlacementStrategy {
             0 => Ok(PlacementStrategy::RoundRobin),
             1 => Ok(PlacementStrategy::GreedyLpt),
             2 => Ok(PlacementStrategy::SmtAware),
+            3 => Ok(PlacementStrategy::NumaAware),
             _ => Err(simcore::snapshot::SnapshotError::Malformed("bad PlacementStrategy tag")),
         }
     }
@@ -143,6 +152,43 @@ pub fn node_time(job: &JobSpec, slots: &[usize], hpc: bool) -> f64 {
     core_time(load(0), load(1), hpc).max(core_time(load(2), load(3), hpc))
 }
 
+/// Equal-share analytic estimate for a core wider than 2-way: `n` busy
+/// contexts each get the k=3 decode-sharing throughput `3/(n+2)` (the
+/// Table-I curve at share `1/n`), so the core finishes with its heaviest
+/// load at that speed. Idle contexts snooze (no decode pressure).
+pub fn wide_core_time(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let heaviest = loads.iter().cloned().fold(0.0_f64, f64::max);
+    heaviest * (loads.len() as f64 + 2.0) / 3.0
+}
+
+/// [`node_time`] generalized over a [`NodeShape`]: cores come from the
+/// shape's scheduling-domain tree (pairwise decode calibration for ≤2-way
+/// cores, the equal-share analytic curve for wider SMT), and the result is
+/// divided by the node's relative speed.
+pub fn node_time_on(job: &JobSpec, slots: &[usize], hpc: bool, shape: &NodeShape) -> f64 {
+    let topo = &shape.topology;
+    let load = |i: usize| slots.get(i).map(|&r| job.rank_loads[r]);
+    let width = topo.max_smt_width().max(1);
+    let mut worst = 0.0_f64;
+    let mut base = 0;
+    while base < topo.num_cpus() {
+        let t = match width {
+            1 => core_time(load(base), None, hpc),
+            2 => core_time(load(base), load(base + 1), hpc),
+            _ => {
+                let busy: Vec<f64> = (0..width).filter_map(|i| load(base + i)).collect();
+                wide_core_time(&busy)
+            }
+        };
+        worst = worst.max(t);
+        base += width;
+    }
+    worst / shape.speed
+}
+
 /// Compute a placement of `job` over `num_nodes` nodes, or say why it
 /// cannot be done.
 pub fn place(
@@ -150,6 +196,11 @@ pub fn place(
     num_nodes: usize,
     strategy: PlacementStrategy,
 ) -> Result<Placement, PlacementError> {
+    if strategy == PlacementStrategy::NumaAware {
+        // NUMA awareness needs the node shapes; on the uniform legacy path
+        // every node is the reference single-NUMA box.
+        return place_on(job, &vec![NodeShape::default(); num_nodes], strategy);
+    }
     if num_nodes == 0 {
         return Err(PlacementError::NoNodes);
     }
@@ -227,8 +278,141 @@ pub fn place(
             }
             nodes
         }
+        // INVARIANT: delegated to `place_on` at the top of the function.
+        PlacementStrategy::NumaAware => unreachable!("NumaAware delegates to place_on"),
     };
     Ok(Placement { strategy, nodes })
+}
+
+/// [`place`] generalized over a heterogeneous node catalog: each node
+/// offers `shapes[n].slots()` CPU slots, effective loads are scaled by the
+/// node's speed, and the SMT/NUMA-aware strategies estimate completion on
+/// each node's actual scheduling-domain tree. On a uniform catalog of
+/// default shapes every strategy reproduces [`place`] exactly.
+pub fn place_on(
+    job: &JobSpec,
+    shapes: &[NodeShape],
+    strategy: PlacementStrategy,
+) -> Result<Placement, PlacementError> {
+    if shapes.is_empty() {
+        return Err(PlacementError::NoNodes);
+    }
+    let slots_of: Vec<usize> = shapes.iter().map(NodeShape::slots).collect();
+    let total: usize = slots_of.iter().sum();
+    if job.ranks() > total {
+        return Err(PlacementError::DoesNotFit { ranks: job.ranks(), slots: total });
+    }
+    let num_nodes = shapes.len();
+    let nodes = match strategy {
+        PlacementStrategy::RoundRobin => {
+            let mut nodes = vec![Vec::new(); num_nodes];
+            for r in 0..job.ranks() {
+                // Rank r goes to node r mod n, skipping nodes already full
+                // (narrow nodes in a heterogeneous catalog fill early).
+                // INVARIANT: the fit check above guarantees a free slot
+                // exists, so the cyclic scan terminates.
+                let mut n = r % num_nodes;
+                while nodes[n].len() >= slots_of[n] {
+                    n = (n + 1) % num_nodes;
+                }
+                nodes[n].push(r);
+            }
+            nodes
+        }
+        PlacementStrategy::GreedyLpt => {
+            let mut order: Vec<usize> = (0..job.ranks()).collect();
+            order.sort_by(|&a, &b| {
+                job.rank_loads[b].total_cmp(&job.rank_loads[a]).then(a.cmp(&b))
+            });
+            let mut nodes = vec![Vec::new(); num_nodes];
+            let mut loads = vec![0.0f64; num_nodes];
+            for r in order {
+                // Least *effective* load (total / speed) with a free slot;
+                // ties to lowest index. Speed 1.0 divides out exactly, so
+                // the uniform catalog reproduces `place`.
+                let n = (0..num_nodes)
+                    .filter(|&n| nodes[n].len() < slots_of[n])
+                    .min_by(|&a, &b| {
+                        (loads[a] / shapes[a].speed)
+                            .total_cmp(&(loads[b] / shapes[b].speed))
+                            .then(a.cmp(&b))
+                    })
+                    .expect("job fits");
+                nodes[n].push(r);
+                loads[n] += job.rank_loads[r];
+            }
+            nodes
+        }
+        PlacementStrategy::SmtAware | PlacementStrategy::NumaAware => {
+            let numa = strategy == PlacementStrategy::NumaAware;
+            let mut order: Vec<usize> = (0..job.ranks()).collect();
+            order.sort_by(|&a, &b| {
+                job.rank_loads[b].total_cmp(&job.rank_loads[a]).then(a.cmp(&b))
+            });
+            let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+            for r in order {
+                let mut best: Option<(f64, usize, usize)> = None; // (time, node, len)
+                for (n, slots) in nodes.iter().enumerate() {
+                    if slots.len() >= slots_of[n] {
+                        continue;
+                    }
+                    let mut candidate = slots.clone();
+                    candidate.push(r);
+                    candidate.sort_by(|&a, &b| job.rank_loads[b].total_cmp(&job.rank_loads[a]));
+                    let paired = slot_order(&candidate, &shapes[n]);
+                    let mut t = node_time_on(job, &paired, true, &shapes[n]);
+                    if numa {
+                        t *= numa_spread_penalty(paired.len(), &shapes[n]);
+                    }
+                    let key = (t, slots.len());
+                    if best.map(|(bt, _, bl)| key < (bt, bl)).unwrap_or(true) {
+                        best = Some((t, n, slots.len()));
+                    }
+                }
+                // INVARIANT: the fit check above guarantees ranks ≤ total
+                // slots, so some node still had a free slot.
+                let (_, n, _) = best.expect("job fits");
+                nodes[n].push(r);
+            }
+            for (n, slots) in nodes.iter_mut().enumerate() {
+                slots.sort_by(|&a, &b| job.rank_loads[b].total_cmp(&job.rank_loads[a]));
+                *slots = slot_order(slots, &shapes[n]);
+            }
+            nodes
+        }
+    };
+    Ok(Placement { strategy, nodes })
+}
+
+/// Intra-node slot ordering for ranks sorted heaviest-first: heavy/light
+/// pairing on 2-way cores (where decode arbitration rewards the mix);
+/// heaviest-first otherwise (the equal-share wide-core model and 1-way
+/// cores are order-insensitive).
+fn slot_order(sorted: &[usize], shape: &NodeShape) -> Vec<usize> {
+    if shape.topology.max_smt_width() == 2 {
+        pair_heavy_light(sorted)
+    } else {
+        sorted.to_vec()
+    }
+}
+
+/// Worst pairwise NUMA distance among a node's first `occupied` CPU slots,
+/// relative to the local distance — 1.0 while a gang fits inside one NUMA
+/// node, larger once it spans the boundary.
+fn numa_spread_penalty(occupied: usize, shape: &NodeShape) -> f64 {
+    let topo = &shape.topology;
+    if occupied == 0 {
+        return 1.0;
+    }
+    let node_of = |slot: usize| topo.numa_node_of(CpuId(slot));
+    let local = topo.numa_distance(node_of(0), node_of(0));
+    let mut worst = local;
+    for a in 0..occupied {
+        for b in (a + 1)..occupied {
+            worst = worst.max(topo.numa_distance(node_of(a), node_of(b)));
+        }
+    }
+    worst as f64 / local as f64
 }
 
 /// Given ranks sorted heaviest-first, order them into CPU slots so each
@@ -252,6 +436,8 @@ fn pair_heavy_light(sorted: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shape::TopoPreset;
+    use power5::Topology;
 
     fn job4x2() -> JobSpec {
         // Two heavy, six light ranks over two nodes.
@@ -265,10 +451,96 @@ mod tests {
             PlacementStrategy::RoundRobin,
             PlacementStrategy::GreedyLpt,
             PlacementStrategy::SmtAware,
+            PlacementStrategy::NumaAware,
         ] {
             let p = place(&job, 2, s).expect("fits");
             assert!(p.is_valid(&job), "{s:?}: {p:?}");
         }
+    }
+
+    #[test]
+    fn place_on_uniform_default_catalog_equals_place() {
+        let job = job4x2();
+        let shapes = vec![NodeShape::default(); 2];
+        for s in [
+            PlacementStrategy::RoundRobin,
+            PlacementStrategy::GreedyLpt,
+            PlacementStrategy::SmtAware,
+        ] {
+            assert_eq!(place_on(&job, &shapes, s).unwrap(), place(&job, 2, s).unwrap(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_full_narrow_nodes() {
+        let job = JobSpec::new("j", vec![0.1; 5], 1);
+        let shapes =
+            vec![NodeShape::default(), NodeShape::new(Topology::single_core_st(), 1.0)];
+        let p = place_on(&job, &shapes, PlacementStrategy::RoundRobin).expect("fits");
+        assert!(p.is_valid(&job));
+        assert_eq!(p.nodes[0], vec![0, 2, 3, 4], "single-slot node fills after one rank");
+        assert_eq!(p.nodes[1], vec![1]);
+    }
+
+    #[test]
+    fn lpt_prefers_the_faster_node() {
+        // Equal total loads: the 2× node has half the effective load, so
+        // LPT keeps feeding it until effective loads even out.
+        let job = JobSpec::new("j", vec![0.2; 6], 1);
+        let shapes = vec![
+            NodeShape::default(),
+            NodeShape::new(TopoPreset::TwoSocket.topology(), 2.0),
+        ];
+        let p = place_on(&job, &shapes, PlacementStrategy::GreedyLpt).expect("fits");
+        assert!(p.is_valid(&job));
+        assert!(
+            p.nodes[1].len() == 2 * p.nodes[0].len(),
+            "fast node carries twice the ranks: {:?}",
+            p.nodes
+        );
+    }
+
+    #[test]
+    fn numa_aware_avoids_spanning_the_numa_boundary() {
+        // One 2-NUMA 8-slot node plus one half-speed reference node, five
+        // equal ranks. SmtAware packs all five into the big node (its
+        // per-core estimate never moves); NumaAware spills the fifth to
+        // the slow node rather than cross the NUMA boundary.
+        let job = JobSpec::new("j", vec![0.1; 5], 10);
+        let shapes = vec![TopoPreset::Numa.shape(1.0), TopoPreset::Openpower710.shape(0.5)];
+        let smt = place_on(&job, &shapes, PlacementStrategy::SmtAware).expect("fits");
+        assert!(smt.nodes[1].is_empty(), "{:?}", smt.nodes);
+        let numa = place_on(&job, &shapes, PlacementStrategy::NumaAware).expect("fits");
+        assert!(numa.is_valid(&job));
+        assert_eq!(numa.nodes[0].len(), 4, "{:?}", numa.nodes);
+        assert_eq!(numa.nodes[1].len(), 1, "{:?}", numa.nodes);
+    }
+
+    #[test]
+    fn wide_core_equal_share_model() {
+        assert_eq!(wide_core_time(&[]), 0.0);
+        // Solo context on a snoozing wide core runs at full speed.
+        assert!((wide_core_time(&[0.3]) - 0.3).abs() < 1e-12);
+        // 4 busy contexts at 3/(4+2) = 0.5 each: heaviest 0.4 takes 0.8.
+        assert!((wide_core_time(&[0.4, 0.1, 0.1, 0.1]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_time_on_matches_legacy_for_the_default_shape() {
+        let job = job4x2();
+        let shape = NodeShape::default();
+        for slots in [vec![0usize, 1, 2, 3], vec![0, 4], vec![2]] {
+            for hpc in [true, false] {
+                assert_eq!(
+                    node_time_on(&job, &slots, hpc, &shape),
+                    node_time(&job, &slots, hpc),
+                    "{slots:?} hpc={hpc}"
+                );
+            }
+        }
+        let fast = NodeShape::new(Topology::openpower_710(), 1.25);
+        let t = node_time_on(&job, &[0, 1, 2, 3], true, &fast);
+        assert!((t - node_time(&job, &[0, 1, 2, 3], true) / 1.25).abs() < 1e-12);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use experiments::cli::CliFlags;
 use experiments::paper::{BTMZ, METBENCH, METBENCHVAR, SIESTA};
 use experiments::report::{report, save_outputs};
-use experiments::runner::run_modes;
+use experiments::runner::run_modes_on;
 use experiments::{ExperimentMode, WorkloadKind};
 
 fn main() {
@@ -22,11 +22,11 @@ fn main() {
     ];
 
     for (slug, wl, modes, paper) in cells {
-        let results = run_modes(&wl, &flags.modes(modes), 2008);
+        let results = run_modes_on(&wl, &flags.modes(modes), 2008, flags.topology.as_ref());
         let title = format!("{} (paper vs measured)", wl.name());
         print!("{}", report(&title, paper, &results, false));
         flags.epilogue(&results);
-        if let Err(e) = save_outputs(dir, slug, &results) {
+        if let Err(e) = save_outputs(dir, &flags.output_slug(slug), &results) {
             eprintln!("warning: could not save outputs for {slug}: {e}");
         }
     }

@@ -27,6 +27,11 @@
 //! * `--ckpt-smoke` — crash/resume self-test: checkpoint every discipline
 //!   at several cuts, reload through the store (honoring `ckptcorrupt:`),
 //!   and require the resumed traces to be byte-identical;
+//! * `--fleet-shape <spec>` — run the fleet on non-reference hardware:
+//!   `uniform` (default; the reference OpenPower 710 node), a topology
+//!   preset (`2-socket`, `numa`, `wide-smt`), or `mixed` (a heterogeneous
+//!   fleet cycling NUMA / wide-SMT-fast / narrow-slow nodes). Applies to
+//!   every mode, including `--smoke` and `--ckpt-smoke`;
 //! * `--telemetry` / `--verify` — standard parity with the other binaries.
 
 use std::path::{Path, PathBuf};
@@ -35,7 +40,7 @@ use std::time::Instant;
 use batchsim::{
     heavy_light_mix, resume_batch, run_batch, run_batch_checkpointed, run_batch_until,
     BatchConfig, BatchFault, BatchOutcome, CheckpointPolicy, CheckpointStore, Discipline,
-    FleetStats,
+    FleetShape, FleetStats,
 };
 use cluster::LocalSched;
 use experiments::benchfile;
@@ -90,11 +95,69 @@ struct PolicyRow {
     throughput_per_sim_sec: f64,
 }
 
+/// One per-topology row: the 30-job EASY stream on each fleet hardware
+/// shape (reference uniform, 2-socket, heterogeneous mix), so the baseline
+/// tracks the heterogeneous engine alongside the disciplines and policies.
+#[derive(serde::Serialize)]
+struct TopologyRow {
+    fleet_shape: &'static str,
+    completed: usize,
+    mean_wait_secs: f64,
+    makespan_secs: f64,
+    throughput_per_sim_sec: f64,
+    /// FNV-1a fingerprint of the rendered event trace — deterministic, so
+    /// CI diffs it like the scalar columns.
+    trace_hash: String,
+}
+
 #[derive(serde::Serialize)]
 struct Bench {
     disciplines: Vec<BenchRow>,
     policies: Vec<PolicyRow>,
+    topologies: Vec<TopologyRow>,
     parallel: ParallelBench,
+}
+
+/// The per-topology section of the baseline: one short EASY stream per
+/// fleet shape. Each run is also re-run at 4 threads and must match
+/// byte-for-byte (the heterogeneous engine keeps the determinism contract).
+fn topology_rows(seed: u64, failed: &mut bool) -> Vec<TopologyRow> {
+    let jobs = heavy_light_mix(seed, 30);
+    let shapes = [
+        FleetShape::Uniform,
+        FleetShape::Preset(batchsim::TopoPreset::TwoSocket),
+        FleetShape::Mixed,
+    ];
+    let mut rows = Vec::new();
+    for shape in shapes {
+        let cfg = BatchConfig { discipline: Discipline::Easy, shape, ..Default::default() };
+        let out = run_batch(&jobs, &cfg, None);
+        let par = run_batch(&jobs, &BatchConfig { threads: 4, ..cfg }, None);
+        if out.render_trace() != par.render_trace() {
+            println!("topology/{}: PARALLEL DIVERGENCE", shape.label());
+            *failed = true;
+        }
+        let stats = FleetStats::from_outcome(&out);
+        println!("{}", stats.render_row(&format!("topology/{}", shape.label())));
+        if stats.completed != jobs.len() {
+            println!(
+                "topology/{}: only {}/{} jobs completed",
+                shape.label(),
+                stats.completed,
+                jobs.len()
+            );
+            *failed = true;
+        }
+        rows.push(TopologyRow {
+            fleet_shape: shape.label(),
+            completed: stats.completed,
+            mean_wait_secs: stats.mean_wait,
+            makespan_secs: stats.makespan,
+            throughput_per_sim_sec: stats.throughput,
+            trace_hash: format!("{:016x}", fnv1a(&out.render_trace())),
+        });
+    }
+    rows
 }
 
 /// The policy-zoo section of the baseline: one short FCFS stream per
@@ -148,11 +211,13 @@ fn fnv1a(s: &str) -> u64 {
 }
 
 /// Supervision knobs shared by every mode: the injected `taskabort:`
-/// fault (if any) and the `--watchdog-ms` wall-clock limit.
+/// fault (if any), the `--watchdog-ms` wall-clock limit, and the
+/// `--fleet-shape` hardware selection.
 #[derive(Clone, Copy, Default)]
 struct Supervision {
     abort: Option<TaskAbortSpec>,
     watchdog_secs: Option<f64>,
+    shape: FleetShape,
 }
 
 impl Supervision {
@@ -164,14 +229,29 @@ impl Supervision {
             });
             ms as f64 / 1000.0
         });
+        let shape = cli::value_of("--fleet-shape").map_or(FleetShape::Uniform, |v| {
+            FleetShape::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "--fleet-shape: unknown shape `{v}`; expected uniform, mixed, or a \
+                     topology preset (openpower-710, 2-socket, numa, wide-smt)"
+                );
+                std::process::exit(2);
+            })
+        });
         Supervision {
             abort: flags.faults.as_ref().and_then(|p| p.task_abort),
             watchdog_secs,
+            shape,
         }
     }
 
     fn apply(&self, cfg: BatchConfig) -> BatchConfig {
-        BatchConfig { abort: self.abort, watchdog_secs: self.watchdog_secs, ..cfg }
+        BatchConfig {
+            abort: self.abort,
+            watchdog_secs: self.watchdog_secs,
+            shape: self.shape,
+            ..cfg
+        }
     }
 }
 
@@ -591,12 +671,21 @@ fn main() {
 
     // The baseline only tracks the clean configuration; a faulted,
     // resized, or policy-overridden run would churn the committed file.
-    if fault.is_none() && sup.abort.is_none() && njobs == 200 && seed == 2008 && flags.policy.is_none() {
+    if fault.is_none()
+        && sup.abort.is_none()
+        && njobs == 200
+        && seed == 2008
+        && flags.policy.is_none()
+        && sup.shape == FleetShape::Uniform
+    {
         println!("\n== policy zoo: 30-job FCFS stream per registered --policy ==");
         let policies = policy_rows(seed, &mut failed);
+        println!("\n== topologies: 30-job EASY stream per fleet shape ==");
+        let topologies = topology_rows(seed, &mut failed);
         let bench = Bench {
             disciplines: rows,
             policies,
+            topologies,
             parallel: ParallelBench {
                 threads: bench_threads,
                 byte_identical: !failed,
@@ -615,6 +704,9 @@ fn main() {
         // same file survive a baseline regeneration (and vice versa).
         let write = benchfile::upsert_section("BENCH_batch.json", "disciplines", &bench.disciplines)
             .and_then(|()| benchfile::upsert_section("BENCH_batch.json", "policies", &bench.policies))
+            .and_then(|()| {
+                benchfile::upsert_section("BENCH_batch.json", "topologies", &bench.topologies)
+            })
             .and_then(|()| benchfile::upsert_section("BENCH_batch.json", "parallel", &bench.parallel));
         match write {
             Ok(()) => println!("throughput baseline written to BENCH_batch.json"),

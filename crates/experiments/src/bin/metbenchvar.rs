@@ -3,18 +3,19 @@
 use experiments::cli::CliFlags;
 use experiments::paper::METBENCHVAR;
 use experiments::report::{report, save_outputs};
-use experiments::runner::run_modes_faulted;
+use experiments::runner::run_modes_faulted_on;
 use experiments::{ExperimentMode, WorkloadKind};
 
 fn main() {
     let wl = WorkloadKind::MetBenchVar(Default::default());
     let flags = CliFlags::from_env();
     let modes = flags.modes(&ExperimentMode::ALL);
-    let results = run_modes_faulted(&wl, &modes, 2008, flags.faults.as_ref());
+    let results =
+        run_modes_faulted_on(&wl, &modes, 2008, flags.faults.as_ref(), flags.topology.as_ref());
     print!("{}", report("Table IV / Figure 4 — MetBenchVar", METBENCHVAR, &results, true));
     flags.epilogue(&results);
     let dir = std::path::Path::new("experiments_output");
-    if let Err(e) = save_outputs(dir, "metbenchvar", &results) {
+    if let Err(e) = save_outputs(dir, &flags.output_slug("metbenchvar"), &results) {
         eprintln!("warning: could not save outputs: {e}");
     } else {
         println!("machine-readable outputs in {}", dir.display());

@@ -16,12 +16,15 @@
 //! byte-identical to the serial run — the executor-pool determinism
 //! contract, checked end to end.
 
-use batchsim::{heavy_light_mix, run_batch, BatchConfig, Discipline};
+use batchsim::{
+    heavy_light_mix, resume_batch, run_batch, run_batch_until, BatchCheckpoint, BatchConfig,
+    Discipline, FleetShape,
+};
 use cluster::{
     run_cluster_faulted, ClusterConfig, JobSpec, LocalSched, NodeFailure, PlacementStrategy,
 };
 use experiments::cli::{self, CliFlags};
-use experiments::runner::{run, run_with_faults, ExperimentMode, WorkloadKind};
+use experiments::runner::{run, run_on, run_with_faults, ExperimentMode, WorkloadKind};
 use faultsim::{FaultError, FaultPlan};
 use workloads::metbench::MetBenchConfig;
 
@@ -429,6 +432,148 @@ fn main() {
         if serial.metrics != par.metrics {
             println!("{:<10} PARALLEL DIVERGENCE (metrics snapshots differ)", discipline.label());
             failed = true;
+        }
+    }
+
+    // The heterogeneous-topology gate (DESIGN.md §16). The pinned trace
+    // hashes above all run on the default OpenPower 710 tree; these
+    // sections prove the topology axis is sound without touching them:
+    // an explicit `openpower-710` must be byte-identical to the default,
+    // and a 3-level NUMA tree must run the workload x mode matrix and the
+    // whole policy zoo conformance-clean and deterministically.
+    println!("\n== topology: explicit openpower-710 is byte-identical to the default ==");
+    let p710 = power5::Topology::openpower_710();
+    for mode in all_modes {
+        let plain = run(&wl, mode, SEED).records;
+        let explicit = run_on(&wl, mode, SEED, Some(&p710)).records;
+        match simverify::determinism::first_divergence(&plain, &explicit) {
+            None => println!("{:<10} identical ({} records)", mode.label(), plain.len()),
+            Some(d) => {
+                println!("{:<10} DIVERGED\n{d}", mode.label());
+                failed = true;
+            }
+        }
+    }
+
+    println!("\n== topology: workload x mode matrix on a 3-level NUMA tree (2n2c2t) ==");
+    let numa = power5::Topology::parse("2n2c2t").expect("spec grammar");
+    let topo_cells: Vec<WorkloadKind> = vec![
+        small_metbench(),
+        WorkloadKind::MetBenchVar(workloads::metbenchvar::MetBenchVarConfig {
+            base: MetBenchConfig {
+                loads: vec![0.05, 0.2, 0.05, 0.2],
+                iterations: 9,
+                ..Default::default()
+            },
+            k: 3,
+        }),
+        WorkloadKind::BtMz(workloads::btmz::BtMzConfig {
+            iterations: 6,
+            ..Default::default()
+        }),
+        WorkloadKind::Siesta(workloads::siesta::SiestaConfig {
+            iterations: 3,
+            rounds: 10,
+            ..Default::default()
+        }),
+    ];
+    for cell in &topo_cells {
+        for mode in all_modes {
+            let r = run_on(cell, mode, SEED, Some(&numa));
+            let clean = r.conformance.is_clean();
+            println!(
+                "{:<12} {:<10} {}",
+                cell.name(),
+                mode.label(),
+                if clean { "clean" } else { "VIOLATIONS" }
+            );
+            if !clean {
+                println!("{}", r.conformance.render().trim_end());
+                failed = true;
+            }
+        }
+    }
+
+    println!("\n== topology: policy zoo on the NUMA tree stays clean and deterministic ==");
+    for spec in schedsim::policies::registry() {
+        let mode = ExperimentMode::Policy(spec.name);
+        let det = simverify::determinism::check(|| run_on(&wl, mode, SEED, Some(&numa)).records);
+        let r = run_on(&wl, mode, SEED, Some(&numa));
+        let clean = r.conformance.is_clean();
+        println!(
+            "{:<12} {} {}",
+            spec.name,
+            if clean { "clean" } else { "VIOLATIONS" },
+            match &det {
+                Ok(n) => format!("deterministic ({n} records)"),
+                Err(_) => "NONDETERMINISTIC".to_string(),
+            }
+        );
+        if !clean {
+            println!("{}", r.conformance.render().trim_end());
+            failed = true;
+        }
+        if let Err(d) = det {
+            println!("{d}");
+            failed = true;
+        }
+    }
+
+    println!("\n== topology: mixed fleet batch — serial vs {par_threads} threads byte-identity ==");
+    let hetero_stream = heavy_light_mix(SEED, 24);
+    for discipline in Discipline::ALL {
+        let cfg = BatchConfig {
+            discipline,
+            shape: FleetShape::Mixed,
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = run_batch(&hetero_stream, &cfg, None);
+        let par = run_batch(&hetero_stream, &BatchConfig { threads: par_threads, ..cfg }, None);
+        let trace_ok = simverify::determinism::check_identical(
+            "trace",
+            &serial.render_trace(),
+            &par.render_trace(),
+        );
+        match trace_ok {
+            Ok(n) => println!("{:<10} trace identical ({n} events)", discipline.label()),
+            Err(d) => {
+                println!("{:<10} PARALLEL DIVERGENCE\n{d}", discipline.label());
+                failed = true;
+            }
+        }
+        if serial.metrics != par.metrics {
+            println!("{:<10} PARALLEL DIVERGENCE (metrics snapshots differ)", discipline.label());
+            failed = true;
+        }
+    }
+
+    println!("\n== topology: mixed-fleet checkpoint resumes byte-identically ==");
+    {
+        let cfg = BatchConfig {
+            discipline: Discipline::Easy,
+            shape: FleetShape::Mixed,
+            ..Default::default()
+        };
+        let full = run_batch(&hetero_stream, &cfg, None);
+        match run_batch_until(&hetero_stream, &cfg, None, 12) {
+            Some(ckpt) => {
+                let ckpt =
+                    BatchCheckpoint::decode(&ckpt.encode()).expect("shape survives the wire");
+                let resumed = resume_batch(&ckpt);
+                if resumed.render_trace() == full.render_trace()
+                    && resumed.metrics == full.metrics
+                {
+                    println!("easy       resume identical ({} jobs)", full.jobs.len());
+                } else {
+                    println!("easy       CHECKPOINT RESUME DIVERGED from the full run");
+                    failed = true;
+                }
+            }
+            None => {
+                println!("easy       checkpoint cut not found");
+                failed = true;
+            }
         }
     }
 

@@ -13,7 +13,12 @@
 //!   time changes;
 //! * `--policy <name>` — run a named balancing policy from
 //!   [`schedsim::policies::registry`] instead of the paper's standard mode
-//!   set (`--policy help` lists the zoo). Unknown names are usage errors.
+//!   set (`--policy help` lists the zoo). Unknown names are usage errors;
+//! * `--topology <spec>` — run every cell on an explicit scheduling-domain
+//!   tree instead of the default OpenPower 710. Accepts a preset name
+//!   (`openpower-710`, `2-socket`, `numa`, `wide-smt`, ...) or the spec
+//!   grammar (`2x2x2c2t`, `2n4c2t`, ...; see `power5::Topology::parse`).
+//!   A malformed spec is a usage error.
 
 use crate::report::{fault_report, telemetry_report, verify_report};
 use crate::runner::{ExperimentMode, RunResult};
@@ -29,11 +34,22 @@ pub struct CliFlags {
     /// Balancing policy selected with `--policy`, canonicalized against
     /// [`schedsim::policies::registry`]; `None` runs the standard modes.
     pub policy: Option<&'static str>,
+    /// Scheduling-domain tree selected with `--topology`; `None` runs on
+    /// the default OpenPower 710 tree (byte-identical to omitting the
+    /// flag).
+    pub topology: Option<power5::Topology>,
 }
 
 impl Default for CliFlags {
     fn default() -> Self {
-        CliFlags { telemetry: false, verify: false, faults: None, threads: 1, policy: None }
+        CliFlags {
+            telemetry: false,
+            verify: false,
+            faults: None,
+            threads: 1,
+            policy: None,
+            topology: None,
+        }
     }
 }
 
@@ -88,6 +104,18 @@ impl CliFlags {
                             )
                         })?);
                 }
+                "--topology" => {
+                    let spec = it
+                        .next()
+                        .ok_or_else(|| "--topology requires a spec argument".to_string())?;
+                    flags.topology = Some(power5::Topology::parse(spec).map_err(|e| {
+                        format!(
+                            "--topology: {e}; expected a preset (openpower-710, 2-socket, \
+                             numa, wide-smt, single-core-st) or a spec such as 2x2x2c2t or \
+                             2n4c2t"
+                        )
+                    })?);
+                }
                 _ => {}
             }
         }
@@ -121,6 +149,21 @@ impl CliFlags {
                 eprintln!("verify: invariant violations detected");
                 std::process::exit(1);
             }
+        }
+    }
+
+    /// Output-file prefix for machine-readable results: the bin's base
+    /// name, suffixed with the canonical topology spec when a non-default
+    /// tree is selected so `--topology` runs never clobber the canonical
+    /// OpenPower 710 outputs under `experiments_output/`.
+    pub fn output_slug(&self, base: &str) -> String {
+        match &self.topology {
+            // A dash, not a dot: `save_outputs` derives filenames with
+            // `Path::with_extension`, which would swallow a dotted suffix.
+            Some(t) if *t != power5::Topology::openpower_710() => {
+                format!("{base}-{}", t.render_spec())
+            }
+            _ => base.to_string(),
         }
     }
 
@@ -204,6 +247,33 @@ mod tests {
         assert!(err.contains("unknown policy"), "{err}");
         assert!(err.contains("worksteal"), "error lists the registry: {err}");
         assert!(CliFlags::parse(&strs(&["--policy"])).is_err());
+    }
+
+    #[test]
+    fn parses_topology_presets_and_specs() {
+        let f = CliFlags::parse(&strs(&[])).unwrap();
+        assert!(f.topology.is_none());
+        let f = CliFlags::parse(&strs(&["--topology", "openpower-710"])).unwrap();
+        assert_eq!(f.topology, Some(power5::Topology::openpower_710()));
+        let f = CliFlags::parse(&strs(&["--topology", "2n2c2t"])).unwrap();
+        assert_eq!(f.topology.unwrap().num_cpus(), 8);
+    }
+
+    #[test]
+    fn output_slug_namespaces_non_default_topologies() {
+        let f = CliFlags::parse(&strs(&[])).unwrap();
+        assert_eq!(f.output_slug("metbench"), "metbench");
+        let f = CliFlags::parse(&strs(&["--topology", "openpower-710"])).unwrap();
+        assert_eq!(f.output_slug("metbench"), "metbench");
+        let f = CliFlags::parse(&strs(&["--topology", "2n2c2t"])).unwrap();
+        assert_eq!(f.output_slug("metbench"), "metbench-2n2c2t");
+    }
+
+    #[test]
+    fn malformed_topology_is_a_usage_error() {
+        assert!(CliFlags::parse(&strs(&["--topology"])).is_err());
+        let err = CliFlags::parse(&strs(&["--topology", "nonsense"])).unwrap_err();
+        assert!(err.contains("openpower-710"), "error lists presets: {err}");
     }
 
     #[test]

@@ -142,10 +142,19 @@ pub struct RunResult {
     pub fault: Option<FaultSummary>,
 }
 
-fn build_kernel(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<Kernel, SchedError> {
+fn build_kernel(
+    wl: &WorkloadKind,
+    mode: ExperimentMode,
+    seed: u64,
+    topo: Option<&power5::Topology>,
+) -> Result<Kernel, SchedError> {
     // Registry-driven: every mode is either "no HPC class" or a named
-    // policy; no per-mode configuration blocks.
-    let b = KernelBuilder::new().noise(wl.noise()).seed(seed);
+    // policy; no per-mode configuration blocks. `topo` is the `--topology`
+    // axis: `None` leaves the builder on the default OpenPower 710 tree.
+    let mut b = KernelBuilder::new().noise(wl.noise()).seed(seed);
+    if let Some(t) = topo {
+        b = b.topology(t.clone());
+    }
     match mode.policy_name() {
         None => b.without_hpc_class().try_build(),
         Some(name) => b.policy(name).try_build(),
@@ -168,7 +177,19 @@ fn setup_for(wl: &WorkloadKind, mode: ExperimentMode) -> SchedulerSetup {
 /// (see [`KernelBuilder::try_build`]), including an unregistered
 /// [`ExperimentMode::Policy`] name.
 pub fn try_run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> Result<RunResult, SchedError> {
-    let mut kernel = build_kernel(wl, mode, seed)?;
+    try_run_on(wl, mode, seed, None)
+}
+
+/// [`try_run`] on an explicit scheduling-domain tree (the `--topology`
+/// axis). `None` is the default OpenPower 710 — byte-identical to
+/// [`try_run`].
+pub fn try_run_on(
+    wl: &WorkloadKind,
+    mode: ExperimentMode,
+    seed: u64,
+    topo: Option<&power5::Topology>,
+) -> Result<RunResult, SchedError> {
+    let mut kernel = build_kernel(wl, mode, seed, topo)?;
     let sink = SharedSink::new();
     kernel.observe(Box::new(sink.clone()));
     let setup = setup_for(wl, mode);
@@ -280,7 +301,20 @@ pub fn try_run_with_faults(
     seed: u64,
     plan: &FaultPlan,
 ) -> Result<RunResult, SchedError> {
-    let mut kernel = build_kernel(wl, mode, seed)?;
+    try_run_with_faults_on(wl, mode, seed, plan, None)
+}
+
+/// [`try_run_with_faults`] on an explicit scheduling-domain tree. `None`
+/// is the default OpenPower 710 — byte-identical to
+/// [`try_run_with_faults`].
+pub fn try_run_with_faults_on(
+    wl: &WorkloadKind,
+    mode: ExperimentMode,
+    seed: u64,
+    plan: &FaultPlan,
+    topo: Option<&power5::Topology>,
+) -> Result<RunResult, SchedError> {
+    let mut kernel = build_kernel(wl, mode, seed, topo)?;
     let sink = SharedSink::new();
     kernel.observe(Box::new(sink.clone()));
     let setup = setup_for(wl, mode);
@@ -364,12 +398,33 @@ pub fn run(wl: &WorkloadKind, mode: ExperimentMode, seed: u64) -> RunResult {
     try_run(wl, mode, seed).unwrap_or_else(|e| panic!("{} {mode:?}: {e}", wl.name()))
 }
 
+/// [`run`] on an explicit scheduling-domain tree (`None` = default 710).
+pub fn run_on(
+    wl: &WorkloadKind,
+    mode: ExperimentMode,
+    seed: u64,
+    topo: Option<&power5::Topology>,
+) -> RunResult {
+    try_run_on(wl, mode, seed, topo).unwrap_or_else(|e| panic!("{} {mode:?}: {e}", wl.name()))
+}
+
 /// Run several modes concurrently (each run is independent and
 /// deterministic); results return in input order.
 pub fn run_modes(wl: &WorkloadKind, modes: &[ExperimentMode], seed: u64) -> Vec<RunResult> {
+    run_modes_on(wl, modes, seed, None)
+}
+
+/// [`run_modes`] on an explicit scheduling-domain tree (`None` = default
+/// 710, byte-identical to [`run_modes`]).
+pub fn run_modes_on(
+    wl: &WorkloadKind,
+    modes: &[ExperimentMode],
+    seed: u64,
+    topo: Option<&power5::Topology>,
+) -> Vec<RunResult> {
     std::thread::scope(|s| {
         let handles: Vec<_> =
-            modes.iter().map(|&m| s.spawn(move || run(wl, m, seed))).collect();
+            modes.iter().map(|&m| s.spawn(move || run_on(wl, m, seed, topo))).collect();
         handles.into_iter().map(|h| h.join().expect("experiment thread")).collect()
     })
 }
@@ -381,12 +436,32 @@ pub fn run_modes_faulted(
     seed: u64,
     plan: Option<&FaultPlan>,
 ) -> Vec<RunResult> {
+    run_modes_faulted_on(wl, modes, seed, plan, None)
+}
+
+/// [`run_modes_faulted`] on an explicit scheduling-domain tree — the full
+/// CLI cross product `--topology` × `--faults`. `None` topology is the
+/// default 710; `None` plan injects nothing.
+pub fn run_modes_faulted_on(
+    wl: &WorkloadKind,
+    modes: &[ExperimentMode],
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    topo: Option<&power5::Topology>,
+) -> Vec<RunResult> {
     let Some(plan) = plan else {
-        return run_modes(wl, modes, seed);
+        return run_modes_on(wl, modes, seed, topo);
     };
     std::thread::scope(|s| {
-        let handles: Vec<_> =
-            modes.iter().map(|&m| s.spawn(move || run_with_faults(wl, m, seed, plan))).collect();
+        let handles: Vec<_> = modes
+            .iter()
+            .map(|&m| {
+                s.spawn(move || {
+                    try_run_with_faults_on(wl, m, seed, plan, topo)
+                        .unwrap_or_else(|e| panic!("{} {m:?}: {e}", wl.name()))
+                })
+            })
+            .collect();
         handles.into_iter().map(|h| h.join().expect("experiment thread")).collect()
     })
 }
@@ -515,6 +590,26 @@ mod tests {
             Err(e) => panic!("wrong error: {e}"),
             Ok(_) => panic!("unknown policy accepted"),
         }
+    }
+
+    #[test]
+    fn explicit_default_topology_is_byte_identical_to_none() {
+        let wl = tiny_metbench();
+        let a = run(&wl, ExperimentMode::Uniform, 7);
+        let t = power5::Topology::openpower_710();
+        let b = run_on(&wl, ExperimentMode::Uniform, 7, Some(&t));
+        assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+        assert_eq!(a.exec_secs, b.exec_secs);
+    }
+
+    #[test]
+    fn numa_topology_runs_deterministically() {
+        let wl = tiny_metbench();
+        let t = power5::Topology::parse("2n2c2t").unwrap();
+        let a = run_on(&wl, ExperimentMode::Uniform, 7, Some(&t));
+        let b = run_on(&wl, ExperimentMode::Uniform, 7, Some(&t));
+        assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+        assert!(a.conformance.is_clean(), "{}", a.conformance.render());
     }
 
     #[test]

@@ -28,8 +28,9 @@
 
 pub use batchsim::{
     class_catalog, resume_fleet, run_fleet, run_fleet_until, BatchCheckpoint, BatchConfig,
-    ClassSpec, Discipline, FleetAccum, FleetConfig, FleetJobs, FleetOutcome, FleetStats,
-    FleetStreamConfig, PendingQueue, ReleaseIndex, BATCH_CHECKPOINT_VERSION,
+    ClassSpec, Discipline, FleetAccum, FleetConfig, FleetJobs, FleetOutcome, FleetShape,
+    FleetStats, FleetStreamConfig, PendingQueue, ReleaseIndex, BATCH_CHECKPOINT_VERSION,
+    NodeShape, TopoPreset,
 };
 
 /// A [`FleetConfig`] sized for fleet-scale studies: `jobs` streamed over

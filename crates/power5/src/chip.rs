@@ -67,9 +67,15 @@ pub struct Chip {
 }
 
 impl Chip {
-    /// Build a chip with the default calibrated performance model.
+    /// Build a chip with the default performance model for its shape: the
+    /// calibrated pairwise table for cores up to 2-way SMT, the analytic
+    /// n-way model for wider cores (the table is only defined pairwise).
     pub fn new(topology: Topology) -> Self {
-        Chip::with_model(topology, Box::new(TableModel::default()))
+        if topology.max_smt_width() > 2 {
+            Chip::with_model(topology, Box::new(crate::perf::AnalyticModel::default()))
+        } else {
+            Chip::with_model(topology, Box::new(TableModel::default()))
+        }
     }
 
     /// Build a chip with a custom performance model (used by ablations).
@@ -185,7 +191,17 @@ impl Chip {
                 let speed_b = if self.contexts[b.0].load.is_some() { s.b } else { 0.0 };
                 vec![(*a, speed_a), (*b, speed_b)]
             }
-            _ => unreachable!("topology is at most 2-way SMT"),
+            many => {
+                // Wide SMT core: ask the model for all contexts at once.
+                let loads: Vec<CtxLoad> = many.iter().map(present).collect();
+                let speeds = self.model.speeds_many(&loads);
+                many.iter()
+                    .zip(speeds)
+                    .map(|(cpu, s)| {
+                        (*cpu, if self.contexts[cpu.0].load.is_some() { s } else { 0.0 })
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -358,5 +374,26 @@ mod tests {
         let mut c = Chip::new(Topology::single_core_st());
         c.set_load(CpuId(0), Some(TaskPerfTraits::default()));
         assert!((c.speed_of(CpuId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_smt_core_uses_the_nway_model() {
+        // A 4-way core auto-selects the analytic model; loaded contexts
+        // share the core, unloaded ones report 0.
+        let mut c = Chip::new(Topology::new(1, 1, 4));
+        for cpu in [CpuId(0), CpuId(1), CpuId(2)] {
+            c.set_load(cpu, Some(TaskPerfTraits::default()));
+        }
+        let speeds = c.core_speeds(CoreId(0));
+        assert_eq!(speeds.len(), 4);
+        assert!(speeds[0].1 > 0.0 && speeds[1].1 > 0.0 && speeds[2].1 > 0.0);
+        assert_eq!(speeds[3].1, 0.0);
+        // With snoozing (ceding) idle siblings a solo task on the wide
+        // core still runs at ST speed; spinning idles would compete for
+        // decode slots, exactly as on the 2-way core.
+        let mut solo = Chip::new(Topology::new(1, 1, 4));
+        solo.set_idle_mode(IdleMode::Snooze);
+        solo.set_load(CpuId(1), Some(TaskPerfTraits::default()));
+        assert!((solo.speed_of(CpuId(1)) - 1.0).abs() < 1e-9);
     }
 }

@@ -33,4 +33,6 @@ pub use chip::{Chip, ContextState, IdleMode};
 pub use decode::{decode_interval, decode_share, DecodeSplit};
 pub use perf::{AnalyticModel, CtxLoad, PerfModel, SmtPerfModel, SpeedFactors, TableModel, TaskPerfTraits};
 pub use priority::{HwPriority, PriorityError, PrivilegeLevel};
-pub use topology::{ContextId, CoreId, CpuId, DomainLevel, Topology};
+pub use topology::{
+    ChipId, ContextId, CoreId, CpuId, DomainLevel, Level, LevelKind, Topology, TopologyError,
+};

@@ -104,6 +104,28 @@ pub trait PerfModel {
     fn st_speed(&self, traits: TaskPerfTraits) -> f64 {
         self.speeds(CtxLoad::Busy { prio: HwPriority::MEDIUM, traits }, CtxLoad::Idle).a
     }
+
+    /// Speed factors for an n-way core, one per context in order.
+    ///
+    /// The decode-arbitration table is defined pairwise, so the default
+    /// delegates to [`PerfModel::speeds`] for widths ≤ 2 and panics on
+    /// wider cores: a wide-SMT topology must run a model that overrides
+    /// this ([`AnalyticModel`] does; [`schedsim`'s builder switches to it
+    /// automatically for wide cores).
+    fn speeds_many(&self, ctxs: &[CtxLoad]) -> Vec<f64> {
+        match ctxs {
+            [] => Vec::new(),
+            [a] => vec![self.speeds(*a, CtxLoad::Idle).a],
+            [a, b] => {
+                let s = self.speeds(*a, *b);
+                vec![s.a, s.b]
+            }
+            _ => panic!(
+                "this SMT performance model is pairwise; cores wider than 2-way \
+                 need the analytic model"
+            ),
+        }
+    }
 }
 
 /// The default, calibration-table-driven model. See module docs.
@@ -284,13 +306,18 @@ impl AnalyticModel {
         (1.0 + self.k) * share / (1.0 + self.k * share)
     }
 
-    fn speed_of(&self, share: f64, traits: TaskPerfTraits) -> f64 {
+    /// Speed at `share`, sensitized relative to the given equal-share
+    /// baseline (T(0.5) for a pair, T(1/n) for an n-way core).
+    fn speed_at(&self, share: f64, traits: TaskPerfTraits, equal: f64) -> f64 {
         if share <= 0.0 {
             return 0.0;
         }
-        let equal = self.throughput(0.5);
         let rel = self.throughput(share) / equal;
         equal * (1.0 + traits.for_rel(rel).clamp(0.0, 1.0) * (rel - 1.0))
+    }
+
+    fn speed_of(&self, share: f64, traits: TaskPerfTraits) -> f64 {
+        self.speed_at(share, traits, self.throughput(0.5))
     }
 }
 
@@ -318,6 +345,61 @@ impl PerfModel for AnalyticModel {
                 SpeedFactors { a: self.speed_of(split.a, ta), b: self.speed_of(split.b, tb) }
             }
         }
+    }
+
+    /// n-way generalisation of the decode arbitration: each busy regular
+    /// context weighs `2^priority` decode slots (the same geometric
+    /// progression Table I's pairwise `R = 2^(|d|+1)` interval encodes),
+    /// priority 7 claims the core exclusively, priority 0 is off. Shares
+    /// are sensitized against the equal-share point `T(1/n_busy)`, so a
+    /// full n-way core of equal peers degrades gracefully instead of
+    /// pretending to be a pair.
+    fn speeds_many(&self, ctxs: &[CtxLoad]) -> Vec<f64> {
+        use CtxLoad::*;
+        if ctxs.len() <= 2 {
+            // Exact pairwise arbitration where it is defined.
+            return match ctxs {
+                [] => Vec::new(),
+                [a] => vec![self.speeds(*a, Idle).a],
+                [a, b] => {
+                    let s = self.speeds(*a, *b);
+                    vec![s.a, s.b]
+                }
+                _ => unreachable!(),
+            };
+        }
+        let st_claims: Vec<bool> = ctxs
+            .iter()
+            .map(|c| matches!(c, Busy { prio, .. } if *prio == HwPriority::VERY_HIGH))
+            .collect();
+        let any_st = st_claims.iter().any(|&b| b);
+        let weights: Vec<f64> = ctxs
+            .iter()
+            .zip(&st_claims)
+            .map(|(c, &st)| match c {
+                Idle => 0.0,
+                Busy { prio, .. } => {
+                    if *prio == HwPriority::OFF || (any_st && !st) {
+                        0.0
+                    } else {
+                        (1u64 << prio.value()) as f64
+                    }
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let n_busy = weights.iter().filter(|&&w| w > 0.0).count();
+        if total <= 0.0 || n_busy == 0 {
+            return vec![0.0; ctxs.len()];
+        }
+        let equal = self.throughput(1.0 / n_busy as f64);
+        ctxs.iter()
+            .zip(&weights)
+            .map(|(c, &w)| match c {
+                Idle => 0.0,
+                Busy { traits, .. } => self.speed_at(w / total, *traits, equal),
+            })
+            .collect()
     }
 }
 
@@ -464,6 +546,45 @@ mod tests {
         let gain = s.a / 0.8 - 1.0;
         let loss = 1.0 - s.b / 0.8;
         assert!(loss > gain);
+    }
+
+    #[test]
+    fn speeds_many_default_delegates_and_refuses_wide() {
+        let m = TableModel::default();
+        let pair = m.speeds_many(&[busy(6), busy(4)]);
+        let s = m.speeds(busy(6), busy(4));
+        assert_eq!(pair, vec![s.a, s.b]);
+        let solo = m.speeds_many(&[busy(4)]);
+        assert!((solo[0] - 1.0).abs() < 1e-12);
+        assert!(std::panic::catch_unwind(|| {
+            TableModel::default().speeds_many(&[busy(4), busy(4), busy(4), busy(4)])
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn analytic_speeds_many_covers_wide_cores() {
+        let m = AnalyticModel::default();
+        // Four equal peers split the core evenly and each run at the
+        // 4-way equal point T(1/4).
+        let s = m.speeds_many(&[busy(4), busy(4), busy(4), busy(4)]);
+        assert_eq!(s.len(), 4);
+        for &v in &s {
+            assert!((v - s[0]).abs() < 1e-12);
+        }
+        assert!(s[0] < 0.8 && s[0] > 0.3, "4-way equal point {}", s[0]);
+        // A favoured context outruns its siblings; idle contexts are 0.
+        let s = m.speeds_many(&[busy(6), busy(4), CtxLoad::Idle, busy(4)]);
+        assert!(s[0] > s[1] && s[1] == s[3]);
+        assert_eq!(s[2], 0.0);
+        // Priority 7 owns the core.
+        let s = m.speeds_many(&[busy(7), busy(4), busy(4), busy(4)]);
+        assert!((s[0] - 1.0).abs() < 1e-9);
+        assert_eq!(&s[1..], &[0.0, 0.0, 0.0]);
+        // Pairwise input still goes through the exact decode arbitration.
+        let pair = m.speeds_many(&[busy(6), busy(4)]);
+        let exact = m.speeds(busy(6), busy(4));
+        assert_eq!(pair, vec![exact.a, exact.b]);
     }
 
     #[test]

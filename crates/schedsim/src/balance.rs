@@ -1,13 +1,24 @@
-//! The HPC workload balancer (paper §IV-A).
+//! The HPC workload balancer (paper §IV-A), over the scheduling-domain
+//! tree.
 //!
 //! "Our workload balancer tries to balance the number of tasks at each
 //! domain level": a core domain running fewer HPC tasks than another core
-//! pulls tasks over until counts are even; the same logic repeats at chip
-//! and system level. Balancing moves *queued* tasks only.
+//! pulls tasks over until counts are even; the same logic repeats at every
+//! outer level of the tree. Balancing moves *queued* tasks only.
+//!
+//! The walk is the tree path from the pulling CPU to the machine root,
+//! innermost level first. Because per-level migration costs are monotone
+//! non-decreasing toward the root ([`power5::Level::cost`]), the first
+//! level with an imbalance is also the *cheapest* level at which it can
+//! be fixed — the bubble-scheduler preference for keeping work close. At
+//! each step only the sibling domains under the shared parent are
+//! candidates, so a socket-local imbalance is repaired socket-locally
+//! before any cross-socket (or cross-NUMA) pull is considered.
 
 use crate::class::Migration;
 use crate::task::TaskId;
-use power5::{CpuId, DomainLevel, Topology};
+use power5::{CpuId, Topology};
+use std::ops::Range;
 
 /// A snapshot of HPC task placement, as the balancer sees it.
 pub struct BalanceView<'a> {
@@ -29,22 +40,32 @@ pub fn plan_pull(
     idle: bool,
     allowed: impl Fn(TaskId, CpuId) -> bool,
 ) -> Option<Migration> {
-    for level in [DomainLevel::Core, DomainLevel::Chip, DomainLevel::System] {
-        let my_cpus = view.topology.domain_cpus(cpu, level);
-        let my_count: usize = my_cpus.iter().map(|c| view.counts[c.0]).sum();
+    let topo = view.topology;
+    let group_count =
+        |range: &Range<usize>| -> usize { range.clone().map(|c| view.counts[c]).sum() };
 
-        // Enumerate sibling domains at this level by representative CPU.
-        let mut best: Option<(usize, Vec<CpuId>)> = None;
-        for other in view.topology.cpus() {
-            if my_cpus.contains(&other) {
+    // Walk the tree path from `cpu` to the root, cheapest level first:
+    // costs are monotone toward the root, so the innermost level with an
+    // imbalance is the cheapest place to fix it. The units compared at
+    // step `l` are the level-`l` domains that share `cpu`'s level-`l+1`
+    // parent.
+    for l in 0..topo.num_levels().saturating_sub(1) {
+        let my = topo.group_range(cpu, l);
+        let parent = topo.group_range(cpu, l + 1);
+        let my_count = group_count(&my);
+        let span = topo.span(l);
+
+        // Busiest sibling domain under the shared parent (first in CPU
+        // order wins ties).
+        let mut best: Option<(usize, Range<usize>)> = None;
+        let mut start = parent.start;
+        while start < parent.end {
+            let dom = start..start + span;
+            start += span;
+            if dom.start == my.start {
                 continue;
             }
-            let dom = view.topology.domain_cpus(other, level);
-            // Skip domains already visited (identified by first CPU).
-            if dom[0] != other {
-                continue;
-            }
-            let count: usize = dom.iter().map(|c| view.counts[c.0]).sum();
+            let count = group_count(&dom);
             if best.as_ref().map(|(c, _)| count > *c).unwrap_or(true) {
                 best = Some((count, dom));
             }
@@ -62,10 +83,10 @@ pub fn plan_pull(
         }
         // Source: the CPU in the busiest domain with the most queued tasks.
         let src = busiest_dom
-            .iter()
-            .copied()
-            .filter(|c| !view.queued[c.0].is_empty())
-            .max_by_key(|c| view.queued[c.0].len())?;
+            .clone()
+            .filter(|&c| !view.queued[c].is_empty())
+            .max_by_key(|&c| view.queued[c].len())
+            .map(CpuId)?;
         let task = view.queued[src.0].iter().copied().find(|&t| allowed(t, cpu))?;
         return Some(Migration { task, from: src, to: cpu });
     }
@@ -142,5 +163,50 @@ mod tests {
         let queued = queued_on(&[&[], &[], &[], &[]]);
         let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
         assert!(plan_pull(&view, CpuId(0), true, |_, _| true).is_none());
+    }
+
+    #[test]
+    fn cheapest_level_with_imbalance_wins() {
+        // 2 sockets × 2 cores × 2 threads. CPU 0's sibling core (CPUs
+        // 2,3) is overloaded AND the remote socket is overloaded; the
+        // pull must come from the socket-local core — the cheaper level —
+        // even though the remote socket is busier.
+        let topo = Topology::parse("2s2c2t").unwrap();
+        let counts = [0usize, 0, 2, 1, 3, 2, 0, 0];
+        let queued = queued_on(&[&[], &[], &[20], &[], &[30, 31], &[32], &[], &[]]);
+        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
+        let m = plan_pull(&view, CpuId(0), true, |_, _| true).expect("pull");
+        assert_eq!(m.from, CpuId(2));
+        assert_eq!(m.task, TaskId(20));
+    }
+
+    #[test]
+    fn balanced_socket_pulls_across_the_root() {
+        // Socket 0 is internally balanced but empty; all work sits in
+        // socket 1 — the walk escalates to the machine root and pulls
+        // cross-socket.
+        let topo = Topology::parse("2s2c2t").unwrap();
+        let counts = [0usize, 0, 0, 0, 2, 1, 2, 1];
+        let queued = queued_on(&[&[], &[], &[], &[], &[40], &[], &[41], &[]]);
+        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
+        let m = plan_pull(&view, CpuId(0), true, |_, _| true).expect("cross-socket pull");
+        assert!(m.from.0 >= 4, "source {:?} must be in socket 1", m.from);
+        assert_eq!(m.to, CpuId(0));
+    }
+
+    #[test]
+    fn numa_tree_walk_reaches_the_remote_node() {
+        // 2 NUMA nodes of 2 dual-thread cores (no socket level): an idle
+        // node pulls from the remote node only after its local cores are
+        // even, and the migration is costed at the NUMA level.
+        let topo = Topology::parse("2n2c2t").unwrap();
+        let counts = [0usize, 0, 0, 0, 3, 2, 1, 1];
+        let queued = queued_on(&[&[], &[], &[], &[], &[50, 51], &[52], &[], &[]]);
+        let view = BalanceView { topology: &topo, counts: &counts, queued: &queued };
+        let m = plan_pull(&view, CpuId(0), true, |_, _| true).expect("cross-numa pull");
+        assert_eq!(m.from, CpuId(4));
+        let numa_cost = topo.migration_cost(m.from, m.to);
+        let core_cost = topo.migration_cost(CpuId(0), CpuId(2));
+        assert!(numa_cost > core_cost, "numa {numa_cost} vs core {core_cost}");
     }
 }

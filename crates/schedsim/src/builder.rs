@@ -211,6 +211,12 @@ impl KernelBuilder {
                 .map_err(|e| SchedError::InvalidTunables(e.to_string()))?;
         }
         let chip = match self.model {
+            // The calibrated table is pairwise; a topology with cores
+            // wider than 2-way SMT silently upgrades to the analytic
+            // n-way model at the table's default concavity.
+            PerfModelChoice::Table if self.topology.max_smt_width() > 2 => {
+                Chip::with_model(self.topology.clone(), Box::new(AnalyticModel::default()))
+            }
             PerfModelChoice::Table => {
                 Chip::with_model(self.topology.clone(), Box::new(TableModel::default()))
             }
@@ -406,6 +412,20 @@ mod tests {
             "HPC class telemetry is registered at build time"
         );
         assert!(snapshot.get("hpc.detector.balanced").is_some());
+    }
+
+    #[test]
+    fn wide_smt_topology_builds_and_runs() {
+        // A 4-way core would panic the pairwise table model; the builder
+        // upgrades to the analytic model automatically.
+        let mut k = KernelBuilder::new().topology(Topology::new(1, 1, 4)).build();
+        let t = k.spawn(
+            "rank0",
+            SchedPolicy::Hpc,
+            Box::new(ScriptedProgram::compute_once(0.01)),
+            SpawnOptions::default(),
+        );
+        assert!(k.run_until_exited(&[t], SimDuration::from_secs(1)).is_some());
     }
 
     #[test]

@@ -743,8 +743,11 @@ impl Kernel {
                 if idle(prev) {
                     return prev;
                 }
-                if let Some(sib) = self.chip.topology().sibling_of(prev) {
-                    if task.allowed_on(sib) && idle(sib) {
+                // SMT siblings share the core's cache; try them (in
+                // context order) before anything farther up the tree.
+                let topo = self.chip.topology();
+                for sib in topo.cpus_of_core(topo.core_of(prev)) {
+                    if sib != prev && task.allowed_on(sib) && idle(sib) {
                         return sib;
                     }
                 }
